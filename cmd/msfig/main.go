@@ -1,0 +1,149 @@
+// Command msfig regenerates the paper's figures.
+//
+// Usage:
+//
+//	msfig -fig N [-m 16] [-seed 1] [-cols 80]
+//
+// Figures 1, 2, 4 and 5 are the paper's structural schedules rendered as
+// ASCII Gantt charts (figure 3 — the initial canonical allocation on
+// m+q₁+q₂+q_S processors — is printed as the partition summary under
+// figure 4). Figure 8 is the m₀(θ) curve, emitted as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"malsched/internal/analysis"
+	"malsched/internal/core"
+	"malsched/internal/instance"
+	"malsched/internal/schedule"
+	"malsched/internal/task"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msfig: ")
+	fig := flag.Int("fig", 8, "figure number: 1, 2, 4, 5 or 8")
+	m := flag.Int("m", 16, "processors for the structural figures")
+	seed := flag.Int64("seed", 1, "seed")
+	cols := flag.Int("cols", 80, "gantt width")
+	flag.Parse()
+
+	switch *fig {
+	case 1:
+		fig1(*m, *seed, *cols)
+	case 2:
+		fig2(*m, *seed, *cols)
+	case 4:
+		fig4(*m, *seed, *cols)
+	case 5:
+		fig5(*m, *cols)
+	case 8:
+		fig8()
+	default:
+		log.Fatalf("figure %d not available (have 1, 2, 4, 5, 8)", *fig)
+	}
+}
+
+// fig1: a malleable list schedule — parallel tasks side by side at time 0,
+// sequential tasks LPT-packed behind them.
+func fig1(m int, seed int64, cols int) {
+	in := instance.Mixed(seed, 3*m/2, m)
+	lambda := seqUpper(in)
+	s := core.MalleableList(in, lambda)
+	if s == nil {
+		log.Fatal("construction failed; try another seed")
+	}
+	fmt.Printf("Figure 1 — malleable list schedule (λ=%.3g, bound %.3g·λ):\n\n", lambda, core.RhoList(m))
+	fmt.Print(schedule.Gantt(in, s, cols))
+}
+
+// fig2: the canonical list schedule's two levels and the staircase idle
+// areas between them.
+func fig2(m int, seed int64, cols int) {
+	in := analysis.KnownOptInstance(seed, m)
+	s := core.CanonicalList(in, 1, true)
+	if s == nil {
+		log.Fatal("construction failed; try another seed")
+	}
+	lv := analysis.Levels(in, s)
+	fmt.Printf("Figure 2 — canonical list schedule (λ=1, first two levels must end by 2θ=%.4f):\n\n", 2*core.Theta)
+	fmt.Print(schedule.Gantt(in, s, cols))
+	for i, p := range s.Placements {
+		fmt.Printf("  level %d: %-22s start=%.3f end=%.3f width=%d\n",
+			lv[i], in.Tasks[p.Task].Name, p.Start, p.End(in), p.Width)
+	}
+}
+
+// fig4: the two-shelf μ-schedule, plus the figure-3 partition summary.
+func fig4(m int, seed int64, cols int) {
+	in := instance.TwoShelfStress(seed, m)
+	lambda := seqUpper(in)
+	a := core.CanonicalAllotment(in, lambda)
+	if !a.OK {
+		log.Fatal("no canonical allotment")
+	}
+	part, err := core.NewPartition(in, a, core.Mu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 3 — canonical partition at λ=%.3g: |T1|=%d (q1=%d) |T2|=%d (q2=%d) |TS|=%d (LS=%d)\n\n",
+		lambda, len(part.T1), part.Q1, len(part.T2), part.Q2, len(part.TS), part.LS)
+	r := core.TwoShelf(in, lambda, core.DefaultParams())
+	if r.Schedule == nil {
+		log.Fatal("two-shelf construction failed; try another seed or m")
+	}
+	fmt.Printf("Figure 4 — μ-schedule (shelves of length λ and μλ; method %s):\n\n", r.Method)
+	fmt.Print(schedule.Gantt(in, r.Schedule, cols))
+}
+
+// fig5: a trivial solution — one huge task moves to the second shelf and
+// everything else fits in the first.
+func fig5(m int, cols int) {
+	var tasks []task.Task
+	// One giant near-linear task (canonical time > μ, but fast enough on
+	// the whole machine to enter the second shelf)…
+	tasks = append(tasks, task.PowerLaw("giant", float64(m)*0.65, 0.98, m))
+	// …and small sequential tasks that fill the first shelf.
+	for i := 0; i < m; i++ {
+		tasks = append(tasks, task.Sequential(fmt.Sprintf("s%d", i), 0.8, m))
+	}
+	in := instance.MustNew("trivial-demo", m, tasks)
+	lambda := 1.0
+	r := core.TwoShelf(in, lambda, core.DefaultParams())
+	if r.Schedule == nil {
+		log.Fatal("trivial construction failed")
+	}
+	fmt.Printf("Figure 5 — trivial solution (method %s):\n\n", r.Method)
+	fmt.Print(schedule.Gantt(in, r.Schedule, cols))
+}
+
+// fig8: CSV of the empirical m₀(θ) curve and the Property-3 margin.
+func fig8() {
+	fmt.Println("theta,empirical_m0,worst_level2_end_over_budget")
+	thetas := []float64{0.755, 0.775, 0.80, 0.825, 0.85, core.Theta, 0.875, 0.90, 0.925, 0.95}
+	for _, p := range analysis.Fig8(thetas, 20, 150, 1) {
+		fmt.Printf("%.4f,%d,%.4f\n", p.Theta, p.M0, p.WorstMargin)
+	}
+}
+
+// seqUpper returns the all-sequential LPT makespan, a certified λ ≥ OPT.
+func seqUpper(in *instance.Instance) float64 {
+	loads := make([]float64, in.M)
+	var mk float64
+	for _, t := range in.Tasks {
+		best := 0
+		for j := 1; j < in.M; j++ {
+			if loads[j] < loads[best] {
+				best = j
+			}
+		}
+		loads[best] += t.SeqTime()
+		if loads[best] > mk {
+			mk = loads[best]
+		}
+	}
+	return mk
+}

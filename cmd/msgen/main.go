@@ -1,0 +1,58 @@
+// Command msgen generates malleable workload instances as JSON on stdout.
+//
+// Usage:
+//
+//	msgen [-family mixed] [-n 50] [-m 32] [-seed 1]
+//
+// Families: mixed, random-monotone, comm-heavy, wide-parallel,
+// powerlaw-0.7, known-opt (exact optimum 1), ocean (adaptive-mesh motif),
+// lpt-adversarial (ignores -n and -seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"malsched/internal/analysis"
+	"malsched/internal/instance"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msgen: ")
+	family := flag.String("family", "mixed", "workload family")
+	n := flag.Int("n", 50, "number of tasks")
+	m := flag.Int("m", 32, "number of processors")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var in *instance.Instance
+	switch *family {
+	case "known-opt":
+		in = analysis.KnownOptInstance(*seed, *m)
+	case "ocean":
+		in = instance.OceanMesh(*seed, *m, 4, 0)
+	case "lpt-adversarial":
+		in = instance.LPTAdversarial(*m)
+	default:
+		gen := instance.Families()[*family]
+		if gen == nil {
+			var names []string
+			for k := range instance.Families() {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			log.Fatalf("unknown family %q (have: %s, known-opt, ocean, lpt-adversarial)",
+				*family, strings.Join(names, ", "))
+		}
+		in = gen(*seed, *n, *m)
+	}
+	if err := in.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "msgen: %s with %d tasks on %d processors\n", in.Name, in.N(), in.M)
+}

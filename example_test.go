@@ -1,0 +1,71 @@
+package malsched_test
+
+import (
+	"fmt"
+	"log"
+
+	"malsched"
+)
+
+// The basic flow: describe tasks by speedup profile, build an instance,
+// schedule, read the certificates.
+func ExampleSchedule() {
+	const m = 8
+	tasks := []malsched.Task{
+		malsched.Linear("a", 8, m),     // perfect speedup, work 8
+		malsched.Linear("b", 8, m),     // perfect speedup, work 8
+		malsched.Sequential("c", 2, m), // cannot parallelise
+	}
+	in, err := malsched.NewInstance("example", m, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := malsched.Schedule(in, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan ≤ √3·LB: %v\n", res.Makespan <= 1.7321*res.LowerBound)
+	fmt.Printf("schedule is valid: %v\n", malsched.Validate(in, res.Plan, true) == nil)
+	// Output:
+	// makespan ≤ √3·LB: true
+	// schedule is valid: true
+}
+
+// Measured time tables are validated against the monotone hypothesis;
+// repair a violating profile with Monotonize before constructing the task.
+func ExampleNewTask() {
+	_, err := malsched.NewTask("raw", []float64{4.0, 2.5, 2.9}) // t(3) > t(2)
+	fmt.Println("raw profile rejected:", err != nil)
+
+	fixed, err := malsched.NewTask("fixed", malsched.Monotonize([]float64{4.0, 2.5, 2.9}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("repaired max processors:", fixed.MaxProcs())
+	// Output:
+	// raw profile rejected: true
+	// repaired max processors: 3
+}
+
+// Baselines run through the same entry point, for comparisons.
+func ExampleSchedule_baseline() {
+	const m = 8
+	in, err := malsched.NewInstance("cmp", m, []malsched.Task{
+		malsched.Amdahl("x", 10, 0.2, m),
+		malsched.Amdahl("y", 12, 0.1, m),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ours, err := malsched.Schedule(in, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	twy, err := malsched.Schedule(in, &malsched.Options{Baseline: "twy-ffdh"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("paper ≤ baseline: %v\n", ours.Makespan <= twy.Makespan+1e-9)
+	// Output:
+	// paper ≤ baseline: true
+}

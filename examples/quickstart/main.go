@@ -1,0 +1,52 @@
+// Quickstart: schedule a handful of malleable jobs on a 16-processor
+// machine with the √3-approximation and read the certificates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"malsched"
+)
+
+func main() {
+	const m = 16
+
+	// Describe the jobs by their speedup behaviour. Profiles must be
+	// monotone: more processors never slow a job down, but parallelism is
+	// never super-linear. The constructors below guarantee that; arbitrary
+	// measured time tables go through malsched.NewTask (validating) or
+	// malsched.Monotonize (repairing).
+	tasks := []malsched.Task{
+		malsched.Amdahl("assemble", 40, 0.10, m),      // 10% serial part
+		malsched.PowerLaw("simulate", 65, 0.85, m),    // t = w / p^0.85
+		malsched.CommOverhead("exchange", 18, 0.2, m), // halo exchange cost
+		malsched.Linear("embarrassing", 30, m),        // perfect speedup
+		malsched.Sequential("license-check", 3, m),    // cannot parallelise
+		malsched.RigidProfile("fft", 12, 4, m),        // wants 4 processors
+	}
+
+	in, err := malsched.NewInstance("quickstart", m, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := malsched.Schedule(in, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Gantt(in, 72))
+	fmt.Printf("\nmakespan        %.3f\n", res.Makespan)
+	fmt.Printf("lower bound     %.3f (certified: no schedule can beat this)\n", res.LowerBound)
+	fmt.Printf("certified ratio %.3f (theory: ≤ √3 ≈ 1.732)\n", res.Ratio())
+	fmt.Printf("construction    %s\n", res.Branch)
+
+	// Every placement is a contiguous block of processors for the whole
+	// task duration — ready to hand to an allocator.
+	fmt.Println("\nplacements:")
+	for _, p := range res.Plan.Placements {
+		fmt.Printf("  %-14s procs [%2d,%2d]  t ∈ [%6.3f, %6.3f]\n",
+			in.Tasks[p.Task].Name, p.First, p.First+p.Width-1, p.Start, p.End(in))
+	}
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"malsched/internal/core"
+	"malsched/internal/exact"
+	"malsched/internal/instance"
+	"malsched/internal/lowerbound"
+	"malsched/internal/schedule"
+	"malsched/internal/task"
+)
+
+// Known-opt instances must really have OPT = 1: total sequential work m
+// (area bound 1) plus a witness schedule from the tiling. We verify the
+// area identity always, and the exact optimum on tiny cases.
+func TestKnownOptArea(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for iter := 0; iter < 100; iter++ {
+		m := 2 + rng.Intn(14)
+		in := KnownOptInstance(rng.Int63(), m)
+		if !in.IsMonotone() {
+			t.Fatal("known-opt tasks must be monotone")
+		}
+		if got := in.MinTotalWork(); math.Abs(got-float64(m)) > 1e-6 {
+			t.Fatalf("sequential work = %v, want m = %d", got, m)
+		}
+		if lb := lowerbound.Trivial(in); lb > 1+1e-9 {
+			t.Fatalf("trivial LB %v exceeds 1: no schedule of length 1 can exist", lb)
+		}
+	}
+}
+
+func TestKnownOptExactOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	checked := 0
+	for iter := 0; iter < 200 && checked < 25; iter++ {
+		m := 2 + rng.Intn(3) // ≤ 4 processors
+		in := KnownOptInstance(rng.Int63(), m)
+		if in.N() > exact.MaxTasks {
+			continue
+		}
+		opt, err := exact.Solve(in)
+		if err != nil {
+			continue
+		}
+		checked++
+		if math.Abs(opt-1) > 1e-6 {
+			t.Fatalf("known-opt optimum = %v, want exactly 1 (instance %s)", opt, in.Name)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances were exactly solvable; generator too coarse", checked)
+	}
+}
+
+func TestLevelsClassification(t *testing.T) {
+	in := instance.MustNew("lv", 2, []task.Task{
+		task.Sequential("a", 1, 2),
+		task.Sequential("b", 1, 2),
+		task.Sequential("c", 1, 2),
+	})
+	s := &schedule.Schedule{Placements: []schedule.Placement{
+		{Task: 0, Start: 0, Width: 1, First: 0},
+		{Task: 1, Start: 1, Width: 1, First: 0},
+		{Task: 2, Start: 2, Width: 1, First: 0},
+	}}
+	lv := Levels(in, s)
+	if lv[0] != 1 || lv[1] != 2 || lv[2] != 3 {
+		t.Fatalf("levels = %v, want [1 2 3]", lv)
+	}
+}
+
+func TestLevelsWideSupport(t *testing.T) {
+	// A wide level-1 task supporting a narrow one on part of its block.
+	in := instance.MustNew("lw", 3, []task.Task{
+		task.Linear("a", 3, 3),     // t(3) = 1
+		task.Sequential("b", 1, 3), // sits on top
+	})
+	s := &schedule.Schedule{Placements: []schedule.Placement{
+		{Task: 0, Start: 0, Width: 3, First: 0},
+		{Task: 1, Start: 1, Width: 1, First: 2},
+	}}
+	lv := Levels(in, s)
+	if lv[0] != 1 || lv[1] != 2 {
+		t.Fatalf("levels = %v, want [1 2]", lv)
+	}
+}
+
+// Theorem 2 in action: on known-optimum instances at λ = 1 with the prefix
+// hypothesis satisfied and m ≥ m₀ = 8, Property 3 and Lemma 1 must hold.
+func TestProperty3AtTheta(t *testing.T) {
+	theta := core.Theta
+	rows := M0Empirical(theta, []int{8, 12, 16, 24}, 150, 42)
+	for _, r := range rows {
+		if r.Trials == 0 {
+			t.Fatalf("m=%d: no trials satisfied the prefix-area hypothesis", r.M)
+		}
+		if r.Violations != 0 {
+			t.Fatalf("m=%d: %d/%d Property-3 violations at θ=√3/2 — Theorem 2 reproduction failed",
+				r.M, r.Violations, r.Trials)
+		}
+	}
+}
+
+func TestFig8ShapeMonotone(t *testing.T) {
+	pts := Fig8([]float64{0.80, 0.875, 0.95}, 16, 60, 43)
+	for _, p := range pts {
+		if p.M0 == 0 {
+			t.Fatalf("θ=%.3f: no m ≤ 16 free of violations", p.Theta)
+		}
+	}
+	// The curve must not increase with θ (larger budget 2θ is easier).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].M0 > pts[i-1].M0 {
+			t.Fatalf("m₀ grew with θ: %+v", pts)
+		}
+	}
+}
+
+func TestCompareProducesRows(t *testing.T) {
+	rows := Compare([]string{"mixed"}, []int{8}, []int{6}, 2, 7)
+	if len(rows) != len(Algorithms()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Algorithms()))
+	}
+	for _, r := range rows {
+		if r.Errors != 0 {
+			t.Fatalf("%s errored", r.Algorithm)
+		}
+		if r.MeanRatio < 1-1e-9 || r.MaxRatio < r.MeanRatio-1e-9 {
+			t.Fatalf("inconsistent ratios in %+v", r)
+		}
+		if r.Algorithm == "mrt-sqrt3" && r.MaxRatio > core.Rho*(1.01) {
+			t.Fatalf("mrt ratio %v above √3", r.MaxRatio)
+		}
+	}
+}
+
+func TestCompareKnownOptRatios(t *testing.T) {
+	rows := CompareKnownOpt([]int{10}, 5, 11)
+	for _, r := range rows {
+		if r.Errors != 0 {
+			t.Fatalf("%s errored", r.Algorithm)
+		}
+		if strings.HasPrefix(r.Algorithm, "mrt") && r.MaxRatio > core.Rho*1.001+1e-9 {
+			t.Fatalf("mrt true ratio %v exceeds √3 on known-opt instances", r.MaxRatio)
+		}
+		if r.MaxRatio < 1-1e-6 {
+			t.Fatalf("%s ratio below 1 on known-opt: %v", r.Algorithm, r.MaxRatio)
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMarkdown(&buf, []Row{{Family: "f", N: 1, M: 2, Algorithm: "x", MeanRatio: 1.5, MaxRatio: 2}})
+	out := buf.String()
+	if !strings.Contains(out, "| f | 1 | 2 | x | 1.5000 | 2.0000 |") {
+		t.Fatalf("markdown:\n%s", out)
+	}
+}
+
+func TestCompareUnknownFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Compare([]string{"nope"}, []int{1}, []int{1}, 1, 1)
+}

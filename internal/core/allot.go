@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sort"
+
+	"malsched/internal/instance"
+)
+
+// Allotment holds the canonical numbers γ_i(λ) of an instance for a
+// deadline λ (§2.1 of the paper).
+type Allotment struct {
+	Lambda float64
+	// Gamma[i] = γ_i(λ), the minimal processor count running task i within
+	// λ. Valid only when OK.
+	Gamma []int
+	// OK is false when some task cannot meet λ even on all m processors;
+	// Slowest then names the first such task index.
+	OK      bool
+	Slowest int
+}
+
+// CanonicalAllotment computes γ_i(λ) for every task.
+func CanonicalAllotment(in *instance.Instance, lambda float64) Allotment {
+	a := Allotment{Lambda: lambda, Gamma: make([]int, in.N()), OK: true, Slowest: -1}
+	for i, t := range in.Tasks {
+		g, ok := t.Canonical(lambda)
+		if !ok {
+			return Allotment{Lambda: lambda, OK: false, Slowest: i}
+		}
+		a.Gamma[i] = g
+	}
+	return a
+}
+
+// Work returns Σ_i w_i(γ_i), the total canonical work. By Property 2 this
+// exceeding m·λ certifies that no schedule of length ≤ λ exists.
+func (a Allotment) Work(in *instance.Instance) float64 {
+	var s float64
+	for i, t := range in.Tasks {
+		s += t.Work(a.Gamma[i])
+	}
+	return s
+}
+
+// ByDecreasingTime returns the task indices sorted by non-increasing
+// canonical execution time t_i(γ_i) (stable).
+func (a Allotment) ByDecreasingTime(in *instance.Instance) []int {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return in.Tasks[order[x]].Time(a.Gamma[order[x]]) > in.Tasks[order[y]].Time(a.Gamma[order[y]])
+	})
+	return order
+}
+
+// PrefixArea computes W, the canonical prefix area of Definition 1: with
+// tasks in non-increasing t_i(γ_i) order, the (fractional) area of the
+// minimal prefix whose canonical processor counts reach m — equivalently,
+// the area the first m processors compute when the canonical allotment runs
+// on an unbounded machine. The branch threshold compares W against θ·m·λ.
+func (a Allotment) PrefixArea(in *instance.Instance) float64 {
+	var w float64
+	cum := 0
+	for _, i := range a.ByDecreasingTime(in) {
+		g := a.Gamma[i]
+		t := in.Tasks[i].Time(g)
+		if cum+g < in.M {
+			w += float64(g) * t
+			cum += g
+			continue
+		}
+		w += float64(in.M-cum) * t // clip the crossing task to m processors
+		return w
+	}
+	return w // Σγ < m: the whole canonical area
+}

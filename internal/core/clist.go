@@ -1,0 +1,80 @@
+package core
+
+import (
+	"malsched/internal/instance"
+	"malsched/internal/rigid"
+	"malsched/internal/schedule"
+)
+
+// CanonicalList builds the §3.2 schedule for deadline guess lambda: every
+// task runs on its canonical number of processors γ_i(λ) and the resulting
+// rigid tasks are list-scheduled contiguously in non-increasing t_i(γ_i)
+// order with the paper's tie rule (leftmost block when starting at 0,
+// rightmost otherwise — rigid.ContiguousList).
+//
+// reallocate enables the appendix's refinement: when the first task that
+// cannot start at time 0 arrives and enough processors are still idle on
+// the first level, that task is squeezed onto ⌈γ/2⌉ of the rightmost idle
+// processors at time 0 instead (at most doubling its execution time, by
+// monotony), and the list algorithm continues on the remaining machine.
+//
+// Under Theorem 2's conditions — a schedule of length ≤ λ exists, m ≥ m₀(θ)
+// and prefix area W ≤ θ·m·λ — the result has makespan ≤ 2θλ = ρλ.
+// The function itself always returns a valid schedule when the canonical
+// allotment exists (and nil otherwise); the guarantee check lives in
+// DualStep.
+func CanonicalList(in *instance.Instance, lambda float64, reallocate bool) *schedule.Schedule {
+	a := CanonicalAllotment(in, lambda)
+	if !a.OK {
+		return nil
+	}
+	return canonicalListFromAllotment(in, a, reallocate)
+}
+
+func canonicalListFromAllotment(in *instance.Instance, a Allotment, reallocate bool) *schedule.Schedule {
+	m := in.M
+	order := a.ByDecreasingTime(in)
+	s := &schedule.Schedule{Algorithm: "canonical-list"}
+	if reallocate {
+		s.Algorithm = "canonical-list+realloc"
+	}
+
+	front := make([]float64, m)
+	limit := m       // active machine width (shrinks after a reallocation)
+	checked := false // the reallocation rule applies only at the first level-2 event
+	for _, i := range order {
+		w := a.Gamma[i]
+		if w > limit {
+			// After a reallocation the active machine narrowed below this
+			// task's canonical width; run it on the full remaining width
+			// (more processors never hurt, fewer are impossible here).
+			w = limit
+		}
+		x, start := rigid.BestWindow(front[:limit], w)
+		if reallocate && !checked && start > 0 {
+			checked = true
+			// Count idle first-level processors (frontier still 0); by the
+			// leftmost-at-zero rule they form the suffix of the machine.
+			idle := 0
+			for j := limit - 1; j >= 0 && front[j] == 0; j-- {
+				idle++
+			}
+			half := (a.Gamma[i] + 1) / 2
+			if half <= idle && half >= 1 && limit-half >= 1 {
+				s.Placements = append(s.Placements, schedule.Placement{
+					Task: i, Start: 0, Width: half, First: limit - half,
+				})
+				limit -= half
+				continue
+			}
+		}
+		s.Placements = append(s.Placements, schedule.Placement{
+			Task: i, Start: start, Width: w, First: x,
+		})
+		end := start + in.Tasks[i].Time(w)
+		for k := x; k < x+w; k++ {
+			front[k] = end
+		}
+	}
+	return s
+}

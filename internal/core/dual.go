@@ -1,0 +1,112 @@
+package core
+
+import (
+	"malsched/internal/instance"
+	"malsched/internal/schedule"
+	"malsched/internal/task"
+)
+
+// RejectReason classifies why a dual step rejected a deadline guess.
+type RejectReason int
+
+const (
+	// RejectNone: the guess was accepted.
+	RejectNone RejectReason = iota
+	// RejectTooSlow: some task cannot meet λ on the whole machine, so
+	// OPT > λ (certificate).
+	RejectTooSlow
+	// RejectArea: Σ w_i(γ_i(λ)) > m·λ violates Property 2, so OPT > λ
+	// (certificate).
+	RejectArea
+	// RejectKnapsack: W ≥ θmλ and the exhaustive two-shelf search failed;
+	// by Lemmas 3–4 no schedule of length ≤ λ exists (certificate).
+	RejectKnapsack
+	// RejectUnproven: every construction exceeded ρλ without a
+	// certificate. The paper's theorems exclude this for λ ≥ OPT; it is
+	// kept so the search driver stays sound if it ever occurs.
+	RejectUnproven
+)
+
+// String implements fmt.Stringer.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectNone:
+		return "accepted"
+	case RejectTooSlow:
+		return "task slower than λ on full machine"
+	case RejectArea:
+		return "canonical work exceeds m·λ"
+	case RejectKnapsack:
+		return "no two-shelf schedule exists"
+	case RejectUnproven:
+		return "constructions exceeded ρλ (no certificate)"
+	default:
+		return "unknown"
+	}
+}
+
+// StepResult is the outcome of one dual-approximation step.
+type StepResult struct {
+	// Schedule is the constructed schedule when accepted (makespan ≤ ρλ),
+	// nil otherwise.
+	Schedule *schedule.Schedule
+	// Reject explains a nil Schedule.
+	Reject RejectReason
+	// Certified reports that the rejection proves OPT > λ.
+	Certified bool
+	// Branch names the construction that won: "malleable-list",
+	// "canonical-list", "canonical-list+realloc" or "two-shelf".
+	Branch string
+	// PrefixArea is W, recorded for the experiment harness (0 when
+	// rejected before computing it).
+	PrefixArea float64
+}
+
+// DualStep is the paper's dual √3-approximation: given λ it either returns
+// a schedule of makespan ≤ ρλ or rejects, certifying OPT > λ whenever one
+// of the paper's certificates applies (every rejection for λ ≥ OPT would
+// contradict Theorems 1–3; the property tests assert certified rejections
+// are the only ones that occur).
+//
+// All applicable constructions are built and the best valid one is kept —
+// the guarantee is per-branch, so taking the minimum only helps.
+func DualStep(in *instance.Instance, lambda float64, p Params) StepResult {
+	m := in.M
+	a := CanonicalAllotment(in, lambda)
+	if !a.OK {
+		return StepResult{Reject: RejectTooSlow, Certified: true}
+	}
+	if !task.Leq(a.Work(in), float64(m)*lambda) {
+		return StepResult{Reject: RejectArea, Certified: true}
+	}
+	w := a.PrefixArea(in)
+	knapsackBranch := !task.Leq(w, p.theta()*float64(m)*lambda) && m > p.SmallM
+
+	var best *schedule.Schedule
+	var bestMk float64
+	consider := func(s *schedule.Schedule) {
+		if s == nil {
+			return
+		}
+		if mk := s.Makespan(in); best == nil || mk < bestMk {
+			best, bestMk = s, mk
+		}
+	}
+
+	consider(MalleableList(in, lambda))
+	consider(canonicalListFromAllotment(in, a, true))
+	consider(canonicalListFromAllotment(in, a, false))
+	shelf := TwoShelfResult{}
+	if m > p.SmallM {
+		shelf = twoShelfFromAllotment(in, a, p)
+		consider(shelf.Schedule)
+	}
+
+	if best != nil && task.Leq(bestMk, p.Rho*lambda) {
+		return StepResult{Schedule: best, Branch: best.Algorithm, PrefixArea: w}
+	}
+	if knapsackBranch && shelf.Schedule == nil && shelf.Exact {
+		return StepResult{Reject: RejectKnapsack, Certified: true, PrefixArea: w}
+	}
+	return StepResult{Reject: RejectUnproven, PrefixArea: w}
+}

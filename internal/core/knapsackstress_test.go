@@ -1,0 +1,35 @@
+package core
+
+import (
+	"testing"
+
+	"malsched/internal/baseline"
+	"malsched/internal/instance"
+)
+
+func TestKnapsackStressSoundness(t *testing.T) {
+	for s := int64(0); s < 60; s++ {
+		m := 8 + int(s)%25
+		in := instance.KnapsackStress(s, m)
+		res, err := Approximate(in, Options{Eps: 1e-3})
+		if err != nil {
+			t.Fatalf("seed %d: %v", s, err)
+		}
+		if res.UnprovenRejects != 0 {
+			t.Errorf("seed %d m=%d: %d unproven rejects", s, m, res.UnprovenRejects)
+		}
+		best := res.Makespan
+		for _, alg := range baseline.All() {
+			sch, err := alg.Run(in)
+			if err == nil && sch.Makespan(in) < best {
+				best = sch.Makespan(in)
+			}
+		}
+		if res.LowerBound > best+1e-9 {
+			t.Errorf("seed %d m=%d: certified LB %v exceeds a real schedule %v — UNSOUND certificate", s, m, res.LowerBound, best)
+		}
+		if res.Ratio() > Rho*1.001+1e-9 {
+			t.Errorf("seed %d m=%d: ratio %v", s, m, res.Ratio())
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"malsched/internal/instance"
+	"malsched/internal/lowerbound"
+	"malsched/internal/schedule"
+)
+
+// Options drives Approximate.
+type Options struct {
+	// Params are the algorithm's constants; zero value means
+	// DefaultParams.
+	Params Params
+	// Eps is the dichotomic-search tolerance of §2.2: the search stops
+	// when the accepted and rejected guesses are within a (1+Eps) factor,
+	// giving an overall guarantee ρ(1+Eps). Default 1e-3.
+	Eps float64
+	// Compact post-processes the final schedule with schedule.Compact
+	// (never increases the makespan; off by default to match the paper's
+	// structures exactly).
+	Compact bool
+}
+
+// Result is the outcome of Approximate.
+type Result struct {
+	// Schedule is the best schedule found; always valid and complete.
+	Schedule *schedule.Schedule
+	// Makespan is its makespan.
+	Makespan float64
+	// LowerBound is a certified lower bound on the optimal makespan
+	// (max of the trivial bounds and every certified-rejected guess), so
+	// Makespan/LowerBound bounds the true approximation ratio.
+	LowerBound float64
+	// AcceptedLambda is the smallest accepted guess.
+	AcceptedLambda float64
+	// Probes counts dual steps performed.
+	Probes int
+	// UnprovenRejects counts RejectUnproven outcomes. The paper's theorems
+	// imply 0 for every monotone instance; the experiment suite reports it
+	// as the reproduction's health metric (a non-zero value would also void
+	// the LowerBound-relative ratio guarantee).
+	UnprovenRejects int
+	// Branch names the construction of the returned schedule.
+	Branch string
+}
+
+// Ratio returns Makespan / LowerBound.
+func (r Result) Ratio() float64 { return r.Makespan / r.LowerBound }
+
+// ErrNoSchedule is returned when no guess was accepted; with monotone
+// instances this cannot happen (Theorem 1 accepts every λ ≥ OPT on small
+// machines, Theorems 2–3 on large ones) and indicates a non-monotone
+// instance fed around validation.
+var ErrNoSchedule = errors.New("core: dual search found no acceptable deadline guess")
+
+// Approximate runs the dichotomic dual search of §2.2: starting from the
+// certified trivial lower bound it doubles the guess until a dual step
+// accepts, then bisects between the largest rejected and smallest accepted
+// guesses. The returned schedule has makespan ≤ ρ(1+Eps)·OPT (Theorem 3
+// plus the search argument); the reported LowerBound certifies the ratio a
+// posteriori, instance by instance.
+func Approximate(in *instance.Instance, opts Options) (Result, error) {
+	p := opts.Params
+	if p.Rho == 0 {
+		p = DefaultParams()
+	}
+	eps := opts.Eps
+	if eps <= 0 {
+		eps = 1e-3
+	}
+
+	res := Result{LowerBound: lowerbound.Trivial(in)}
+	var best *schedule.Schedule
+	bestMk := 0.0
+	consider := func(s *schedule.Schedule) {
+		if s == nil {
+			return
+		}
+		if mk := s.Makespan(in); best == nil || mk < bestMk {
+			best, bestMk = s, mk
+		}
+	}
+
+	lo := res.LowerBound // invariant: OPT ≥ certified LB; lo tracks search floor
+	step := func(l float64) StepResult {
+		res.Probes++
+		r := DualStep(in, l, p)
+		if r.Schedule != nil {
+			consider(r.Schedule)
+		} else if r.Certified {
+			if l > res.LowerBound {
+				res.LowerBound = l
+			}
+		} else {
+			res.UnprovenRejects++
+		}
+		return r
+	}
+
+	// Doubling phase.
+	hi := lo
+	accepted := false
+	for i := 0; i < 64; i++ {
+		if r := step(hi); r.Schedule != nil {
+			accepted = true
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	if !accepted {
+		return Result{}, fmt.Errorf("%w (instance %q)", ErrNoSchedule, in.Name)
+	}
+	res.AcceptedLambda = hi
+
+	// Bisection phase.
+	for hi > lo*(1+eps) {
+		mid := (lo + hi) / 2
+		if r := step(mid); r.Schedule != nil {
+			hi = mid
+			res.AcceptedLambda = mid
+		} else {
+			lo = mid
+		}
+	}
+
+	if opts.Compact {
+		consider(schedule.Compact(in, best))
+	}
+	res.Schedule = best
+	res.Makespan = bestMk
+	res.Branch = best.Algorithm
+	return res, nil
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"malsched/internal/instance"
+	"malsched/internal/knapsack"
+	"malsched/internal/packing"
+	"malsched/internal/schedule"
+)
+
+// Partition is the §4.1 split of the tasks by canonical execution time for
+// a deadline λ and shelf parameter μ:
+//
+//	T1: t_i(γ_i) > μλ        — big tasks; candidates for either shelf
+//	T2: λ/2 < t_i(γ_i) ≤ μλ  — middle tasks; always in the second shelf
+//	TS: t_i(γ_i) ≤ λ/2       — small tasks; sequential by Property 1,
+//	                           First-Fit packed into the second shelf
+//
+// plus the associated quantities q1 = Σ_{T1} γ − m, q2 = Σ_{T2} γ and the
+// second-shelf First-Fit processor count LS for TS.
+type Partition struct {
+	T1, T2, TS []int
+	// D[i] is d_i = γ_i(μλ) for i ∈ T1 (0 when unreachable: the task
+	// cannot run within the second shelf even on the full machine).
+	D  map[int]int
+	Q1 int
+	Q2 int
+	// LS is FF(μλ, TS), the second-shelf processor count of the small
+	// tasks; SPack holds that packing (bins over TS in slice order).
+	LS    int
+	SPack packing.Result
+}
+
+// NewPartition computes the partition for allotment a and parameter mu.
+func NewPartition(in *instance.Instance, a Allotment, mu float64) (*Partition, error) {
+	lambda := a.Lambda
+	p := &Partition{D: make(map[int]int)}
+	var sizes []float64
+	for i, t := range in.Tasks {
+		g := a.Gamma[i]
+		ct := t.Time(g)
+		switch {
+		case ct > mu*lambda:
+			p.T1 = append(p.T1, i)
+			p.Q1 += g
+			if d, ok := t.Canonical(mu * lambda); ok {
+				p.D[i] = d
+			}
+		case ct > lambda/2 || g > 1:
+			// Middle band; degenerate γ≥2 ties at t == λ/2 also land here
+			// so that TS stays purely sequential.
+			p.T2 = append(p.T2, i)
+			p.Q2 += g
+		default:
+			p.TS = append(p.TS, i)
+			sizes = append(sizes, ct)
+		}
+	}
+	p.Q1 -= in.M
+	pk, err := packing.FirstFit(sizes, mu*lambda)
+	if err != nil {
+		return nil, err // unreachable: sizes ≤ λ/2 ≤ μλ for μ ≥ 1/2
+	}
+	p.SPack = pk
+	p.LS = pk.NumBins()
+	return p, nil
+}
+
+// TwoShelfResult reports how the μ-schedule was obtained.
+type TwoShelfResult struct {
+	Schedule *schedule.Schedule
+	// Method is "empty" (S = ∅ suffices), "trivial" (§4.5 single-task
+	// solution), "knapsack-dp", "knapsack-fptas" or "knapsack-dual".
+	Method string
+	// Exact reports that failure proves no μ-schedule exists (the knapsack
+	// search was exhaustive), which Lemmas 3–4 turn into a certificate.
+	Exact bool
+}
+
+// TwoShelf builds the §4 two-shelf schedule for deadline guess lambda: a
+// first shelf of length λ holding part of T1 at canonical allotments and a
+// second shelf of length μλ stacked after it holding the moved subset S of
+// T1 (at d_i processors), all of T2 (canonical) and TS (First-Fit). The
+// subset S is found by the knapsack (KS): maximise Σ_S γ subject to
+// Σ_S d ≤ m − q2 − LS, feasible iff the optimum reaches q1.
+//
+// It returns a nil Schedule when no feasible selection was found; Exact
+// distinguishes a proof of non-existence from an approximation-scheme miss.
+// Under Theorem 3's conditions (OPT ≤ λ, W ≥ θmλ) Lemmas 3–4 prove a
+// μ-schedule or a trivial solution exists, so a nil result with Exact
+// certifies OPT > λ.
+func TwoShelf(in *instance.Instance, lambda float64, p Params) TwoShelfResult {
+	a := CanonicalAllotment(in, lambda)
+	if !a.OK {
+		return TwoShelfResult{Exact: true}
+	}
+	return twoShelfFromAllotment(in, a, p)
+}
+
+func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params) TwoShelfResult {
+	mu := prm.mu()
+	part, err := NewPartition(in, a, mu)
+	if err != nil {
+		return TwoShelfResult{}
+	}
+	m := in.M
+	capacity := m - part.Q2 - part.LS
+
+	// Trivial feasibility: nothing needs to move.
+	if part.Q1 <= 0 && capacity >= 0 {
+		return buildTwoShelf(in, a, part, nil, "empty")
+	}
+	if capacity < 0 {
+		// The second shelf overflows before any T1 task moves; no
+		// μ-schedule exists (T2 and TS placements are forced).
+		if r := trivialSolution(in, a, part); r.Schedule != nil {
+			return r
+		}
+		return TwoShelfResult{Exact: true}
+	}
+
+	// §4.5 trivial solutions: one big task moves and everything else fits
+	// in the first shelf.
+	if r := trivialSolution(in, a, part); r.Schedule != nil {
+		return r
+	}
+
+	// Knapsack (KS) over the movable T1 tasks.
+	items := make([]knapsack.Item, 0, len(part.T1))
+	backing := make([]int, 0, len(part.T1))
+	for _, i := range part.T1 {
+		if d, ok := part.D[i]; ok && d <= capacity {
+			items = append(items, knapsack.Item{Weight: d, Profit: a.Gamma[i]})
+			backing = append(backing, i)
+		}
+	}
+	useDP := len(items)*(capacity+1) <= prm.MaxDPCells
+	var sel []int
+	var method string
+	exact := false
+	if useDP {
+		s, profit := knapsack.MaxProfit(items, capacity)
+		exact = true
+		if profit >= part.Q1 {
+			sel, method = s, "knapsack-dp"
+		}
+	} else {
+		s, profit := knapsack.MaxProfitFPTAS(items, capacity, prm.KnapsackEps)
+		if profit >= part.Q1 {
+			sel, method = s, "knapsack-fptas"
+		} else if s2, w, ok := knapsack.MinWeightApprox(items, part.Q1, capacity, prm.KnapsackEps); ok && w <= capacity {
+			sel, method = s2, "knapsack-dual"
+		}
+	}
+	if sel == nil {
+		return TwoShelfResult{Exact: exact}
+	}
+	moved := make([]int, len(sel))
+	for k, s := range sel {
+		moved[k] = backing[s]
+	}
+	return buildTwoShelf(in, a, part, moved, method)
+}
+
+// trivialSolution looks for the §4.5 escape: a single task τ ∈ T1 such that
+// all other tasks fit into the first shelf at canonical allotments (with TS
+// First-Fit packed under deadline λ) while τ alone runs in the second shelf
+// on d_τ ≤ m processors.
+func trivialSolution(in *instance.Instance, a Allotment, part *Partition) TwoShelfResult {
+	lambda := a.Lambda
+	var sizes []float64
+	for _, i := range part.TS {
+		sizes = append(sizes, in.Tasks[i].Time(a.Gamma[i]))
+	}
+	qS1 := 0
+	var sPack packing.Result
+	if len(sizes) > 0 {
+		pk, err := packing.FirstFit(sizes, lambda)
+		if err != nil {
+			return TwoShelfResult{}
+		}
+		sPack = pk
+		qS1 = pk.NumBins()
+	}
+	need := part.Q1 + part.Q2 + qS1
+	for _, i := range part.T1 {
+		d, ok := part.D[i]
+		if !ok || d > in.M {
+			continue
+		}
+		if a.Gamma[i] >= need {
+			s := &schedule.Schedule{Algorithm: "two-shelf"}
+			x := 0
+			place := func(t int, width int, start float64) bool {
+				if x+width > in.M {
+					return false
+				}
+				s.Placements = append(s.Placements, schedule.Placement{Task: t, Start: start, Width: width, First: x})
+				x += width
+				return true
+			}
+			ok := true
+			for _, j := range part.T1 {
+				if j != i && !place(j, a.Gamma[j], 0) {
+					ok = false
+				}
+			}
+			for _, j := range part.T2 {
+				if !place(j, a.Gamma[j], 0) {
+					ok = false
+				}
+			}
+			base := x
+			for k, j := range part.TS {
+				bin := base + sPack.Bin[k]
+				if bin >= in.M {
+					ok = false
+					break
+				}
+				s.Placements = append(s.Placements, schedule.Placement{
+					Task: j, Start: sPack.Offset[k], Width: 1, First: bin,
+				})
+			}
+			if !ok {
+				continue
+			}
+			// τ alone in the second shelf, leftmost.
+			s.Placements = append(s.Placements, schedule.Placement{
+				Task: i, Start: lambda, Width: d, First: 0,
+			})
+			return TwoShelfResult{Schedule: s, Method: "trivial"}
+		}
+	}
+	return TwoShelfResult{}
+}
+
+// buildTwoShelf materialises the μ-schedule once the moved subset is known.
+func buildTwoShelf(in *instance.Instance, a Allotment, part *Partition, moved []int, method string) TwoShelfResult {
+	lambda := a.Lambda
+	s := &schedule.Schedule{Algorithm: "two-shelf"}
+	inMoved := make(map[int]bool, len(moved))
+	for _, i := range moved {
+		inMoved[i] = true
+	}
+
+	// First shelf: T1 ∖ S at canonical allotments, from the left.
+	x := 0
+	for _, i := range part.T1 {
+		if inMoved[i] {
+			continue
+		}
+		if x+a.Gamma[i] > in.M {
+			return TwoShelfResult{} // defensive; Σ_{T1∖S} γ ≤ m by selection
+		}
+		s.Placements = append(s.Placements, schedule.Placement{
+			Task: i, Start: 0, Width: a.Gamma[i], First: x,
+		})
+		x += a.Gamma[i]
+	}
+
+	// Second shelf at time λ: moved T1 at d, then T2 at γ, then TS bins.
+	x = 0
+	for _, i := range moved {
+		d := part.D[i]
+		if x+d > in.M {
+			return TwoShelfResult{}
+		}
+		s.Placements = append(s.Placements, schedule.Placement{
+			Task: i, Start: lambda, Width: d, First: x,
+		})
+		x += d
+	}
+	for _, i := range part.T2 {
+		if x+a.Gamma[i] > in.M {
+			return TwoShelfResult{}
+		}
+		s.Placements = append(s.Placements, schedule.Placement{
+			Task: i, Start: lambda, Width: a.Gamma[i], First: x,
+		})
+		x += a.Gamma[i]
+	}
+	base := x
+	for k, i := range part.TS {
+		bin := base + part.SPack.Bin[k]
+		if bin >= in.M {
+			return TwoShelfResult{}
+		}
+		s.Placements = append(s.Placements, schedule.Placement{
+			Task: i, Start: lambda + part.SPack.Offset[k], Width: 1, First: bin,
+		})
+	}
+	return TwoShelfResult{Schedule: s, Method: method, Exact: true}
+}

@@ -1,0 +1,181 @@
+// Package exact computes optimal makespans for tiny malleable instances by
+// exhaustive search: every allotment vector is enumerated (with area and
+// critical-path pruning) and, for each, the optimal non-preemptive rigid
+// schedule is found by a complete event-based branch and bound. The result
+// is the optimum over non-contiguous non-preemptive schedules — a valid
+// reference ≤ any contiguous schedule's makespan, and ≥ the package
+// lowerbound's relaxation bounds, which is exactly the sandwich the tests
+// use.
+//
+// Complexity is exponential; Solve refuses instances beyond small limits
+// rather than hanging.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"malsched/internal/instance"
+	"malsched/internal/rigid"
+)
+
+// Limits guard the search space.
+const (
+	MaxTasks = 7
+	MaxProcs = 8
+)
+
+// ErrTooLarge reports an instance beyond the exhaustive-search limits.
+var ErrTooLarge = errors.New("exact: instance too large for exhaustive search")
+
+// Solve returns the optimal (non-contiguous, non-preemptive) makespan.
+func Solve(in *instance.Instance) (float64, error) {
+	if in.N() > MaxTasks || in.M > MaxProcs {
+		return 0, fmt.Errorf("%w: n=%d m=%d (limits %d, %d)", ErrTooLarge, in.N(), in.M, MaxTasks, MaxProcs)
+	}
+	n := in.N()
+	best := math.Inf(1)
+	// Initialise the incumbent with a greedy schedule so pruning bites.
+	{
+		jobs := make([]rigid.Job, n)
+		for i, t := range in.Tasks {
+			jobs[i] = rigid.Job{Width: 1, Time: t.SeqTime()}
+		}
+		pls := rigid.List(in.M, jobs, rigid.ByDecreasingTime(jobs))
+		best = rigid.Makespan(jobs, pls)
+	}
+
+	alloc := make([]int, n)
+	var rec func(i int, area float64, tmax float64)
+	rec = func(i int, area, tmax float64) {
+		lb := math.Max(area/float64(in.M), tmax)
+		if i == n {
+			// Remaining-area LB cannot prune the exact rigid search, but
+			// the incumbent can skip it entirely.
+			if lb >= best {
+				return
+			}
+			jobs := make([]rigid.Job, n)
+			for j := range jobs {
+				jobs[j] = rigid.Job{Width: alloc[j], Time: in.Tasks[j].Time(alloc[j])}
+			}
+			if mk := rigidOptimal(in.M, jobs, best); mk < best {
+				best = mk
+			}
+			return
+		}
+		// Partial lower bound: remaining tasks contribute at least their
+		// minimal work.
+		rem := 0.0
+		for j := i; j < n; j++ {
+			rem += in.Tasks[j].SeqTime()
+		}
+		if math.Max((area+rem)/float64(in.M), tmax) >= best {
+			return
+		}
+		for p := 1; p <= in.Tasks[i].MaxProcs(); p++ {
+			alloc[i] = p
+			rec(i+1, area+in.Tasks[i].Work(p), math.Max(tmax, in.Tasks[i].Time(p)))
+		}
+	}
+	rec(0, 0, 0)
+	return best, nil
+}
+
+// runningJob is a started job in the branch-and-bound state.
+type runningJob struct {
+	end   float64
+	width int
+}
+
+// rigidOptimal finds the optimal rigid makespan by complete branch and
+// bound. Every non-preemptive schedule can be left-shifted so that each
+// start time is 0 or another job's completion; the search branches, at the
+// current decision time, on starting each feasible job or advancing to the
+// next completion event, which enumerates exactly that normal form.
+func rigidOptimal(m int, jobs []rigid.Job, incumbent float64) float64 {
+	n := len(jobs)
+	best := incumbent
+	running := make([]runningJob, 0, n)
+	done := make([]bool, n)
+
+	var totalRemaining float64
+	for _, j := range jobs {
+		totalRemaining += float64(j.Width) * j.Time
+	}
+
+	var dfs func(now float64, started int, finishedMax float64, remArea float64)
+	dfs = func(now float64, started int, finishedMax, remArea float64) {
+		// Lower bound: all remaining area squeezed from now on, and the
+		// longest remaining job started now.
+		free := m
+		runMax := finishedMax
+		for _, r := range running {
+			free -= r.width
+			if r.end > runMax {
+				runMax = r.end
+			}
+		}
+		lb := math.Max(runMax, now+remArea/float64(m))
+		for i, j := range jobs {
+			if !done[i] {
+				if e := now + j.Time; e > lb {
+					lb = e
+				}
+			}
+		}
+		if lb >= best {
+			return
+		}
+		if started == n {
+			if runMax < best {
+				best = runMax
+			}
+			return
+		}
+		// Branch 1: start each not-yet-started job that fits now.
+		anyFits := false
+		for i, j := range jobs {
+			if done[i] || j.Width > free {
+				continue
+			}
+			anyFits = true
+			done[i] = true
+			running = append(running, runningJob{end: now + j.Time, width: j.Width})
+			dfs(now, started+1, finishedMax, remArea-float64(j.Width)*j.Time)
+			running = running[:len(running)-1]
+			done[i] = false
+		}
+		// Branch 2: advance to the earliest completion without starting
+		// anything (only meaningful while something is running).
+		if len(running) > 0 {
+			next := math.Inf(1)
+			for _, r := range running {
+				if r.end < next {
+					next = r.end
+				}
+			}
+			keep := running
+			var still []runningJob
+			fmax := finishedMax
+			for _, r := range keep {
+				if r.end <= next {
+					if r.end > fmax {
+						fmax = r.end
+					}
+				} else {
+					still = append(still, r)
+				}
+			}
+			running = still
+			dfs(next, started, fmax, remArea)
+			running = keep
+		} else if !anyFits {
+			// Nothing running and nothing fits: impossible since widths ≤ m.
+			panic("exact: stuck state")
+		}
+	}
+	dfs(0, 0, 0, totalRemaining)
+	return best
+}

@@ -1,0 +1,127 @@
+package exact
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"malsched/internal/core"
+	"malsched/internal/instance"
+	"malsched/internal/lowerbound"
+	"malsched/internal/task"
+)
+
+func TestSolveHandChecked(t *testing.T) {
+	// Two linear tasks of work 4 on m=2: run each on both processors back
+	// to back (4/2 + 4/2 = 4), or side by side sequentially (4). OPT = 4.
+	in := instance.MustNew("h1", 2, []task.Task{
+		task.Linear("a", 4, 2), task.Linear("b", 4, 2),
+	})
+	opt, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-4) > 1e-9 {
+		t.Fatalf("opt = %v, want 4", opt)
+	}
+
+	// One sequential task dominates.
+	in2 := instance.MustNew("h2", 3, []task.Task{
+		task.Sequential("a", 5, 3), task.Sequential("b", 1, 3),
+	})
+	opt2, err := Solve(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt2-5) > 1e-9 {
+		t.Fatalf("opt = %v, want 5", opt2)
+	}
+
+	// Rigid-style: three unit-time width-2 jobs on m=4: two in parallel,
+	// one after → 2 (widths are forced: Sequential profiles pick width 1…
+	// use Linear so width 2 is canonical). Simpler: check a mixed case
+	// against an enumerated bound.
+	in3 := instance.MustNew("h3", 2, []task.Task{
+		task.Sequential("a", 2, 2),
+		task.Sequential("b", 2, 2),
+		task.Sequential("c", 2, 2),
+	})
+	opt3, err := Solve(in3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt3-4) > 1e-9 {
+		t.Fatalf("opt = %v, want 4 (3 unit tasks of length 2 on 2 procs)", opt3)
+	}
+}
+
+func TestSolveRejectsLarge(t *testing.T) {
+	in := instance.RandomMonotone(1, MaxTasks+1, 4)
+	if _, err := Solve(in); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	in2 := instance.RandomMonotone(1, 3, 4)
+	in2.M = MaxProcs + 1 // simulate a wide machine
+	if _, err := Solve(in2); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+// Sandwich: lower bounds ≤ OPT ≤ any heuristic schedule's makespan.
+func TestSolveSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for iter := 0; iter < 60; iter++ {
+		m := 2 + rng.Intn(3)
+		n := 2 + rng.Intn(4)
+		in := instance.RandomMonotone(rng.Int63(), n, m)
+		opt, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sq := lowerbound.SquashedArea(in); opt < sq-1e-6 {
+			t.Fatalf("iter %d: OPT %v below squashed-area LB %v", iter, opt, sq)
+		}
+		res, err := core.Approximate(in, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < opt-1e-6 {
+			t.Fatalf("iter %d: heuristic %v beat OPT %v", iter, res.Makespan, opt)
+		}
+	}
+}
+
+// The reproduction's strongest per-instance check: the algorithm's makespan
+// never exceeds √3·OPT on exhaustively solvable instances (Theorem 3 says
+// √3(1+ε); these sizes are solved at ε=1e-3).
+func TestCoreWithinSqrt3OfOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	worst := 1.0
+	for iter := 0; iter < 60; iter++ {
+		m := 2 + rng.Intn(3)
+		n := 2 + rng.Intn(4)
+		var in *instance.Instance
+		if iter%2 == 0 {
+			in = instance.RandomMonotone(rng.Int63(), n, m)
+		} else {
+			in = instance.Mixed(rng.Int63(), n, m)
+		}
+		opt, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Approximate(in, core.Options{Eps: 1e-3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.Makespan / opt
+		if ratio > worst {
+			worst = ratio
+		}
+		if ratio > core.Rho*(1+1e-3)+1e-6 {
+			t.Fatalf("iter %d: ratio vs true OPT %v exceeds √3(1+ε)", iter, ratio)
+		}
+	}
+	t.Logf("worst observed ratio vs true OPT: %.4f", worst)
+}

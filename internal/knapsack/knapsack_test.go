@@ -1,0 +1,192 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sum(items []Item, sel []int) (w, p int) {
+	for _, i := range sel {
+		w += items[i].Weight
+		p += items[i].Profit
+	}
+	return
+}
+
+func randItems(rng *rand.Rand, n, maxW, maxP int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Weight: rng.Intn(maxW + 1), Profit: rng.Intn(maxP + 1)}
+	}
+	return items
+}
+
+func TestMaxProfitSmall(t *testing.T) {
+	items := []Item{{Weight: 3, Profit: 5}, {Weight: 4, Profit: 6}, {Weight: 2, Profit: 3}}
+	sel, p := MaxProfit(items, 6)
+	if p != 9 {
+		t.Fatalf("profit = %d, want 9", p)
+	}
+	w, p2 := sum(items, sel)
+	if w > 6 || p2 != p {
+		t.Fatalf("selection inconsistent: w=%d p=%d", w, p2)
+	}
+}
+
+func TestMaxProfitEdges(t *testing.T) {
+	if sel, p := MaxProfit(nil, 10); p != 0 || len(sel) != 0 {
+		t.Fatal("empty items")
+	}
+	if sel, p := MaxProfit([]Item{{1, 1}}, -1); p != 0 || sel != nil {
+		t.Fatal("negative capacity")
+	}
+	if _, p := MaxProfit([]Item{{0, 7}}, 0); p != 7 {
+		t.Fatal("zero-weight item must be taken")
+	}
+	if _, p := MaxProfit([]Item{{5, 7}}, 4); p != 0 {
+		t.Fatal("oversized item must be skipped")
+	}
+}
+
+func TestMaxProfitMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(12)
+		items := randItems(rng, n, 15, 20)
+		cap := rng.Intn(40)
+		sel, p := MaxProfit(items, cap)
+		want, _ := BruteForce(items, cap, "max")
+		if p != want {
+			t.Fatalf("iter %d: DP=%d brute=%d items=%v cap=%d", iter, p, want, items, cap)
+		}
+		if w, p2 := sum(items, sel); w > cap || p2 != p {
+			t.Fatalf("iter %d: invalid selection w=%d cap=%d p=%d/%d", iter, w, cap, p2, p)
+		}
+	}
+}
+
+func TestMinWeightSmall(t *testing.T) {
+	items := []Item{{Weight: 3, Profit: 5}, {Weight: 4, Profit: 6}, {Weight: 2, Profit: 3}}
+	sel, w, ok := MinWeight(items, 8)
+	if !ok || w != 5 { // items 0+2: profit 8, weight 5
+		t.Fatalf("MinWeight = (%v,%d,%v), want weight 5", sel, w, ok)
+	}
+	if _, _, ok := MinWeight(items, 15); ok {
+		t.Fatal("unreachable target must report !ok")
+	}
+	if _, w, ok := MinWeight(items, 0); !ok || w != 0 {
+		t.Fatal("target 0 is free")
+	}
+}
+
+func TestMinWeightMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(12)
+		items := randItems(rng, n, 15, 12)
+		target := rng.Intn(30)
+		sel, w, ok := MinWeight(items, target)
+		want, wantOK := BruteForce(items, target, "min")
+		if ok != wantOK {
+			t.Fatalf("iter %d: ok=%v want %v", iter, ok, wantOK)
+		}
+		if !ok {
+			continue
+		}
+		if w != want {
+			t.Fatalf("iter %d: DP=%d brute=%d items=%v target=%d", iter, w, want, items, target)
+		}
+		if ws, ps := sum(items, sel); ws != w || ps < target {
+			t.Fatalf("iter %d: invalid selection w=%d/%d p=%d target=%d", iter, ws, w, ps, target)
+		}
+	}
+}
+
+func TestFPTASGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, eps := range []float64{0.5, 0.2, 0.05} {
+		for iter := 0; iter < 150; iter++ {
+			n := 1 + rng.Intn(12)
+			items := randItems(rng, n, 15, 1000)
+			cap := rng.Intn(40)
+			sel, p := MaxProfitFPTAS(items, cap, eps)
+			opt, _ := BruteForce(items, cap, "max")
+			if w, p2 := sum(items, sel); w > cap || p2 != p {
+				t.Fatalf("eps=%v iter %d: infeasible or inconsistent (w=%d cap=%d)", eps, iter, w, cap)
+			}
+			if float64(p) < (1-eps)*float64(opt)-1e-9 {
+				t.Fatalf("eps=%v iter %d: profit %d < (1-eps)*%d", eps, iter, p, opt)
+			}
+		}
+	}
+}
+
+func TestFPTASExactWhenProfitsSmall(t *testing.T) {
+	items := []Item{{3, 5}, {4, 6}, {2, 3}}
+	_, p := MaxProfitFPTAS(items, 6, 0.3)
+	if p != 9 {
+		t.Fatalf("small-profit FPTAS should be exact: %d", p)
+	}
+}
+
+func TestMinWeightApproxGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(12)
+		items := randItems(rng, n, 200, 12)
+		target := rng.Intn(30)
+		cap := 100 + rng.Intn(900)
+		eps := 0.1
+		sel, w, ok := MinWeightApprox(items, target, cap, eps)
+		opt, optOK := BruteForce(items, target, "min")
+		if ok != optOK {
+			t.Fatalf("iter %d: ok=%v want %v", iter, ok, optOK)
+		}
+		if !ok {
+			continue
+		}
+		if ws, ps := sum(items, sel); ws != w || ps < target {
+			t.Fatalf("iter %d: inconsistent selection", iter)
+		}
+		if float64(w) > float64(opt)+eps*float64(cap)+1e-9 {
+			t.Fatalf("iter %d: weight %d > opt %d + eps·cap %v", iter, w, opt, eps*float64(cap))
+		}
+	}
+}
+
+// Selections must always be reported in ascending index order (callers zip
+// them against task slices).
+func TestSelectionsAscending(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := randItems(rng, 1+rng.Intn(15), 10, 10)
+		sel, _ := MaxProfit(items, rng.Intn(30))
+		for i := 1; i < len(sel); i++ {
+			if sel[i] <= sel[i-1] {
+				return false
+			}
+		}
+		sel2, _, ok := MinWeight(items, rng.Intn(20))
+		if ok {
+			for i := 1; i < len(sel2); i++ {
+				if sel2[i] <= sel2[i-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForcePanicsOnBadMode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	BruteForce(nil, 0, "nope")
+}

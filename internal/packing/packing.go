@@ -1,0 +1,97 @@
+// Package packing implements the one-dimensional First Fit packing the
+// paper uses (§4.1, reference [11], Johnson et al.) to stack small
+// sequential tasks onto processors under a time deadline: FF(C, S) is the
+// number of processors First Fit needs to pack the durations of S into bins
+// of capacity C.
+//
+// The only property the paper needs — and which we test — is: if
+// FF(C, S) > 1 then the total size of S exceeds C·FF(C,S)/2.
+package packing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"malsched/internal/task"
+)
+
+// Result describes a 1-D packing: for every item, its bin and the offset at
+// which it is stacked inside the bin.
+type Result struct {
+	// Bin[i] is the bin index of item i (bins are numbered from 0).
+	Bin []int
+	// Offset[i] is the accumulated size below item i inside its bin.
+	Offset []float64
+	// Loads holds the total size per bin; len(Loads) = number of bins.
+	Loads []float64
+}
+
+// NumBins returns the number of bins used.
+func (r Result) NumBins() int { return len(r.Loads) }
+
+// ErrOversized reports an item larger than the bin capacity.
+var ErrOversized = errors.New("packing: item larger than capacity")
+
+// FirstFit packs the items in their given order, placing each into the
+// lowest-indexed bin with residual capacity, opening a new bin when none
+// fits. Comparisons use the module tolerance so an item may exactly fill a
+// bin.
+func FirstFit(sizes []float64, capacity float64) (Result, error) {
+	r := Result{Bin: make([]int, len(sizes)), Offset: make([]float64, len(sizes))}
+	for i, s := range sizes {
+		if !task.Leq(s, capacity) {
+			return Result{}, fmt.Errorf("%w: item %d size %g, capacity %g", ErrOversized, i, s, capacity)
+		}
+		placed := false
+		for b, load := range r.Loads {
+			if task.Leq(load+s, capacity) {
+				r.Bin[i] = b
+				r.Offset[i] = load
+				r.Loads[b] += s
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			r.Bin[i] = len(r.Loads)
+			r.Offset[i] = 0
+			r.Loads = append(r.Loads, s)
+		}
+	}
+	return r, nil
+}
+
+// FirstFitDecreasing sorts the items by non-increasing size before running
+// First Fit; the classical variant with the better constant.
+func FirstFitDecreasing(sizes []float64, capacity float64) (Result, error) {
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+	sorted := make([]float64, len(sizes))
+	for k, i := range order {
+		sorted[k] = sizes[i]
+	}
+	rs, err := FirstFit(sorted, capacity)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{Bin: make([]int, len(sizes)), Offset: make([]float64, len(sizes)), Loads: rs.Loads}
+	for k, i := range order {
+		r.Bin[i] = rs.Bin[k]
+		r.Offset[i] = rs.Offset[k]
+	}
+	return r, nil
+}
+
+// Count is the paper's FF(C, S): the number of processors First Fit uses.
+// It panics on oversized items — callers guarantee sizes ≤ C.
+func Count(sizes []float64, capacity float64) int {
+	r, err := FirstFit(sizes, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return r.NumBins()
+}

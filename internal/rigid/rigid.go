@@ -1,0 +1,234 @@
+// Package rigid schedules rigid (non-malleable) parallel jobs: each job
+// needs a fixed number of processors for a fixed time. It provides the
+// scheduling phase of two-phase malleable methods (§1, §3 of the paper):
+//
+//   - List: Graham-style greedy list scheduling, non-contiguous. The
+//     Garey–Graham resource argument the paper quotes gives factor 2 for
+//     the non-malleable scheduling problem, and the direct bound
+//     makespan ≤ 2·max(W/m, tmax) is asserted by our property tests.
+//   - ContiguousList: frontier list scheduling on consecutively indexed
+//     processors with the paper's tie-breaking convention (leftmost block
+//     when starting at time 0, rightmost otherwise); this is the engine of
+//     the canonical list algorithm (§3.2).
+//   - LPT: Graham's longest-processing-time rule for sequential jobs on
+//     processors with release times; the engine of the malleable list
+//     algorithm's second phase (§3.1).
+package rigid
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Job is a rigid parallel job.
+type Job struct {
+	Width int
+	Time  float64
+}
+
+// Placement is the result for one job.
+type Placement struct {
+	Start float64
+	// First is the lowest index of a contiguous block (contiguous
+	// schedulers); -1 when Procs is set.
+	First int
+	// Procs lists explicit processors (non-contiguous schedulers).
+	Procs []int
+}
+
+// End returns the completion time of job j under placement p.
+func (p Placement) End(j Job) float64 { return p.Start + j.Time }
+
+// Makespan returns the latest completion over all jobs.
+func Makespan(jobs []Job, pls []Placement) float64 {
+	var mk float64
+	for i, p := range pls {
+		if e := p.End(jobs[i]); e > mk {
+			mk = e
+		}
+	}
+	return mk
+}
+
+// identity returns 0..n-1.
+func identity(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// ByDecreasingTime returns a job order sorted by non-increasing Time
+// (stable, so equal times keep input order).
+func ByDecreasingTime(jobs []Job) []int {
+	o := identity(len(jobs))
+	sort.SliceStable(o, func(a, b int) bool { return jobs[o[a]].Time > jobs[o[b]].Time })
+	return o
+}
+
+type event struct {
+	t     float64
+	procs []int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// List greedily schedules jobs without contiguity: at time 0 and at every
+// completion event it scans the not-yet-started jobs in the given order and
+// starts every job that fits in the free processors (lowest free indices
+// first, for determinism). order may be nil for input order. Panics if a
+// job is wider than m.
+func List(m int, jobs []Job, order []int) []Placement {
+	if order == nil {
+		order = identity(len(jobs))
+	}
+	for i, j := range jobs {
+		if j.Width < 1 || j.Width > m {
+			panic(fmt.Sprintf("rigid: job %d width %d outside machine of %d", i, j.Width, m))
+		}
+	}
+	pls := make([]Placement, len(jobs))
+	free := identity(m) // sorted free processor indices
+	pending := append([]int(nil), order...)
+	var events eventHeap
+	now := 0.0
+	for len(pending) > 0 {
+		// Start everything that fits, scanning the list in order.
+		remaining := pending[:0]
+		for _, i := range pending {
+			j := jobs[i]
+			if j.Width <= len(free) {
+				procs := append([]int(nil), free[:j.Width]...)
+				free = free[j.Width:]
+				pls[i] = Placement{Start: now, First: -1, Procs: procs}
+				heap.Push(&events, event{t: now + j.Time, procs: procs})
+			} else {
+				remaining = append(remaining, i)
+			}
+		}
+		pending = remaining
+		if len(pending) == 0 {
+			break
+		}
+		if events.Len() == 0 {
+			panic("rigid: deadlock with no running jobs") // unreachable: widths ≤ m
+		}
+		// Advance to the next completion (and absorb simultaneous ones).
+		e := heap.Pop(&events).(event)
+		now = e.t
+		free = append(free, e.procs...)
+		for events.Len() > 0 && events[0].t <= now {
+			e = heap.Pop(&events).(event)
+			free = append(free, e.procs...)
+		}
+		sort.Ints(free)
+	}
+	return pls
+}
+
+// ContiguousList schedules jobs on contiguous processor blocks using
+// per-processor frontiers: each job in order is placed on the block of
+// Width consecutive processors with the minimal frontier maximum; its start
+// is that maximum. Ties follow the paper's convention: the leftmost block
+// when the start is 0, the rightmost otherwise. order may be nil for input
+// order.
+func ContiguousList(m int, jobs []Job, order []int) []Placement {
+	if order == nil {
+		order = identity(len(jobs))
+	}
+	front := make([]float64, m)
+	pls := make([]Placement, len(jobs))
+	for _, i := range order {
+		j := jobs[i]
+		if j.Width < 1 || j.Width > m {
+			panic(fmt.Sprintf("rigid: job %d width %d outside machine of %d", i, j.Width, m))
+		}
+		x, start := BestWindow(front, j.Width)
+		pls[i] = Placement{Start: start, First: x}
+		for k := x; k < x+j.Width; k++ {
+			front[k] = start + j.Time
+		}
+	}
+	return pls
+}
+
+// BestWindow returns the block of width w with minimal sliding-window
+// maximum of front, applying the paper's leftmost-at-zero /
+// rightmost-otherwise tie rule. O(m) with a monotonic deque. Exported for
+// the canonical list algorithm in package core, whose reallocation rule
+// needs window search interleaved with custom placements.
+func BestWindow(front []float64, w int) (x int, start float64) {
+	m := len(front)
+	type idxVal struct {
+		i int
+		v float64
+	}
+	var deque []idxVal
+	bestX, bestV := -1, 0.0
+	for i := 0; i < m; i++ {
+		for len(deque) > 0 && deque[len(deque)-1].v <= front[i] {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, idxVal{i, front[i]})
+		if deque[0].i <= i-w {
+			deque = deque[1:]
+		}
+		if i >= w-1 {
+			v := deque[0].v
+			switch {
+			case bestX < 0 || v < bestV:
+				bestX, bestV = i-w+1, v
+			case v == bestV && bestV > 0:
+				bestX = i - w + 1 // rightmost among ties when starting later than 0
+			}
+			// v == bestV && bestV == 0: keep leftmost.
+		}
+	}
+	return bestX, bestV
+}
+
+// LPT schedules sequential jobs (durations) onto m processors with the
+// given release times: jobs are taken in the given order (callers pass a
+// non-increasing duration order for Graham's LPT) and each goes to the
+// processor that frees earliest, lowest index among ties. It returns the
+// processor and start time per job. release may be nil for all-zero.
+func LPT(m int, durations []float64, release []float64, order []int) (proc []int, start []float64) {
+	if order == nil {
+		order = identity(len(durations))
+	}
+	load := make([]float64, m)
+	if release != nil {
+		if len(release) != m {
+			panic(fmt.Sprintf("rigid: %d release times for %d processors", len(release), m))
+		}
+		copy(load, release)
+	}
+	proc = make([]int, len(durations))
+	start = make([]float64, len(durations))
+	for _, i := range order {
+		best := 0
+		for j := 1; j < m; j++ {
+			if load[j] < load[best] {
+				best = j
+			}
+		}
+		proc[i] = best
+		start[i] = load[best]
+		load[best] += durations[i]
+	}
+	return proc, start
+}

@@ -1,0 +1,71 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"malsched/internal/instance"
+)
+
+// ganttGlyphs cycles through distinguishable cell symbols.
+const ganttGlyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// Gantt renders the schedule as an ASCII chart: one row per processor
+// (topmost = processor 0), `cols` time buckets spanning [0, makespan], '.'
+// for idle. A bucket shows the task occupying the bucket's midpoint. The
+// legend maps glyphs to task names for up to len(ganttGlyphs) tasks; beyond
+// that glyphs repeat (the chart stays structurally readable, which is all
+// figures 1–5 need).
+func Gantt(in *instance.Instance, s *Schedule, cols int) string {
+	if cols < 1 {
+		cols = 60
+	}
+	mk := s.Makespan(in)
+	if mk <= 0 {
+		return "(empty schedule)\n"
+	}
+	grid := make([][]byte, in.M)
+	for j := range grid {
+		grid[j] = []byte(strings.Repeat(".", cols))
+	}
+	for _, p := range s.Placements {
+		g := ganttGlyphs[p.Task%len(ganttGlyphs)]
+		end := p.End(in)
+		for c := 0; c < cols; c++ {
+			t := (float64(c) + 0.5) / float64(cols) * mk
+			if t >= p.Start && t < end {
+				for _, j := range p.Processors() {
+					grid[j][c] = g
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  makespan=%.4g  m=%d  n=%d\n", s.Algorithm, mk, in.M, in.N())
+	for j := 0; j < in.M; j++ {
+		fmt.Fprintf(&b, "P%02d |%s|\n", j, grid[j])
+	}
+	fmt.Fprintf(&b, "    0%s%.4g\n", strings.Repeat(" ", cols-len(fmt.Sprintf("%.4g", mk))), mk)
+
+	// Legend, sorted by task index, one line, truncated politely.
+	type ent struct {
+		idx  int
+		name string
+	}
+	ents := make([]ent, 0, len(s.Placements))
+	for _, p := range s.Placements {
+		ents = append(ents, ent{p.Task, in.Tasks[p.Task].Name})
+	}
+	sort.Slice(ents, func(a, b int) bool { return ents[a].idx < ents[b].idx })
+	b.WriteString("legend:")
+	for i, e := range ents {
+		if i >= 20 {
+			fmt.Fprintf(&b, " … (%d more)", len(ents)-i)
+			break
+		}
+		fmt.Fprintf(&b, " %c=%s", ganttGlyphs[e.idx%len(ganttGlyphs)], e.name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

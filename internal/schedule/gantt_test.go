@@ -1,0 +1,69 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"malsched/internal/instance"
+	"malsched/internal/task"
+)
+
+func TestGanttNonContiguous(t *testing.T) {
+	in := instance.MustNew("nc", 4, []task.Task{
+		task.Linear("spread", 4, 4),
+		task.Sequential("mid", 2, 4),
+	})
+	s := &Schedule{Algorithm: "nc", Placements: []Placement{
+		{Task: 0, Start: 0, Width: 2, First: -1, ProcSet: []int{0, 3}},
+		{Task: 1, Start: 0, Width: 1, First: 1},
+	}}
+	if err := Validate(in, s, false); err != nil {
+		t.Fatal(err)
+	}
+	g := Gantt(in, s, 40)
+	rows := strings.Split(g, "\n")
+	// Task A occupies rows P00 and P03 but not P01/P02.
+	if !strings.Contains(rows[1], "A") || !strings.Contains(rows[4], "A") {
+		t.Fatalf("non-contiguous task missing from its rows:\n%s", g)
+	}
+	if strings.Contains(rows[3], "A") {
+		t.Fatalf("task leaked onto processor 2:\n%s", g)
+	}
+}
+
+func TestCompactNonContiguous(t *testing.T) {
+	in := instance.MustNew("cnc", 3, []task.Task{
+		task.Sequential("a", 1, 3),
+		task.Linear("b", 2, 3),
+	})
+	s := &Schedule{Algorithm: "x", Placements: []Placement{
+		{Task: 0, Start: 0, Width: 1, First: 1},
+		{Task: 1, Start: 5, Width: 2, First: -1, ProcSet: []int{0, 2}},
+	}}
+	c := Compact(in, s)
+	if err := Validate(in, c, false); err != nil {
+		t.Fatal(err)
+	}
+	// b's processors are free from 0, so it must shift to 0.
+	if c.Placements[1].Start != 0 {
+		t.Fatalf("non-contiguous placement not compacted: %+v", c.Placements[1])
+	}
+}
+
+func TestGanttManyTasksLegendTruncates(t *testing.T) {
+	var tasks []task.Task
+	for i := 0; i < 30; i++ {
+		tasks = append(tasks, task.Sequential("t", 1, 2))
+	}
+	in := instance.MustNew("many", 2, tasks)
+	s := &Schedule{Algorithm: "m"}
+	for i := range tasks {
+		s.Placements = append(s.Placements, Placement{
+			Task: i, Start: float64(i / 2), Width: 1, First: i % 2,
+		})
+	}
+	g := Gantt(in, s, 30)
+	if !strings.Contains(g, "more)") {
+		t.Fatalf("legend should truncate for 30 tasks:\n%s", g)
+	}
+}

@@ -1,0 +1,214 @@
+// Package schedule represents non-preemptive schedules of malleable tasks,
+// validates them (single placement per task, processor capacity, optional
+// contiguity — the paper's schedules keep each task on consecutively
+// indexed processors), and renders ASCII Gantt charts used to reproduce the
+// paper's structural figures 1–5.
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"malsched/internal/instance"
+	"malsched/internal/task"
+)
+
+// Placement runs one task on a fixed processor set for its whole duration.
+type Placement struct {
+	// Task indexes into the instance's task slice.
+	Task int
+	// Start is the start time.
+	Start float64
+	// Width is the number of processors allotted.
+	Width int
+	// First is the lowest processor index of a contiguous block of Width
+	// processors. First is -1 when ProcSet is used instead.
+	First int
+	// ProcSet lists explicit processor indices for non-contiguous
+	// placements (len == Width). nil for contiguous placements.
+	ProcSet []int
+}
+
+// Processors returns the processor indices the placement occupies.
+func (p Placement) Processors() []int {
+	if p.ProcSet != nil {
+		out := make([]int, len(p.ProcSet))
+		copy(out, p.ProcSet)
+		return out
+	}
+	out := make([]int, p.Width)
+	for i := range out {
+		out[i] = p.First + i
+	}
+	return out
+}
+
+// Contiguous reports whether the placement occupies consecutive processors.
+func (p Placement) Contiguous() bool {
+	if p.ProcSet == nil {
+		return true
+	}
+	s := append([]int(nil), p.ProcSet...)
+	sort.Ints(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[i-1]+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// End returns the completion time of the placement within the instance.
+func (p Placement) End(in *instance.Instance) float64 {
+	return p.Start + in.Tasks[p.Task].Time(p.Width)
+}
+
+// Schedule is a complete assignment of an instance's tasks.
+type Schedule struct {
+	// Algorithm names the producer, for reports.
+	Algorithm string
+	// Placements holds one entry per task, in any order.
+	Placements []Placement
+}
+
+// Makespan returns the latest completion time, 0 for an empty schedule.
+func (s *Schedule) Makespan(in *instance.Instance) float64 {
+	var mk float64
+	for _, p := range s.Placements {
+		if e := p.End(in); e > mk {
+			mk = e
+		}
+	}
+	return mk
+}
+
+// Work returns the total processor-time actually consumed.
+func (s *Schedule) Work(in *instance.Instance) float64 {
+	var w float64
+	for _, p := range s.Placements {
+		w += in.Tasks[p.Task].Work(p.Width)
+	}
+	return w
+}
+
+// Idle returns the total idle processor-time below the makespan,
+// m·makespan − work. It is the waste metric of experiment E10.
+func (s *Schedule) Idle(in *instance.Instance) float64 {
+	return float64(in.M)*s.Makespan(in) - s.Work(in)
+}
+
+// Validation errors.
+var (
+	ErrMissingTask     = errors.New("schedule: task not placed")
+	ErrDuplicateTask   = errors.New("schedule: task placed twice")
+	ErrBadWidth        = errors.New("schedule: width outside task profile")
+	ErrBadProcessor    = errors.New("schedule: processor index out of machine")
+	ErrBadStart        = errors.New("schedule: negative or non-finite start time")
+	ErrOverlap         = errors.New("schedule: two tasks overlap on a processor")
+	ErrNotContiguous   = errors.New("schedule: placement is not contiguous")
+	ErrWidthMismatch   = errors.New("schedule: ProcSet length differs from Width")
+	ErrRepeatProcessor = errors.New("schedule: placement uses a processor twice")
+)
+
+// Validate checks the schedule against the instance. requireContiguous
+// additionally enforces the paper's contiguity convention. A nil return
+// certifies: every task placed exactly once, widths within profiles,
+// processors within the machine and pairwise disjoint in time (up to the
+// module tolerance).
+func Validate(in *instance.Instance, s *Schedule, requireContiguous bool) error {
+	seen := make([]bool, in.N())
+	type iv struct {
+		start, end float64
+		task       int
+	}
+	perProc := make([][]iv, in.M)
+	for _, p := range s.Placements {
+		if p.Task < 0 || p.Task >= in.N() {
+			return fmt.Errorf("schedule: placement references task %d of %d", p.Task, in.N())
+		}
+		name := in.Tasks[p.Task].Name
+		if seen[p.Task] {
+			return fmt.Errorf("%w: %s", ErrDuplicateTask, name)
+		}
+		seen[p.Task] = true
+		if p.Width < 1 || p.Width > in.Tasks[p.Task].MaxProcs() {
+			return fmt.Errorf("%w: %s on %d procs (profile max %d)", ErrBadWidth, name, p.Width, in.Tasks[p.Task].MaxProcs())
+		}
+		if p.Start < -task.Eps || math.IsNaN(p.Start) || math.IsInf(p.Start, 0) {
+			return fmt.Errorf("%w: %s at %v", ErrBadStart, name, p.Start)
+		}
+		if p.ProcSet != nil && len(p.ProcSet) != p.Width {
+			return fmt.Errorf("%w: %s has %d procs listed for width %d", ErrWidthMismatch, name, len(p.ProcSet), p.Width)
+		}
+		if requireContiguous && !p.Contiguous() {
+			return fmt.Errorf("%w: %s", ErrNotContiguous, name)
+		}
+		procs := p.Processors()
+		used := make(map[int]bool, len(procs))
+		for _, j := range procs {
+			if j < 0 || j >= in.M {
+				return fmt.Errorf("%w: %s on processor %d of %d", ErrBadProcessor, name, j, in.M)
+			}
+			if used[j] {
+				return fmt.Errorf("%w: %s on processor %d", ErrRepeatProcessor, name, j)
+			}
+			used[j] = true
+			perProc[j] = append(perProc[j], iv{p.Start, p.End(in), p.Task})
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrMissingTask, in.Tasks[i].Name)
+		}
+	}
+	for j, ivs := range perProc {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].start < ivs[b].start })
+		for k := 1; k < len(ivs); k++ {
+			// Allow touching intervals up to the module tolerance.
+			if !task.Leq(ivs[k-1].end, ivs[k].start) {
+				return fmt.Errorf("%w: %s and %s on processor %d ([%g,%g] vs [%g,%g])",
+					ErrOverlap, in.Tasks[ivs[k-1].task].Name, in.Tasks[ivs[k].task].Name, j,
+					ivs[k-1].start, ivs[k-1].end, ivs[k].start, ivs[k].end)
+			}
+		}
+	}
+	return nil
+}
+
+// Compact greedily shifts every placement earlier (preserving its processor
+// set) as far as the other placements allow, processing placements in start
+// order. It never increases the makespan and often removes the structural
+// idle time of shelf schedules; used by the "+compaction" ablation.
+func Compact(in *instance.Instance, s *Schedule) *Schedule {
+	order := make([]int, len(s.Placements))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return s.Placements[order[a]].Start < s.Placements[order[b]].Start
+	})
+	free := make([]float64, in.M) // earliest free time per processor
+	out := &Schedule{Algorithm: s.Algorithm + "+compact", Placements: make([]Placement, len(s.Placements))}
+	for _, idx := range order {
+		p := s.Placements[idx]
+		start := 0.0
+		for _, j := range p.Processors() {
+			if free[j] > start {
+				start = free[j]
+			}
+		}
+		if start > p.Start { // only ever move left
+			start = p.Start
+		}
+		np := p
+		np.Start = start
+		end := np.End(in)
+		for _, j := range p.Processors() {
+			free[j] = end
+		}
+		out.Placements[idx] = np
+	}
+	return out
+}

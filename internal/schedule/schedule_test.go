@@ -1,0 +1,196 @@
+package schedule
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"malsched/internal/instance"
+	"malsched/internal/task"
+)
+
+func inst2x3() *instance.Instance {
+	return instance.MustNew("t", 3, []task.Task{
+		task.Linear("a", 6, 3),     // t(1)=6 t(2)=3 t(3)=2
+		task.Sequential("b", 2, 3), // t=2
+	})
+}
+
+func TestMakespanWorkIdle(t *testing.T) {
+	in := inst2x3()
+	s := &Schedule{Placements: []Placement{
+		{Task: 0, Start: 0, Width: 2, First: 0},
+		{Task: 1, Start: 0, Width: 1, First: 2},
+	}}
+	if err := Validate(in, s, true); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if mk := s.Makespan(in); math.Abs(mk-3) > 1e-12 {
+		t.Fatalf("Makespan = %v, want 3", mk)
+	}
+	if w := s.Work(in); math.Abs(w-8) > 1e-12 {
+		t.Fatalf("Work = %v, want 8", w)
+	}
+	if idle := s.Idle(in); math.Abs(idle-1) > 1e-12 {
+		t.Fatalf("Idle = %v, want 1", idle)
+	}
+}
+
+func TestValidateDetectsMissingAndDuplicate(t *testing.T) {
+	in := inst2x3()
+	missing := &Schedule{Placements: []Placement{{Task: 0, Start: 0, Width: 1, First: 0}}}
+	if err := Validate(in, missing, true); !errors.Is(err, ErrMissingTask) {
+		t.Fatalf("want ErrMissingTask, got %v", err)
+	}
+	dup := &Schedule{Placements: []Placement{
+		{Task: 0, Start: 0, Width: 1, First: 0},
+		{Task: 0, Start: 10, Width: 1, First: 0},
+		{Task: 1, Start: 0, Width: 1, First: 1},
+	}}
+	if err := Validate(in, dup, true); !errors.Is(err, ErrDuplicateTask) {
+		t.Fatalf("want ErrDuplicateTask, got %v", err)
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	in := inst2x3()
+	s := &Schedule{Placements: []Placement{
+		{Task: 0, Start: 0, Width: 2, First: 0},   // [0,3] on procs 0,1
+		{Task: 1, Start: 2.5, Width: 1, First: 1}, // overlaps on proc 1
+	}}
+	if err := Validate(in, s, true); !errors.Is(err, ErrOverlap) {
+		t.Fatalf("want ErrOverlap, got %v", err)
+	}
+	// Touching intervals are fine.
+	s.Placements[1].Start = 3
+	if err := Validate(in, s, true); err != nil {
+		t.Fatalf("touching intervals should validate: %v", err)
+	}
+}
+
+func TestValidateDetectsBadBounds(t *testing.T) {
+	in := inst2x3()
+	cases := []struct {
+		name string
+		p    Placement
+		want error
+	}{
+		{"width0", Placement{Task: 0, Width: 0, First: 0}, ErrBadWidth},
+		{"width4", Placement{Task: 0, Width: 4, First: 0}, ErrBadWidth},
+		{"procHigh", Placement{Task: 0, Width: 2, First: 2}, ErrBadProcessor},
+		{"procNeg", Placement{Task: 0, Width: 1, First: -1}, ErrBadProcessor},
+		{"negStart", Placement{Task: 0, Start: -1, Width: 1, First: 0}, ErrBadStart},
+		{"nanStart", Placement{Task: 0, Start: math.NaN(), Width: 1, First: 0}, ErrBadStart},
+		{"setLen", Placement{Task: 0, Width: 2, First: -1, ProcSet: []int{0}}, ErrWidthMismatch},
+		{"repeat", Placement{Task: 0, Width: 2, First: -1, ProcSet: []int{0, 0}}, ErrRepeatProcessor},
+	}
+	for _, c := range cases {
+		s := &Schedule{Placements: []Placement{c.p, {Task: 1, Start: 50, Width: 1, First: 0}}}
+		if err := Validate(in, s, false); !errors.Is(err, c.want) {
+			t.Errorf("%s: want %v, got %v", c.name, c.want, err)
+		}
+	}
+}
+
+func TestValidateContiguity(t *testing.T) {
+	in := inst2x3()
+	s := &Schedule{Placements: []Placement{
+		{Task: 0, Start: 0, Width: 2, First: -1, ProcSet: []int{0, 2}},
+		{Task: 1, Start: 0, Width: 1, First: 1},
+	}}
+	if err := Validate(in, s, false); err != nil {
+		t.Fatalf("non-contiguous should pass relaxed validation: %v", err)
+	}
+	if err := Validate(in, s, true); !errors.Is(err, ErrNotContiguous) {
+		t.Fatalf("want ErrNotContiguous, got %v", err)
+	}
+	// An explicit ProcSet that happens to be consecutive is contiguous.
+	s.Placements[0].ProcSet = []int{2, 1}
+	s.Placements[1].First = 0
+	if err := Validate(in, s, true); err != nil {
+		t.Fatalf("consecutive ProcSet should count as contiguous: %v", err)
+	}
+}
+
+func TestCompactRemovesGap(t *testing.T) {
+	in := inst2x3()
+	s := &Schedule{Algorithm: "shelf", Placements: []Placement{
+		{Task: 0, Start: 0, Width: 2, First: 0},  // ends at 3
+		{Task: 1, Start: 10, Width: 1, First: 2}, // pointless gap
+	}}
+	c := Compact(in, s)
+	if err := Validate(in, c, true); err != nil {
+		t.Fatalf("compacted schedule invalid: %v", err)
+	}
+	if mk := c.Makespan(in); math.Abs(mk-3) > 1e-12 {
+		t.Fatalf("compacted makespan = %v, want 3", mk)
+	}
+	if s.Placements[1].Start != 10 {
+		t.Fatal("Compact must not modify the input")
+	}
+}
+
+func TestCompactNeverIncreasesMakespan(t *testing.T) {
+	in := instance.RandomMonotone(9, 30, 8)
+	// Build a naive staircase schedule: all tasks sequential one after another
+	// round-robin across processors.
+	s := &Schedule{Algorithm: "naive"}
+	free := make([]float64, in.M)
+	for i := range in.Tasks {
+		j := i % in.M
+		s.Placements = append(s.Placements, Placement{Task: i, Start: free[j] + 0.5, Width: 1, First: j})
+		free[j] += 0.5 + in.Tasks[i].SeqTime()
+	}
+	if err := Validate(in, s, true); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	c := Compact(in, s)
+	if err := Validate(in, c, true); err != nil {
+		t.Fatalf("compacted invalid: %v", err)
+	}
+	if c.Makespan(in) > s.Makespan(in)+1e-9 {
+		t.Fatalf("Compact increased makespan: %v -> %v", s.Makespan(in), c.Makespan(in))
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	in := inst2x3()
+	s := &Schedule{Algorithm: "demo", Placements: []Placement{
+		{Task: 0, Start: 0, Width: 2, First: 0},
+		{Task: 1, Start: 0, Width: 1, First: 2},
+	}}
+	g := Gantt(in, s, 40)
+	if !strings.Contains(g, "P00") || !strings.Contains(g, "P02") {
+		t.Fatalf("Gantt missing processor rows:\n%s", g)
+	}
+	if !strings.Contains(g, "A") || !strings.Contains(g, "B") {
+		t.Fatalf("Gantt missing task glyphs:\n%s", g)
+	}
+	if !strings.Contains(g, "legend: A=a B=b") {
+		t.Fatalf("Gantt legend wrong:\n%s", g)
+	}
+	// Processor 2 is idle after task b ends at 2 (makespan 3): expect dots.
+	rows := strings.Split(g, "\n")
+	p2 := rows[3]
+	if !strings.Contains(p2, ".") {
+		t.Fatalf("expected idle dots on P02: %q", p2)
+	}
+	if empty := Gantt(in, &Schedule{}, 10); !strings.Contains(empty, "empty") {
+		t.Fatalf("empty schedule rendering: %q", empty)
+	}
+}
+
+func TestPlacementProcessors(t *testing.T) {
+	p := Placement{Width: 3, First: 4}
+	got := p.Processors()
+	if len(got) != 3 || got[0] != 4 || got[2] != 6 {
+		t.Fatalf("Processors = %v", got)
+	}
+	q := Placement{Width: 2, First: -1, ProcSet: []int{7, 3}}
+	got = q.Processors()
+	got[0] = 99
+	if q.ProcSet[0] != 7 {
+		t.Fatal("Processors must return a copy")
+	}
+}

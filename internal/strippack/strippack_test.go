@@ -1,0 +1,172 @@
+package strippack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randRects(rng *rand.Rand, n, m int) []Rect {
+	rects := make([]Rect, n)
+	for i := range rects {
+		rects[i] = Rect{Width: 1 + rng.Intn(m), Height: 0.05 + rng.Float64()*4}
+	}
+	return rects
+}
+
+type packer struct {
+	name string
+	f    func([]Rect, int) ([]Pos, float64)
+}
+
+func packers() []packer {
+	return []packer{{"NFDH", NFDH}, {"FFDH", FFDH}, {"BLD", BLD}}
+}
+
+func TestPackersEmpty(t *testing.T) {
+	for _, p := range packers() {
+		pos, h := p.f(nil, 4)
+		if len(pos) != 0 || h != 0 {
+			t.Fatalf("%s: empty pack gave height %v", p.name, h)
+		}
+	}
+}
+
+func TestPackersSingle(t *testing.T) {
+	rects := []Rect{{Width: 3, Height: 2}}
+	for _, p := range packers() {
+		pos, h := p.f(rects, 4)
+		if h != 2 || pos[0].X != 0 || pos[0].Y != 0 {
+			t.Fatalf("%s: single rect packed at %+v height %v", p.name, pos[0], h)
+		}
+	}
+}
+
+func TestPackersValidityRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(16)
+		rects := randRects(rng, rng.Intn(40), m)
+		for _, p := range packers() {
+			pos, h := p.f(rects, m)
+			if err := Validate(rects, pos, m, h); err != nil {
+				t.Logf("%s invalid (seed %d): %v", p.name, seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Classical bounds: NFDH ≤ 2·A/m + hmax and FFDH ≤ 1.7·A/m + hmax.
+func TestLevelPackerHeightBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(16)
+		rects := randRects(rng, 1+rng.Intn(50), m)
+		a, hm := Area(rects), MaxHeight(rects)
+		if _, h := NFDH(rects, m); h > 2*a/float64(m)+hm+1e-9 {
+			t.Logf("NFDH bound violated: h=%v A/m=%v hmax=%v", h, a/float64(m), hm)
+			return false
+		}
+		if _, h := FFDH(rects, m); h > 1.7*a/float64(m)+hm+1e-9 {
+			t.Logf("FFDH bound violated (seed %d)", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FFDH never does worse than NFDH on these inputs (it only reuses levels),
+// and every packer stays above the trivial lower bound max(hmax, A/m) and
+// below the trivial upper bound Σ heights.
+func TestRelativeQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 100; iter++ {
+		m := 2 + rng.Intn(14)
+		rects := randRects(rng, 5+rng.Intn(40), m)
+		lb := MaxHeight(rects)
+		if a := Area(rects) / float64(m); a > lb {
+			lb = a
+		}
+		var ub float64
+		for _, r := range rects {
+			ub += r.Height
+		}
+		_, hn := NFDH(rects, m)
+		_, hf := FFDH(rects, m)
+		_, hb := BLD(rects, m)
+		if hf > hn+1e-9 {
+			t.Fatalf("FFDH worse than NFDH: %v > %v", hf, hn)
+		}
+		for name, h := range map[string]float64{"NFDH": hn, "FFDH": hf, "BLD": hb} {
+			if h < lb-1e-9 {
+				t.Fatalf("%s below lower bound: %v < %v", name, h, lb)
+			}
+			if h > ub+1e-9 {
+				t.Fatalf("%s above stacking bound: %v > %v", name, h, ub)
+			}
+		}
+	}
+}
+
+func TestFFDHReusesLevels(t *testing.T) {
+	// Tall narrow rect opens level 1; wide short rect opens level 2; then a
+	// narrow short rect must return to level 1 under FFDH (x=1 fits) but
+	// not under NFDH.
+	rects := []Rect{{1, 5}, {4, 2}, {1, 1}}
+	m := 4
+	posF, hF := FFDH(rects, m)
+	if posF[2].Y != 0 {
+		t.Fatalf("FFDH should reuse level 0 for the small rect: %+v", posF[2])
+	}
+	if hF != 7 {
+		t.Fatalf("FFDH height = %v, want 7", hF)
+	}
+	posN, hN := NFDH(rects, m)
+	if hN != 8 || posN[2].Y != 7 {
+		t.Fatalf("NFDH expected to stack a third level: h=%v pos=%+v", hN, posN[2])
+	}
+}
+
+func TestBLDFillsGaps(t *testing.T) {
+	// Two towers leave a valley that BLD must use.
+	rects := []Rect{{2, 4}, {2, 4}, {2, 1}}
+	m := 6
+	pos, h := BLD(rects, m)
+	if err := Validate(rects, pos, m, h); err != nil {
+		t.Fatal(err)
+	}
+	if h != 4 {
+		t.Fatalf("BLD height = %v, want 4 (valley used)", h)
+	}
+	if pos[2].Y != 0 {
+		t.Fatalf("small rect should sit at the bottom: %+v", pos[2])
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	rects := []Rect{{2, 2}, {2, 2}}
+	pos := []Pos{{0, 0}, {1, 1}}
+	if err := Validate(rects, pos, 4, 4); err == nil {
+		t.Fatal("want overlap error")
+	}
+	if err := Validate(rects, pos[:1], 4, 4); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+}
+
+func TestWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for oversized width")
+		}
+	}()
+	NFDH([]Rect{{Width: 5, Height: 1}}, 4)
+}

@@ -1,0 +1,255 @@
+package task
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValid(t *testing.T) {
+	tk, err := New("a", []float64{4, 2.5, 2, 1.8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if tk.MaxProcs() != 4 {
+		t.Fatalf("MaxProcs = %d, want 4", tk.MaxProcs())
+	}
+	if tk.Time(1) != 4 || tk.Time(4) != 1.8 {
+		t.Fatalf("Time endpoints wrong: %v %v", tk.Time(1), tk.Time(4))
+	}
+	if got := tk.Work(2); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Work(2) = %v, want 5", got)
+	}
+	if tk.SeqTime() != 4 || tk.MinTime() != 1.8 {
+		t.Fatalf("SeqTime/MinTime wrong")
+	}
+}
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := New("e", nil); err == nil {
+		t.Fatal("want error for empty profile")
+	}
+}
+
+func TestNewRejectsNonPositive(t *testing.T) {
+	for _, bad := range [][]float64{{0}, {-1}, {2, -3}, {math.Inf(1)}, {math.NaN()}} {
+		if _, err := New("b", bad); err == nil {
+			t.Fatalf("want error for %v", bad)
+		}
+	}
+}
+
+func TestNewRejectsIncreasingTime(t *testing.T) {
+	_, err := New("inc", []float64{2, 3})
+	if err == nil || !strings.Contains(err.Error(), "increases") {
+		t.Fatalf("want time-increase error, got %v", err)
+	}
+}
+
+func TestNewRejectsDecreasingWork(t *testing.T) {
+	// t(1)=4 (w=4), t(2)=1 (w=2): super-linear speedup.
+	_, err := New("sl", []float64{4, 1})
+	if err == nil || !strings.Contains(err.Error(), "work decreases") {
+		t.Fatalf("want work-decrease error, got %v", err)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	in := []float64{3, 2}
+	tk := MustNew("c", in)
+	in[0] = 99
+	if tk.Time(1) != 3 {
+		t.Fatal("New must copy its input slice")
+	}
+}
+
+func TestTimePanicsOutOfRange(t *testing.T) {
+	tk := MustNew("p", []float64{1})
+	for _, p := range []int{0, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Time(%d) should panic", p)
+				}
+			}()
+			tk.Time(p)
+		}()
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	tk := MustNew("g", []float64{10, 6, 4, 3, 3, 3})
+	cases := []struct {
+		lambda float64
+		want   int
+		ok     bool
+	}{
+		{10, 1, true},
+		{12, 1, true},
+		{9.99, 2, true},
+		{6, 2, true},
+		{5, 3, true},
+		{4, 3, true},
+		{3.5, 4, true},
+		{3, 4, true},
+		{2.999, 0, false},
+		{0.5, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := tk.Canonical(c.lambda)
+		if ok != c.ok || got != c.want {
+			t.Errorf("Canonical(%v) = (%d,%v), want (%d,%v)", c.lambda, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// Canonical by binary search must agree with a linear scan for random
+// monotone profiles and random deadlines.
+func TestCanonicalMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		tk := randomMonotone(rng, 1+rng.Intn(40))
+		lambda := tk.MinTime() * (0.5 + 2.5*rng.Float64())
+		got, ok := tk.Canonical(lambda)
+		want, wantOK := 0, false
+		for p := 1; p <= tk.MaxProcs(); p++ {
+			if Leq(tk.Time(p), lambda) {
+				want, wantOK = p, true
+				break
+			}
+		}
+		if got != want || ok != wantOK {
+			t.Fatalf("iter %d: Canonical(%v)=(%d,%v), scan=(%d,%v) profile=%v",
+				iter, lambda, got, ok, want, wantOK, tk.Times())
+		}
+	}
+}
+
+// Property 1 of the paper: t(γ) ≥ λ(γ−1)/γ, hence t(γ) > λ/2 whenever γ ≥ 2.
+func TestProperty1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 1000; iter++ {
+		tk := randomMonotone(rng, 1+rng.Intn(60))
+		lambda := tk.MinTime() * (1 + 2*rng.Float64())
+		g, ok := tk.Canonical(lambda)
+		if !ok {
+			continue
+		}
+		if g >= 2 {
+			lo := lambda * float64(g-1) / float64(g)
+			if !Geq(tk.Time(g), lo) {
+				t.Fatalf("Property 1 violated: t(γ=%d)=%g < %g (λ=%g) profile=%v",
+					g, tk.Time(g), lo, lambda, tk.Times())
+			}
+		}
+	}
+}
+
+func TestMonotonizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		times := make([]float64, len(raw))
+		for i, v := range raw {
+			times[i] = 0.25 + math.Abs(v-math.Trunc(v))*10 // positive finite
+		}
+		out := Monotonize(times)
+		if len(out) != len(times) {
+			return false
+		}
+		for p := 1; p < len(out); p++ {
+			if out[p] > out[p-1]*(1+Eps) {
+				return false // time must be non-increasing
+			}
+			if float64(p+1)*out[p] < float64(p)*out[p-1]*(1-Eps) {
+				return false // work must be non-decreasing
+			}
+		}
+		// Idempotent.
+		again := Monotonize(out)
+		for i := range again {
+			if math.Abs(again[i]-out[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotonizeFixedPoint(t *testing.T) {
+	in := []float64{8, 5, 4, 3.5}
+	out := Monotonize(in)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("already-monotone input changed at %d: %v -> %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	tk := MustNew("s", []float64{4, 3})
+	s := tk.Scale(0.5)
+	if s.Time(1) != 2 || s.Time(2) != 1.5 {
+		t.Fatalf("Scale wrong: %v", s.Times())
+	}
+	if tk.Time(1) != 4 {
+		t.Fatal("Scale must not modify the receiver")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	tk := MustNew("tr", []float64{4, 3, 2.5})
+	tr := tk.Truncate(2)
+	if tr.MaxProcs() != 2 || tr.Time(2) != 3 {
+		t.Fatalf("Truncate wrong: %v", tr.Times())
+	}
+	if same := tk.Truncate(5); same.MaxProcs() != 3 {
+		t.Fatal("Truncate beyond profile must be identity")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Truncate(0) should panic")
+			}
+		}()
+		tk.Truncate(0)
+	}()
+}
+
+func TestLeqTolerance(t *testing.T) {
+	if !Leq(1.0+1e-12, 1.0) {
+		t.Fatal("Leq should tolerate tiny excess")
+	}
+	if Leq(1.01, 1.0) {
+		t.Fatal("Leq should reject real excess")
+	}
+	if !Leq(0, 0) || !Geq(0, 0) {
+		t.Fatal("Leq/Geq at zero")
+	}
+}
+
+func TestStringIncludesName(t *testing.T) {
+	tk := MustNew("job-7", []float64{2, 1.5})
+	if s := tk.String(); !strings.Contains(s, "job-7") {
+		t.Fatalf("String() = %q should contain the name", s)
+	}
+}
+
+// randomMonotone builds a random valid monotone profile of the given width.
+func randomMonotone(rng *rand.Rand, m int) Task {
+	times := make([]float64, m)
+	times[0] = 0.5 + 9.5*rng.Float64()
+	for p := 1; p < m; p++ {
+		// Choose t(p+1) uniformly in the legal band
+		// [p/(p+1)·t(p), t(p)] so both monotony halves hold.
+		lo := times[p-1] * float64(p) / float64(p+1)
+		times[p] = lo + (times[p-1]-lo)*rng.Float64()
+	}
+	return MustNew("rnd", times)
+}

@@ -1,0 +1,173 @@
+// Package malsched schedules independent malleable tasks on identical
+// processors with the √3-approximation of Mounié, Rapine and Trystram
+// ("Efficient Approximation Algorithms for Scheduling Malleable Tasks",
+// SPAA 1999).
+//
+// A malleable task runs on any number of processors with an execution time
+// that depends on the allotment; profiles must be monotone (time
+// non-increasing, work non-decreasing with processors — Brent's lemma).
+// The library picks an allotment and a non-preemptive contiguous schedule
+// whose makespan is within √3(1+ε) of optimal, and additionally reports a
+// certified per-instance lower bound so callers can see the actual ratio
+// they obtained.
+//
+// Quickstart:
+//
+//	tasks := []malsched.Task{
+//		malsched.Amdahl("solver", 120, 0.05, 64),
+//		malsched.PowerLaw("render", 80, 0.8, 64),
+//		malsched.Sequential("io", 15, 64),
+//	}
+//	in, err := malsched.NewInstance("demo", 64, tasks)
+//	res, err := malsched.Schedule(in, nil)
+//	fmt.Println(res.Makespan, res.Ratio(), res.Gantt(in, 80))
+//
+// The subpackages under internal implement the paper's machinery (dual
+// approximation, canonical allotments, knapsack-based shelf selection) and
+// the substrates the evaluation needs (two-phase baselines, strip packers,
+// exact solver, experiment harness); this package is the stable surface.
+package malsched
+
+import (
+	"fmt"
+
+	"malsched/internal/baseline"
+	"malsched/internal/core"
+	"malsched/internal/instance"
+	"malsched/internal/lowerbound"
+	"malsched/internal/schedule"
+	"malsched/internal/task"
+)
+
+// Task is a malleable task (see NewTask and the profile constructors).
+type Task = task.Task
+
+// Instance is a set of tasks plus a machine size.
+type Instance = instance.Instance
+
+// Placement and Plan describe the produced schedule.
+type (
+	// Placement runs one task on Width consecutive processors starting at
+	// First from time Start.
+	Placement = schedule.Placement
+	// Plan is a complete schedule of an instance.
+	Plan = schedule.Schedule
+)
+
+// Profile constructors re-exported from the task model.
+var (
+	// NewTask builds a task from its time table (times[p-1] = t(p)) and
+	// validates monotony.
+	NewTask = task.New
+	// Monotonize repairs an arbitrary profile into a monotone one.
+	Monotonize = task.Monotonize
+	// Sequential, Linear, Amdahl, PowerLaw, CommOverhead and Rigid build
+	// the standard speedup families.
+	Sequential   = task.Sequential
+	Linear       = task.Linear
+	Amdahl       = task.Amdahl
+	PowerLaw     = task.PowerLaw
+	CommOverhead = task.CommOverhead
+	RigidProfile = task.Rigid
+)
+
+// NewInstance builds and validates an instance of n tasks on m processors.
+func NewInstance(name string, m int, tasks []Task) (*Instance, error) {
+	return instance.New(name, m, tasks)
+}
+
+// Options tunes Schedule. The zero value (or nil) uses the paper's
+// configuration: ρ = √3, search tolerance 1e-3, no compaction.
+type Options struct {
+	// Eps is the dichotomic search tolerance; the guarantee is √3(1+Eps).
+	Eps float64
+	// Compact greedily left-shifts the final schedule (never increases the
+	// makespan; changes the shelf structure).
+	Compact bool
+	// Baseline, when non-empty, bypasses the paper's algorithm and runs a
+	// named baseline instead: "twy-list", "twy-ffdh", "twy-nfdh",
+	// "twy-bld", "seq-lpt" or "full-parallel". For comparisons.
+	Baseline string
+}
+
+// Result is a produced schedule plus its certificates.
+type Result struct {
+	// Plan is the schedule; always complete and validated.
+	Plan *Plan
+	// Makespan is the parallel execution time achieved.
+	Makespan float64
+	// LowerBound is a certified lower bound on the optimal makespan, so
+	// Makespan/LowerBound bounds the true approximation ratio of this run.
+	LowerBound float64
+	// Branch names the paper construction (or baseline) that produced the
+	// plan: "malleable-list", "canonical-list[+realloc]", "two-shelf", …
+	Branch string
+}
+
+// Ratio returns Makespan / LowerBound, the certified ratio.
+func (r Result) Ratio() float64 { return r.Makespan / r.LowerBound }
+
+// Gantt renders the plan as an ASCII chart with the given number of
+// columns.
+func (r Result) Gantt(in *Instance, cols int) string {
+	return schedule.Gantt(in, r.Plan, cols)
+}
+
+// Schedule runs the √3-approximation (or a named baseline) on the instance
+// and returns the schedule with its certificates. The returned plan is
+// validated (contiguity included, except the inherently non-contiguous
+// "twy-list" baseline) before being handed back.
+func Schedule(in *Instance, opts *Options) (Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if opts.Baseline != "" {
+		return runBaseline(in, opts.Baseline)
+	}
+	res, err := core.Approximate(in, core.Options{Eps: opts.Eps, Compact: opts.Compact})
+	if err != nil {
+		return Result{}, err
+	}
+	if err := schedule.Validate(in, res.Schedule, true); err != nil {
+		return Result{}, fmt.Errorf("malsched: internal error, produced invalid schedule: %w", err)
+	}
+	return Result{
+		Plan:       res.Schedule,
+		Makespan:   res.Makespan,
+		LowerBound: res.LowerBound,
+		Branch:     res.Branch,
+	}, nil
+}
+
+func runBaseline(in *Instance, name string) (Result, error) {
+	for _, alg := range baseline.All() {
+		if alg.Name != name {
+			continue
+		}
+		s, err := alg.Run(in)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := schedule.Validate(in, s, name != "twy-list"); err != nil {
+			return Result{}, fmt.Errorf("malsched: baseline %s produced invalid schedule: %w", name, err)
+		}
+		return Result{
+			Plan:       s,
+			Makespan:   s.Makespan(in),
+			LowerBound: lowerbound.SquashedArea(in),
+			Branch:     name,
+		}, nil
+	}
+	return Result{}, fmt.Errorf("malsched: unknown baseline %q", name)
+}
+
+// LowerBound returns the strongest certified lower bound available (the
+// squashed-area dual bound of Property 2).
+func LowerBound(in *Instance) float64 { return lowerbound.SquashedArea(in) }
+
+// Validate checks a plan against an instance: every task placed exactly
+// once, widths within profiles, processors within the machine, no overlap
+// and (optionally) contiguous blocks.
+func Validate(in *Instance, p *Plan, requireContiguous bool) error {
+	return schedule.Validate(in, p, requireContiguous)
+}

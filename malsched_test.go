@@ -1,0 +1,132 @@
+package malsched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"malsched/internal/instance"
+)
+
+func demoInstance(t *testing.T) *Instance {
+	t.Helper()
+	tasks := []Task{
+		Amdahl("solver", 12, 0.05, 8),
+		PowerLaw("render", 8, 0.8, 8),
+		Sequential("io", 1.5, 8),
+		Linear("mesh", 6, 8),
+		CommOverhead("halo", 4, 0.05, 8),
+	}
+	in, err := NewInstance("demo", 8, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestScheduleEndToEnd(t *testing.T) {
+	in := demoInstance(t)
+	res, err := Schedule(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(in, res.Plan, true); err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio() > math.Sqrt(3)*1.002 {
+		t.Fatalf("certified ratio %v exceeds √3", res.Ratio())
+	}
+	if res.LowerBound <= 0 || res.Makespan < res.LowerBound-1e-9 {
+		t.Fatalf("bounds inconsistent: %v / %v", res.Makespan, res.LowerBound)
+	}
+	if res.Branch == "" {
+		t.Fatal("missing branch name")
+	}
+	g := res.Gantt(in, 60)
+	if !strings.Contains(g, "P00") || !strings.Contains(g, "legend:") {
+		t.Fatalf("gantt rendering broken:\n%s", g)
+	}
+}
+
+func TestScheduleOptionsCompact(t *testing.T) {
+	in := demoInstance(t)
+	plain, err := Schedule(in, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Schedule(in, &Options{Compact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Makespan > plain.Makespan+1e-9 {
+		t.Fatalf("compaction increased makespan")
+	}
+}
+
+func TestScheduleBaselines(t *testing.T) {
+	in := demoInstance(t)
+	ours, err := Schedule(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"twy-list", "twy-ffdh", "twy-nfdh", "twy-bld", "seq-lpt", "full-parallel"} {
+		res, err := Schedule(in, &Options{Baseline: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Branch != name {
+			t.Fatalf("branch = %q, want %q", res.Branch, name)
+		}
+		if res.Makespan < ours.LowerBound-1e-9 {
+			t.Fatalf("%s beat the certified lower bound", name)
+		}
+	}
+	if _, err := Schedule(in, &Options{Baseline: "nope"}); err == nil {
+		t.Fatal("want error for unknown baseline")
+	}
+}
+
+func TestNewTaskValidation(t *testing.T) {
+	if _, err := NewTask("bad", []float64{1, 2}); err == nil {
+		t.Fatal("want monotony error")
+	}
+	fixed := Monotonize([]float64{1, 2})
+	tk, err := NewTask("fixed", fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.MaxProcs() != 2 {
+		t.Fatal("repair changed the width")
+	}
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	if _, err := NewInstance("x", 0, []Task{Sequential("a", 1, 1)}); err == nil {
+		t.Fatal("want machine-size error")
+	}
+	if _, err := NewInstance("x", 2, nil); err == nil {
+		t.Fatal("want empty-instance error")
+	}
+}
+
+func TestLowerBoundExported(t *testing.T) {
+	in := demoInstance(t)
+	if LowerBound(in) <= 0 {
+		t.Fatal("lower bound must be positive")
+	}
+}
+
+// The facade must schedule every generator family without errors — a smoke
+// test that the public surface and internal generators stay compatible.
+func TestScheduleAllFamilies(t *testing.T) {
+	for name, gen := range instance.Families() {
+		in := gen(5, 15, 12)
+		res, err := Schedule(in, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Ratio() > math.Sqrt(3)*1.002 {
+			t.Fatalf("%s: ratio %v", name, res.Ratio())
+		}
+	}
+}
