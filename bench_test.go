@@ -375,6 +375,77 @@ func seqUpperBench(in *instance.Instance) float64 {
 	return mk
 }
 
+// The engine benchmarks below track the batch-scheduling hot path against
+// the seed path (a plain Schedule call per instance). The acceptance bar of
+// the engine PR — and the regression bar for every later one — is that the
+// pooled path (EngineSingleNoMemo) is no slower than the seed path
+// (ScheduleSingle) and the memoised path (EngineMemoHit) is far below both.
+// Run with -benchmem to see the allocation trajectory.
+
+// BenchmarkScheduleSingle — the seed path: one facade Schedule per
+// iteration, no cross-call reuse.
+func BenchmarkScheduleSingle(b *testing.B) {
+	in := instance.Mixed(3, 100, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(in, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSingleNoMemo — the pooled path: same pipeline through an
+// Engine with memoisation disabled, so every iteration solves from scratch
+// but reuses the worker's probe buffers.
+func BenchmarkEngineSingleNoMemo(b *testing.B) {
+	in := instance.Mixed(3, 100, 32)
+	eng := NewEngine(EngineOptions{Workers: 1, MemoCapacity: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineMemoHit — the memoised path: after one warming call every
+// iteration is a memo hit plus a plan clone.
+func BenchmarkEngineMemoHit(b *testing.B) {
+	in := instance.Mixed(3, 100, 32)
+	eng := NewEngine(EngineOptions{Workers: 1})
+	if _, err := eng.Schedule(in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBatch — a 64-instance batch through the worker pool with
+// memoisation disabled; ns/op is per batch, so divide by 64 for the
+// per-instance cost under concurrency.
+func BenchmarkEngineBatch(b *testing.B) {
+	ins := make([]*Instance, 64)
+	for i := range ins {
+		ins[i] = instance.Mixed(int64(i), 60, 32)
+	}
+	eng := NewEngine(EngineOptions{MemoCapacity: -1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range eng.ScheduleBatch(ins) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
 // BenchmarkDAGPipeline covers the §5 future-work extension: scheduling a
 // precedence-constrained fork-join pipeline (internal/precedence).
 func BenchmarkDAGPipeline(b *testing.B) {

@@ -1,28 +1,272 @@
-// Command msbench runs the experiment suite and prints the EXPERIMENTS.md
-// tables (markdown). Every table is deterministic in the seed, so the
-// committed results are exactly regenerable.
+// Command msbench is the repo's benchmark harness. Its default mode runs a
+// declarative scenario grid (profile family × task count × machine size)
+// through the batch engine with fixed seeds and repeats and emits
+// BENCH_engine.json — the reproducible perf artifact whose schema is
+// documented in docs/BENCHMARKS.md. Future PRs regenerate the artifact and
+// compare ns/op, allocs/op and achieved ratios against the committed
+// trajectory.
 //
 // Usage:
 //
-//	msbench [-quick] [-seed 1]
+//	msbench [-out BENCH_engine.json] [-quick] [-seed 1] [-seeds 4]
+//	        [-repeats 3] [-workers 0]
+//	msbench -tables [-quick] [-seed 1]
 //
-// -quick shrinks the grid for a fast smoke run.
+// -tables switches to the legacy experiment suite that prints the
+// EXPERIMENTS.md markdown tables (deterministic in the seed). -quick
+// shrinks either grid for a fast smoke run. -workers 0 means GOMAXPROCS.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"malsched"
 	"malsched/internal/analysis"
 	"malsched/internal/core"
+	"malsched/internal/instance"
 )
 
+// Schema identifies the BENCH_engine.json layout; bump on breaking change.
+const Schema = "malsched/bench-engine/v1"
+
+// scenario is one cell of the declarative grid.
+type scenario struct {
+	Family string
+	N, M   int
+}
+
+// scenarioResult is the measured outcome of one scenario; field semantics
+// are specified in docs/BENCHMARKS.md.
+type scenarioResult struct {
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	Instances int    `json:"instances"`
+	Repeats   int    `json:"repeats"`
+
+	OpsCold         int    `json:"ops_cold"`
+	OpsWarm         int    `json:"ops_warm"`
+	NsPerOpCold     int64  `json:"ns_per_op_cold"`
+	NsPerOpWarm     int64  `json:"ns_per_op_warm"`
+	AllocsPerOpCold uint64 `json:"allocs_per_op_cold"`
+	AllocsPerOpWarm uint64 `json:"allocs_per_op_warm"`
+	BytesPerOpCold  uint64 `json:"bytes_per_op_cold"`
+	BytesPerOpWarm  uint64 `json:"bytes_per_op_warm"`
+
+	MemoHitRateWarm float64 `json:"memo_hit_rate_warm"`
+	RatioMean       float64 `json:"ratio_mean"`
+	RatioMax        float64 `json:"ratio_max"`
+	MakespanSum     float64 `json:"makespan_sum"`
+	Errors          int     `json:"errors"`
+}
+
+// report is the full BENCH_engine.json document.
+type report struct {
+	Schema           string           `json:"schema"`
+	GoVersion        string           `json:"go_version"`
+	GOOS             string           `json:"goos"`
+	GOARCH           string           `json:"goarch"`
+	Workers          int              `json:"workers"`
+	Seed             int64            `json:"seed"`
+	SeedsPerScenario int              `json:"seeds_per_scenario"`
+	Repeats          int              `json:"repeats"`
+	Scenarios        []scenarioResult `json:"scenarios"`
+}
+
 func main() {
+	tables := flag.Bool("tables", false, "legacy mode: print the EXPERIMENTS.md markdown tables")
 	quick := flag.Bool("quick", false, "small grid for a fast run")
 	seed := flag.Int64("seed", 1, "base seed")
+	out := flag.String("out", "BENCH_engine.json", "engine mode: output artifact path (- for stdout)")
+	seeds := flag.Int("seeds", 4, "engine mode: instances (seeds) per scenario")
+	repeats := flag.Int("repeats", 3, "engine mode: timed passes per scenario (first is cold, rest warm)")
+	workers := flag.Int("workers", 0, "engine mode: worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *tables {
+		runTables(*quick, *seed)
+		return
+	}
+	runEngineGrid(*quick, *seed, *out, *seeds, *repeats, *workers)
+}
+
+// grid returns the declarative scenario grid. Every scenario is a pure
+// function of (family, n, m, seed), so the artifact's workload-derived
+// fields are exactly regenerable.
+func grid(quick bool) []scenario {
+	families := []string{"mixed", "random-monotone", "comm-heavy", "wide-parallel", "powerlaw-0.7"}
+	ns := []int{25, 100, 400}
+	ms := []int{16, 64, 256}
+	if quick {
+		families = families[:2]
+		ns = []int{20, 60}
+		ms = []int{8, 32}
+	}
+	var g []scenario
+	for _, f := range families {
+		for _, n := range ns {
+			for _, m := range ms {
+				g = append(g, scenario{Family: f, N: n, M: m})
+			}
+		}
+	}
+	return g
+}
+
+func runEngineGrid(quick bool, seed int64, out string, seeds, repeats, workers int) {
+	if seeds < 1 || repeats < 1 {
+		fmt.Fprintln(os.Stderr, "msbench: -seeds and -repeats must be ≥ 1")
+		os.Exit(2)
+	}
+	if quick {
+		if seeds > 2 {
+			seeds = 2
+		}
+		if repeats > 2 {
+			repeats = 2
+		}
+	}
+	rep := report{
+		Schema:           Schema,
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		Workers:          workers,
+		Seed:             seed,
+		SeedsPerScenario: seeds,
+		Repeats:          repeats,
+	}
+	if rep.Workers <= 0 {
+		rep.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Open the artifact before measuring anything: a bad -out path should
+	// fail in milliseconds, not after the whole grid has run.
+	var w *os.File
+	if out == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	gens := instance.Families()
+	scenarios := grid(quick)
+	fmt.Fprintf(os.Stderr, "msbench: %d scenarios × %d instances × %d passes (workers=%d)\n",
+		len(scenarios), seeds, repeats, rep.Workers)
+	fmt.Fprintf(os.Stderr, "%-18s %5s %5s  %14s %14s %10s %8s %8s\n",
+		"family", "n", "m", "cold ns/op", "warm ns/op", "allocs/op", "ratio", "hit%")
+
+	for _, sc := range scenarios {
+		gen, ok := gens[sc.Family]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "msbench: unknown family %q\n", sc.Family)
+			os.Exit(2)
+		}
+		ins := make([]*malsched.Instance, seeds)
+		for i := range ins {
+			ins[i] = gen(seed+int64(i), sc.N, sc.M)
+		}
+		r := benchScenario(sc, ins, repeats, workers)
+		rep.Scenarios = append(rep.Scenarios, r)
+		fmt.Fprintf(os.Stderr, "%-18s %5d %5d  %14d %14d %10d %8.3f %8.1f\n",
+			sc.Family, sc.N, sc.M, r.NsPerOpCold, r.NsPerOpWarm, r.AllocsPerOpCold,
+			r.RatioMax, 100*r.MemoHitRateWarm)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "msbench: %v\n", err)
+		os.Exit(1)
+	}
+	if out != "-" {
+		fmt.Fprintf(os.Stderr, "msbench: wrote %s\n", out)
+	}
+}
+
+// benchScenario measures one scenario: a cold batch pass (memo empty) and
+// repeats-1 warm passes (memo resident), with allocation deltas from the
+// runtime's global counters.
+func benchScenario(sc scenario, ins []*malsched.Instance, repeats, workers int) scenarioResult {
+	eng := malsched.NewEngine(malsched.EngineOptions{Workers: workers})
+	r := scenarioResult{
+		Family:    sc.Family,
+		N:         sc.N,
+		M:         sc.M,
+		Instances: len(ins),
+		Repeats:   repeats,
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	t0 := time.Now()
+	cold := eng.ScheduleBatch(ins)
+	coldDt := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+
+	r.OpsCold = len(ins)
+	r.NsPerOpCold = coldDt.Nanoseconds() / int64(len(ins))
+	r.AllocsPerOpCold = (ms1.Mallocs - ms0.Mallocs) / uint64(len(ins))
+	r.BytesPerOpCold = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(len(ins))
+
+	for _, o := range cold {
+		if o.Err != nil {
+			r.Errors++
+			continue
+		}
+		r.MakespanSum += o.Result.Makespan
+		ratio := o.Result.Ratio()
+		r.RatioMean += ratio
+		if ratio > r.RatioMax {
+			r.RatioMax = ratio
+		}
+	}
+	if ok := len(ins) - r.Errors; ok > 0 {
+		r.RatioMean /= float64(ok)
+	}
+
+	if repeats > 1 {
+		before := eng.Stats()
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 = time.Now()
+		for p := 1; p < repeats; p++ {
+			warm := eng.ScheduleBatch(ins)
+			for _, o := range warm {
+				if o.Err != nil {
+					r.Errors++
+				}
+			}
+		}
+		warmDt := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		after := eng.Stats()
+
+		r.OpsWarm = len(ins) * (repeats - 1)
+		r.NsPerOpWarm = warmDt.Nanoseconds() / int64(r.OpsWarm)
+		r.AllocsPerOpWarm = (ms1.Mallocs - ms0.Mallocs) / uint64(r.OpsWarm)
+		r.BytesPerOpWarm = (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(r.OpsWarm)
+		r.MemoHitRateWarm = float64(after.MemoHits-before.MemoHits) / float64(r.OpsWarm)
+	}
+	return r
+}
+
+// runTables prints the legacy EXPERIMENTS.md tables. Every table is
+// deterministic in the seed, so the committed results are exactly
+// regenerable.
+func runTables(quick bool, seed int64) {
 	families := []string{"mixed", "random-monotone", "comm-heavy", "wide-parallel", "powerlaw-0.7"}
 	ns := []int{30, 150}
 	ms := []int{8, 32, 128}
@@ -31,7 +275,7 @@ func main() {
 	koSeeds := 40
 	fig8Trials := 120
 	fig8MaxM := 20
-	if *quick {
+	if quick {
 		families = families[:2]
 		ns = []int{20}
 		ms = []int{8, 24}
@@ -44,12 +288,12 @@ func main() {
 
 	fmt.Println("## E5 — paper's algorithm vs two-phase baselines (ratios vs certified lower bound)")
 	fmt.Println()
-	analysis.WriteMarkdown(os.Stdout, analysis.Compare(families, ns, ms, seeds, *seed))
+	analysis.WriteMarkdown(os.Stdout, analysis.Compare(families, ns, ms, seeds, seed))
 	fmt.Println()
 
 	fmt.Println("## E5b — true ratios on known-optimum instances (OPT = 1, ratio = makespan)")
 	fmt.Println()
-	analysis.WriteMarkdown(os.Stdout, analysis.CompareKnownOpt(koMs, koSeeds, *seed))
+	analysis.WriteMarkdown(os.Stdout, analysis.CompareKnownOpt(koMs, koSeeds, seed))
 	fmt.Println()
 
 	fmt.Println("## E1 — figure 8: empirical m₀(θ) and Property-3 guarantee margin")
@@ -62,7 +306,7 @@ func main() {
 	fmt.Println("| θ | empirical m₀ | worst level-2 end / 2θλ |")
 	fmt.Println("|---|---|---|")
 	thetas := []float64{0.76, 0.80, 0.84, core.Theta, 0.90, 0.95}
-	for _, p := range analysis.Fig8(thetas, fig8MaxM, fig8Trials, *seed) {
+	for _, p := range analysis.Fig8(thetas, fig8MaxM, fig8Trials, seed) {
 		mark := ""
 		if p.Theta == core.Theta {
 			mark = " (θ = √3/2, the paper's value; analytic m₀ = 8)"
@@ -75,7 +319,7 @@ func main() {
 	fmt.Println()
 	fmt.Println("| m | qualifying trials | violations | worst level-2 end / 2θλ |")
 	fmt.Println("|---|---|---|---|")
-	for _, r := range analysis.M0Empirical(core.Theta, koMs, koSeeds*4, *seed) {
+	for _, r := range analysis.M0Empirical(core.Theta, koMs, koSeeds*4, seed) {
 		fmt.Printf("| %d | %d | %d | %.4f |\n", r.M, r.Trials, r.Violations, r.WorstMargin)
 	}
 }

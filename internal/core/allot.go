@@ -21,7 +21,13 @@ type Allotment struct {
 
 // CanonicalAllotment computes γ_i(λ) for every task.
 func CanonicalAllotment(in *instance.Instance, lambda float64) Allotment {
-	a := Allotment{Lambda: lambda, Gamma: make([]int, in.N()), OK: true, Slowest: -1}
+	return canonicalAllotment(in, lambda, NewScratch())
+}
+
+// canonicalAllotment is CanonicalAllotment on scratch memory: the returned
+// Allotment's Gamma aliases sc and is valid until the next probe on sc.
+func canonicalAllotment(in *instance.Instance, lambda float64, sc *Scratch) Allotment {
+	a := Allotment{Lambda: lambda, Gamma: intsBuf(&sc.gamma, in.N()), OK: true, Slowest: -1}
 	for i, t := range in.Tasks {
 		g, ok := t.Canonical(lambda)
 		if !ok {
@@ -45,7 +51,12 @@ func (a Allotment) Work(in *instance.Instance) float64 {
 // ByDecreasingTime returns the task indices sorted by non-increasing
 // canonical execution time t_i(γ_i) (stable).
 func (a Allotment) ByDecreasingTime(in *instance.Instance) []int {
-	order := make([]int, in.N())
+	return a.byDecreasingTime(in, NewScratch())
+}
+
+// byDecreasingTime is ByDecreasingTime into sc's order buffer.
+func (a Allotment) byDecreasingTime(in *instance.Instance, sc *Scratch) []int {
+	order := intsBuf(&sc.order, in.N())
 	for i := range order {
 		order[i] = i
 	}
@@ -61,9 +72,14 @@ func (a Allotment) ByDecreasingTime(in *instance.Instance) []int {
 // the area the first m processors compute when the canonical allotment runs
 // on an unbounded machine. The branch threshold compares W against θ·m·λ.
 func (a Allotment) PrefixArea(in *instance.Instance) float64 {
+	return a.prefixArea(in, NewScratch())
+}
+
+// prefixArea is PrefixArea on scratch memory.
+func (a Allotment) prefixArea(in *instance.Instance, sc *Scratch) float64 {
 	var w float64
 	cum := 0
-	for _, i := range a.ByDecreasingTime(in) {
+	for _, i := range a.byDecreasingTime(in, sc) {
 		g := a.Gamma[i]
 		t := in.Tasks[i].Time(g)
 		if cum+g < in.M {

@@ -24,22 +24,23 @@ import (
 // allotment exists (and nil otherwise); the guarantee check lives in
 // DualStep.
 func CanonicalList(in *instance.Instance, lambda float64, reallocate bool) *schedule.Schedule {
-	a := CanonicalAllotment(in, lambda)
+	sc := NewScratch()
+	a := canonicalAllotment(in, lambda, sc)
 	if !a.OK {
 		return nil
 	}
-	return canonicalListFromAllotment(in, a, reallocate)
+	return canonicalListFromAllotment(in, a, reallocate, sc)
 }
 
-func canonicalListFromAllotment(in *instance.Instance, a Allotment, reallocate bool) *schedule.Schedule {
+func canonicalListFromAllotment(in *instance.Instance, a Allotment, reallocate bool, sc *Scratch) *schedule.Schedule {
 	m := in.M
-	order := a.ByDecreasingTime(in)
+	order := a.byDecreasingTime(in, sc)
 	s := &schedule.Schedule{Algorithm: "canonical-list"}
 	if reallocate {
 		s.Algorithm = "canonical-list+realloc"
 	}
 
-	front := make([]float64, m)
+	front := floatsBuf(&sc.front, m)
 	limit := m       // active machine width (shrinks after a reallocation)
 	checked := false // the reallocation rule applies only at the first level-2 event
 	for _, i := range order {

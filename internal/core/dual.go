@@ -60,6 +60,11 @@ type StepResult struct {
 	// PrefixArea is W, recorded for the experiment harness (0 when
 	// rejected before computing it).
 	PrefixArea float64
+	// Interrupted reports that the probe was abandoned mid-construction
+	// because the search's Interrupt channel fired; no other field is
+	// meaningful. Only the interruptible path (Approximate with
+	// Options.Interrupt) can produce it.
+	Interrupted bool
 }
 
 // DualStep is the paper's dual √3-approximation: given λ it either returns
@@ -71,15 +76,33 @@ type StepResult struct {
 // All applicable constructions are built and the best valid one is kept —
 // the guarantee is per-branch, so taking the minimum only helps.
 func DualStep(in *instance.Instance, lambda float64, p Params) StepResult {
+	return dualStep(in, lambda, p, NewScratch(), nil)
+}
+
+// dualStep is DualStep on scratch memory: all per-probe working buffers come
+// from sc, and only the returned schedule (a fresh allocation) survives the
+// next probe on the same sc. A non-nil interrupt is polled between the
+// probe's constructions (each is the O(n log n)-or-worse unit of work), so
+// a timeout lands within one construction even when the whole search is a
+// single probe; a fired interrupt yields StepResult{Interrupted: true}.
+func dualStep(in *instance.Instance, lambda float64, p Params, sc *Scratch, interrupt <-chan struct{}) StepResult {
+	stop := func() bool {
+		select {
+		case <-interrupt: // nil channel: never ready
+			return true
+		default:
+			return false
+		}
+	}
 	m := in.M
-	a := CanonicalAllotment(in, lambda)
+	a := canonicalAllotment(in, lambda, sc)
 	if !a.OK {
 		return StepResult{Reject: RejectTooSlow, Certified: true}
 	}
 	if !task.Leq(a.Work(in), float64(m)*lambda) {
 		return StepResult{Reject: RejectArea, Certified: true}
 	}
-	w := a.PrefixArea(in)
+	w := a.prefixArea(in, sc)
 	knapsackBranch := !task.Leq(w, p.theta()*float64(m)*lambda) && m > p.SmallM
 
 	var best *schedule.Schedule
@@ -93,12 +116,24 @@ func DualStep(in *instance.Instance, lambda float64, p Params) StepResult {
 		}
 	}
 
-	consider(MalleableList(in, lambda))
-	consider(canonicalListFromAllotment(in, a, true))
-	consider(canonicalListFromAllotment(in, a, false))
+	if stop() {
+		return StepResult{Interrupted: true}
+	}
+	consider(malleableList(in, lambda, sc))
+	if stop() {
+		return StepResult{Interrupted: true}
+	}
+	consider(canonicalListFromAllotment(in, a, true, sc))
+	if stop() {
+		return StepResult{Interrupted: true}
+	}
+	consider(canonicalListFromAllotment(in, a, false, sc))
 	shelf := TwoShelfResult{}
 	if m > p.SmallM {
-		shelf = twoShelfFromAllotment(in, a, p)
+		if stop() {
+			return StepResult{Interrupted: true}
+		}
+		shelf = twoShelfFromAllotment(in, a, p, sc)
 		consider(shelf.Schedule)
 	}
 

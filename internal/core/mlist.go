@@ -21,11 +21,16 @@ import (
 // certifies (through Properties 1 and 2) that no schedule of length ≤ λ
 // exists.
 func MalleableList(in *instance.Instance, lambda float64) *schedule.Schedule {
+	return malleableList(in, lambda, NewScratch())
+}
+
+// malleableList is MalleableList on scratch memory.
+func malleableList(in *instance.Instance, lambda float64, sc *Scratch) *schedule.Schedule {
 	m := in.M
 	rhoM := RhoList(m)
 	deadline := rhoM * lambda
 
-	alloc := make([]int, in.N())
+	alloc := intsBuf(&sc.alloc, in.N())
 	for i, t := range in.Tasks {
 		g, ok := t.Canonical(deadline)
 		if !ok {
@@ -37,7 +42,7 @@ func MalleableList(in *instance.Instance, lambda float64) *schedule.Schedule {
 	// Parallel tasks first, by non-increasing sequential time (every
 	// parallel task has t(1) > deadline ≥ any sequential task's t(1), so
 	// one global sort realises the paper's ordering).
-	order := make([]int, in.N())
+	order := intsBuf(&sc.order, in.N())
 	for i := range order {
 		order[i] = i
 	}
@@ -47,7 +52,7 @@ func MalleableList(in *instance.Instance, lambda float64) *schedule.Schedule {
 
 	s := &schedule.Schedule{Algorithm: "malleable-list"}
 	x := 0
-	var seq []int
+	seq := sc.seq[:0]
 	for _, i := range order {
 		if alloc[i] >= 2 {
 			if x+alloc[i] > m {
@@ -62,15 +67,17 @@ func MalleableList(in *instance.Instance, lambda float64) *schedule.Schedule {
 		}
 	}
 
+	sc.seq = seq // keep the grown backing array for the next probe
+
 	// Release times: processors under a parallel task free at its end.
-	release := make([]float64, m)
+	release := floatsBuf(&sc.release, m)
 	for _, p := range s.Placements {
 		end := p.End(in)
 		for k := p.First; k < p.First+p.Width; k++ {
 			release[k] = end
 		}
 	}
-	durations := make([]float64, len(seq))
+	durations := floatsBuf(&sc.durations, len(seq))
 	for k, i := range seq {
 		durations[k] = in.Tasks[i].SeqTime()
 	}

@@ -1,0 +1,58 @@
+package core
+
+import "malsched/internal/knapsack"
+
+// Scratch is the reusable working memory of the dual-approximation hot
+// path. One dichotomic search performs tens of probes, and a batch engine
+// performs thousands; every probe needs the same-shaped buffers (canonical
+// allotment, sort orders, list frontiers, the §4 partition and its knapsack
+// tables). A Scratch carries them across probes — and across instances —
+// so the hot path stops re-allocating them.
+//
+// A Scratch is not safe for concurrent use: pool one per worker (the
+// engine's worker pool does exactly that). All constructions produce
+// results that do not alias the Scratch, so retaining a returned schedule
+// while reusing the Scratch is safe; the Allotment returned by the
+// scratch-threaded canonical-allotment step aliases it and is only valid
+// until the next probe.
+//
+// The zero value is ready to use.
+type Scratch struct {
+	gamma     []int     // canonical allotment γ_i(λ)
+	order     []int     // sort order (prefix area, canonical list)
+	alloc     []int     // malleable-list allotments
+	seq       []int     // malleable-list sequential tail
+	release   []float64 // malleable-list per-processor release times
+	durations []float64 // malleable-list LPT durations
+	front     []float64 // canonical-list frontier
+	sizes     []float64 // partition TS sizes
+	tsizes    []float64 // trivial-solution TS sizes
+	items     []knapsack.Item
+	backing   []int
+	part      Partition
+	ks        knapsack.Solver
+}
+
+// NewScratch returns an empty Scratch; buffers grow on demand.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// intsBuf returns *buf resized to n without zeroing (callers overwrite every
+// element).
+func intsBuf(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// floatsBuf returns *buf resized to n, zeroed.
+func floatsBuf(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	} else {
+		*buf = (*buf)[:n]
+		clear(*buf)
+	}
+	return *buf
+}

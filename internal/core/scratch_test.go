@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"malsched/internal/instance"
+	"malsched/internal/schedule"
+)
+
+// Reusing one Scratch across many searches must not change any output:
+// the pooled hot path is an allocation optimisation, not an algorithm
+// change. Compare bit-for-bit against the allocate-per-call path.
+func TestApproximateScratchBitIdentical(t *testing.T) {
+	sc := NewScratch()
+	for name, gen := range instance.Families() {
+		for seed := int64(0); seed < 4; seed++ {
+			in := gen(seed, 25, 16)
+			fresh, err := Approximate(in, Options{})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, seed, err)
+			}
+			pooled, err := Approximate(in, Options{Scratch: sc})
+			if err != nil {
+				t.Fatalf("%s/%d pooled: %v", name, seed, err)
+			}
+			if fresh.Makespan != pooled.Makespan ||
+				fresh.LowerBound != pooled.LowerBound ||
+				fresh.AcceptedLambda != pooled.AcceptedLambda ||
+				fresh.Probes != pooled.Probes ||
+				fresh.Branch != pooled.Branch {
+				t.Fatalf("%s/%d: pooled result differs: %+v vs %+v", name, seed, pooled, fresh)
+			}
+			if !reflect.DeepEqual(fresh.Schedule.Placements, pooled.Schedule.Placements) {
+				t.Fatalf("%s/%d: pooled placements differ", name, seed)
+			}
+		}
+	}
+}
+
+// A schedule returned by a probe must not alias the Scratch: later probes on
+// the same Scratch must leave earlier schedules untouched.
+func TestDualStepResultsDoNotAliasScratch(t *testing.T) {
+	sc := NewScratch()
+	in1 := instance.Mixed(1, 30, 16)
+	in2 := instance.Mixed(2, 40, 16)
+	lambda1 := instance.Mixed(1, 30, 16).MinTotalWork() // any accepted guess
+	r1 := dualStep(in1, lambda1, DefaultParams(), sc, nil)
+	if r1.Schedule == nil {
+		t.Fatalf("probe at λ=total work rejected: %v", r1.Reject)
+	}
+	snapshot := append([]float64(nil), flattenStarts(r1)...)
+	// Hammer the scratch with probes on a different instance.
+	for _, l := range []float64{1, 2, 4, 8, 16, 32} {
+		dualStep(in2, l, DefaultParams(), sc, nil)
+	}
+	if !reflect.DeepEqual(snapshot, flattenStarts(r1)) {
+		t.Fatal("earlier schedule mutated by later probes on the same Scratch")
+	}
+}
+
+func flattenStarts(r StepResult) []float64 {
+	out := make([]float64, 0, 2*len(r.Schedule.Placements))
+	for _, p := range r.Schedule.Placements {
+		out = append(out, p.Start, float64(p.Width))
+	}
+	return out
+}
+
+// The scratch-threaded internals must agree with their exported
+// allocate-per-call twins on every construction.
+func TestScratchVariantsMatchExported(t *testing.T) {
+	sc := NewScratch()
+	p := DefaultParams()
+	for seed := int64(0); seed < 5; seed++ {
+		in := instance.Mixed(seed, 30, 16)
+		for _, lambda := range []float64{0.5, 1, 2, 5, 20} {
+			a1 := CanonicalAllotment(in, lambda)
+			a2 := canonicalAllotment(in, lambda, sc)
+			if a1.OK != a2.OK || a1.Slowest != a2.Slowest || (a1.OK && !reflect.DeepEqual(a1.Gamma, a2.Gamma)) {
+				t.Fatalf("canonicalAllotment differs at λ=%v", lambda)
+			}
+			if !a1.OK {
+				continue
+			}
+			if w1, w2 := a1.PrefixArea(in), a1.prefixArea(in, sc); w1 != w2 {
+				t.Fatalf("prefixArea %v != %v", w2, w1)
+			}
+			s1 := MalleableList(in, lambda)
+			s2 := malleableList(in, lambda, sc)
+			if !sameSchedule(s1, s2) {
+				t.Fatalf("malleableList differs at λ=%v", lambda)
+			}
+			for _, realloc := range []bool{false, true} {
+				c1 := CanonicalList(in, lambda, realloc)
+				c2 := canonicalListFromAllotment(in, a2, realloc, sc)
+				if !sameSchedule(c1, c2) {
+					t.Fatalf("canonicalList(realloc=%v) differs at λ=%v", realloc, lambda)
+				}
+			}
+			t1 := TwoShelf(in, lambda, p)
+			t2 := twoShelfFromAllotment(in, a2, p, sc)
+			if t1.Method != t2.Method || t1.Exact != t2.Exact || !sameSchedule(t1.Schedule, t2.Schedule) {
+				t.Fatalf("twoShelf differs at λ=%v: %q/%v vs %q/%v", lambda, t2.Method, t2.Exact, t1.Method, t1.Exact)
+			}
+		}
+	}
+}
+
+func sameSchedule(a, b *schedule.Schedule) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Algorithm == b.Algorithm && reflect.DeepEqual(a.Placements, b.Placements)
+}
+
+// A closed Interrupt channel aborts the search before the first probe with
+// ErrInterrupted — the deterministic core of the engine's timeout.
+func TestApproximateInterrupt(t *testing.T) {
+	ch := make(chan struct{})
+	close(ch)
+	in := instance.Mixed(1, 20, 8)
+	_, err := Approximate(in, Options{Interrupt: ch})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	// A nil channel must never fire.
+	if _, err := Approximate(in, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,17 @@ type Options struct {
 	// (never increases the makespan; off by default to match the paper's
 	// structures exactly).
 	Compact bool
+	// Scratch, when non-nil, supplies the reusable working memory of the
+	// probes. A nil Scratch allocates a private one per call (still shared
+	// across that search's probes). Callers scheduling many instances pool
+	// a Scratch per worker; results never alias it.
+	Scratch *Scratch
+	// Interrupt, when non-nil, aborts the search with ErrInterrupted as
+	// soon as the channel is closed. The search polls it between probes
+	// and between the constructions inside a probe (the O(n log n)-or-
+	// worse units of work), which is how the engine implements
+	// per-instance timeouts without leaking goroutines.
+	Interrupt <-chan struct{}
 }
 
 // Result is the outcome of Approximate.
@@ -56,6 +67,10 @@ func (r Result) Ratio() float64 { return r.Makespan / r.LowerBound }
 // instance fed around validation.
 var ErrNoSchedule = errors.New("core: dual search found no acceptable deadline guess")
 
+// ErrInterrupted is returned when Options.Interrupt fired before the search
+// finished.
+var ErrInterrupted = errors.New("core: search interrupted")
+
 // Approximate runs the dichotomic dual search of §2.2: starting from the
 // certified trivial lower bound it doubles the guess until a dual step
 // accepts, then bisects between the largest rejected and smallest accepted
@@ -84,10 +99,29 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 		}
 	}
 
+	sc := opts.Scratch
+	if sc == nil {
+		sc = NewScratch()
+	}
+	interrupted := func() bool {
+		if opts.Interrupt == nil {
+			return false
+		}
+		select {
+		case <-opts.Interrupt:
+			return true
+		default:
+			return false
+		}
+	}
+
 	lo := res.LowerBound // invariant: OPT ≥ certified LB; lo tracks search floor
 	step := func(l float64) StepResult {
 		res.Probes++
-		r := DualStep(in, l, p)
+		r := dualStep(in, l, p, sc, opts.Interrupt)
+		if r.Interrupted {
+			return r
+		}
 		if r.Schedule != nil {
 			consider(r.Schedule)
 		} else if r.Certified {
@@ -104,7 +138,14 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 	hi := lo
 	accepted := false
 	for i := 0; i < 64; i++ {
-		if r := step(hi); r.Schedule != nil {
+		if interrupted() {
+			return Result{}, fmt.Errorf("%w (instance %q)", ErrInterrupted, in.Name)
+		}
+		r := step(hi)
+		if r.Interrupted {
+			return Result{}, fmt.Errorf("%w (instance %q)", ErrInterrupted, in.Name)
+		}
+		if r.Schedule != nil {
 			accepted = true
 			break
 		}
@@ -118,8 +159,15 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 
 	// Bisection phase.
 	for hi > lo*(1+eps) {
+		if interrupted() {
+			return Result{}, fmt.Errorf("%w (instance %q)", ErrInterrupted, in.Name)
+		}
 		mid := (lo + hi) / 2
-		if r := step(mid); r.Schedule != nil {
+		r := step(mid)
+		if r.Interrupted {
+			return Result{}, fmt.Errorf("%w (instance %q)", ErrInterrupted, in.Name)
+		}
+		if r.Schedule != nil {
 			hi = mid
 			res.AcceptedLambda = mid
 		} else {

@@ -32,9 +32,22 @@ type Partition struct {
 
 // NewPartition computes the partition for allotment a and parameter mu.
 func NewPartition(in *instance.Instance, a Allotment, mu float64) (*Partition, error) {
+	return newPartition(in, a, mu, NewScratch())
+}
+
+// newPartition computes the partition into sc's reused Partition value; the
+// result is valid until the next probe on sc.
+func newPartition(in *instance.Instance, a Allotment, mu float64, sc *Scratch) (*Partition, error) {
 	lambda := a.Lambda
-	p := &Partition{D: make(map[int]int)}
-	var sizes []float64
+	p := &sc.part
+	p.T1, p.T2, p.TS = p.T1[:0], p.T2[:0], p.TS[:0]
+	if p.D == nil {
+		p.D = make(map[int]int)
+	} else {
+		clear(p.D)
+	}
+	p.Q1, p.Q2, p.LS = 0, 0, 0
+	sizes := sc.sizes[:0]
 	for i, t := range in.Tasks {
 		g := a.Gamma[i]
 		ct := t.Time(g)
@@ -56,6 +69,7 @@ func NewPartition(in *instance.Instance, a Allotment, mu float64) (*Partition, e
 		}
 	}
 	p.Q1 -= in.M
+	sc.sizes = sizes // keep the grown backing array for the next probe
 	pk, err := packing.FirstFit(sizes, mu*lambda)
 	if err != nil {
 		return nil, err // unreachable: sizes ≤ λ/2 ≤ μλ for μ ≥ 1/2
@@ -89,16 +103,17 @@ type TwoShelfResult struct {
 // μ-schedule or a trivial solution exists, so a nil result with Exact
 // certifies OPT > λ.
 func TwoShelf(in *instance.Instance, lambda float64, p Params) TwoShelfResult {
-	a := CanonicalAllotment(in, lambda)
+	sc := NewScratch()
+	a := canonicalAllotment(in, lambda, sc)
 	if !a.OK {
 		return TwoShelfResult{Exact: true}
 	}
-	return twoShelfFromAllotment(in, a, p)
+	return twoShelfFromAllotment(in, a, p, sc)
 }
 
-func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params) TwoShelfResult {
+func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params, sc *Scratch) TwoShelfResult {
 	mu := prm.mu()
-	part, err := NewPartition(in, a, mu)
+	part, err := newPartition(in, a, mu, sc)
 	if err != nil {
 		return TwoShelfResult{}
 	}
@@ -112,7 +127,7 @@ func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params) TwoSh
 	if capacity < 0 {
 		// The second shelf overflows before any T1 task moves; no
 		// μ-schedule exists (T2 and TS placements are forced).
-		if r := trivialSolution(in, a, part); r.Schedule != nil {
+		if r := trivialSolution(in, a, part, sc); r.Schedule != nil {
 			return r
 		}
 		return TwoShelfResult{Exact: true}
@@ -120,34 +135,35 @@ func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params) TwoSh
 
 	// §4.5 trivial solutions: one big task moves and everything else fits
 	// in the first shelf.
-	if r := trivialSolution(in, a, part); r.Schedule != nil {
+	if r := trivialSolution(in, a, part, sc); r.Schedule != nil {
 		return r
 	}
 
 	// Knapsack (KS) over the movable T1 tasks.
-	items := make([]knapsack.Item, 0, len(part.T1))
-	backing := make([]int, 0, len(part.T1))
+	items := sc.items[:0]
+	backing := sc.backing[:0]
 	for _, i := range part.T1 {
 		if d, ok := part.D[i]; ok && d <= capacity {
 			items = append(items, knapsack.Item{Weight: d, Profit: a.Gamma[i]})
 			backing = append(backing, i)
 		}
 	}
+	sc.items, sc.backing = items, backing
 	useDP := len(items)*(capacity+1) <= prm.MaxDPCells
 	var sel []int
 	var method string
 	exact := false
 	if useDP {
-		s, profit := knapsack.MaxProfit(items, capacity)
+		s, profit := sc.ks.MaxProfit(items, capacity)
 		exact = true
 		if profit >= part.Q1 {
 			sel, method = s, "knapsack-dp"
 		}
 	} else {
-		s, profit := knapsack.MaxProfitFPTAS(items, capacity, prm.KnapsackEps)
+		s, profit := sc.ks.MaxProfitFPTAS(items, capacity, prm.KnapsackEps)
 		if profit >= part.Q1 {
 			sel, method = s, "knapsack-fptas"
-		} else if s2, w, ok := knapsack.MinWeightApprox(items, part.Q1, capacity, prm.KnapsackEps); ok && w <= capacity {
+		} else if s2, w, ok := sc.ks.MinWeightApprox(items, part.Q1, capacity, prm.KnapsackEps); ok && w <= capacity {
 			sel, method = s2, "knapsack-dual"
 		}
 	}
@@ -165,12 +181,13 @@ func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params) TwoSh
 // all other tasks fit into the first shelf at canonical allotments (with TS
 // First-Fit packed under deadline λ) while τ alone runs in the second shelf
 // on d_τ ≤ m processors.
-func trivialSolution(in *instance.Instance, a Allotment, part *Partition) TwoShelfResult {
+func trivialSolution(in *instance.Instance, a Allotment, part *Partition, sc *Scratch) TwoShelfResult {
 	lambda := a.Lambda
-	var sizes []float64
+	sizes := sc.tsizes[:0]
 	for _, i := range part.TS {
 		sizes = append(sizes, in.Tasks[i].Time(a.Gamma[i]))
 	}
+	sc.tsizes = sizes
 	qS1 := 0
 	var sPack packing.Result
 	if len(sizes) > 0 {

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"malsched/internal/core"
+	"malsched/internal/instance"
+)
+
+// DefaultMemoCapacity is the memo size used when Config.MemoCapacity is 0.
+const DefaultMemoCapacity = 1024
+
+// Config tunes an Engine. The zero value is usable: GOMAXPROCS workers,
+// a DefaultMemoCapacity memo, no timeout, the paper's scheduling options.
+type Config struct {
+	// Workers bounds the number of instances scheduled concurrently;
+	// ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// MemoCapacity sizes the LRU memo of solved instances: 0 means
+	// DefaultMemoCapacity, negative disables memoisation entirely.
+	MemoCapacity int
+	// Timeout bounds the wall-clock time spent on one instance; 0 means
+	// no limit. A timed-out instance fails with ErrTimeout and does not
+	// poison its worker (the dual search polls the deadline between its
+	// units of work, so no goroutine outlives its job; the overshoot is
+	// one construction, not one search).
+	Timeout time.Duration
+	// Options is the scheduling configuration applied to every instance.
+	Options Options
+}
+
+// Engine schedules batches and streams of instances at high throughput:
+// a bounded worker pool around the deterministic Solve pipeline, a pooled
+// core.Scratch per worker so the dual-approximation hot path stops
+// allocating, an LRU memo for repeated workloads, and per-instance error
+// isolation (an instance that fails, times out or panics yields an Outcome
+// with Err set; the rest of the batch is unaffected).
+//
+// An Engine is safe for concurrent use and never reorders results: batch
+// outcome i is always instance i's.
+type Engine struct {
+	cfg     Config
+	workers int
+	memo    *lru
+	scratch sync.Pool
+
+	scheduled atomic.Uint64
+	errs      atomic.Uint64
+	panics    atomic.Uint64
+	timeouts  atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+}
+
+// ErrTimeout wraps every per-instance timeout failure.
+var ErrTimeout = errors.New("engine: instance timed out")
+
+// ErrNilInstance reports a nil instance submitted to the engine.
+var ErrNilInstance = errors.New("engine: nil instance")
+
+// New builds an Engine from the config; see Config for the zero-value
+// defaults.
+func New(cfg Config) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	memoCap := cfg.MemoCapacity
+	if memoCap == 0 {
+		memoCap = DefaultMemoCapacity
+	}
+	e := &Engine{cfg: cfg, workers: workers}
+	if memoCap > 0 {
+		e.memo = newLRU(memoCap)
+	}
+	e.scratch.New = func() any { return core.NewScratch() }
+	return e
+}
+
+// Outcome is the result of scheduling one submitted instance.
+type Outcome struct {
+	// Index is the instance's position in the batch (or arrival order in
+	// a stream).
+	Index int
+	// In is the submitted instance.
+	In *instance.Instance
+	// Solution is the validated plan and certificates; zero when Err is
+	// non-nil.
+	Solution
+	// Err reports a per-instance failure: scheduling error, ErrTimeout or
+	// a recovered panic. Other instances are unaffected.
+	Err error
+	// FromMemo reports that the solution came from the memo.
+	FromMemo bool
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Scheduled counts instances accepted for scheduling (memo hits
+	// included, nil instances excluded).
+	Scheduled uint64
+	// Errors counts failed instances of any kind; Panics and Timeouts
+	// break out the two isolated failure classes also counted here.
+	Errors   uint64
+	Panics   uint64
+	Timeouts uint64
+	// MemoHits/MemoMisses count memo probes; MemoEntries is the current
+	// resident count.
+	MemoHits    uint64
+	MemoMisses  uint64
+	MemoEntries int
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Scheduled:  e.scheduled.Load(),
+		Errors:     e.errs.Load(),
+		Panics:     e.panics.Load(),
+		Timeouts:   e.timeouts.Load(),
+		MemoHits:   e.hits.Load(),
+		MemoMisses: e.misses.Load(),
+	}
+	if e.memo != nil {
+		s.MemoEntries = e.memo.len()
+	}
+	return s
+}
+
+// solveFn is the pipeline the workers run; a package variable so tests can
+// inject faults without crafting pathological instances.
+var solveFn = solve
+
+// Schedule runs one instance through the engine (memo and pooled scratch
+// included) and returns its solution.
+func (e *Engine) Schedule(in *instance.Instance) (Solution, error) {
+	o := e.run(0, in)
+	return o.Solution, o.Err
+}
+
+// ScheduleBatch schedules every instance and returns one outcome per
+// instance, in input order. Failures are isolated per instance.
+func (e *Engine) ScheduleBatch(ins []*instance.Instance) []Outcome {
+	out := make([]Outcome, len(ins))
+	workers := e.workers
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	if workers <= 1 {
+		for i, in := range ins {
+			out[i] = e.run(i, in)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ins) {
+					return
+				}
+				out[i] = e.run(i, ins[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ScheduleStream consumes instances from jobs until the channel is closed
+// and emits one Outcome per instance on the returned channel, which is
+// closed after the last outcome. Outcome.Index is the arrival order;
+// under concurrency outcomes may be emitted out of order.
+func (e *Engine) ScheduleStream(jobs <-chan *instance.Instance) <-chan Outcome {
+	out := make(chan Outcome, e.workers)
+	type job struct {
+		idx int
+		in  *instance.Instance
+	}
+	dispatch := make(chan job)
+	go func() {
+		idx := 0
+		for in := range jobs {
+			dispatch <- job{idx, in}
+			idx++
+		}
+		close(dispatch)
+	}()
+	var wg sync.WaitGroup
+	wg.Add(e.workers)
+	for w := 0; w < e.workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range dispatch {
+				out <- e.run(j.idx, j.in)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// run executes one job: memo probe, pooled-scratch solve under the
+// per-instance deadline, panic recovery, memo fill.
+func (e *Engine) run(idx int, in *instance.Instance) Outcome {
+	out := Outcome{Index: idx, In: in}
+	if in == nil {
+		out.Err = ErrNilInstance
+		e.errs.Add(1)
+		return out
+	}
+	e.scheduled.Add(1)
+
+	var k memoKey
+	if e.memo != nil {
+		k = fingerprint(in, e.cfg.Options)
+		if v, ok := e.memo.get(k); ok {
+			e.hits.Add(1)
+			out.Solution = v.clone()
+			out.FromMemo = true
+			return out
+		}
+		e.misses.Add(1)
+	}
+
+	sc := e.scratch.Get().(*core.Scratch)
+	defer e.scratch.Put(sc)
+
+	var interrupt <-chan struct{}
+	if e.cfg.Timeout > 0 {
+		deadline := make(chan struct{})
+		t := time.AfterFunc(e.cfg.Timeout, func() { close(deadline) })
+		defer t.Stop()
+		interrupt = deadline
+	}
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.panics.Add(1)
+				out.Solution = Solution{}
+				out.Err = fmt.Errorf("engine: panic scheduling instance %q: %v", in.Name, r)
+			}
+		}()
+		out.Solution, out.Err = solveFn(in, e.cfg.Options, sc, interrupt)
+	}()
+
+	if errors.Is(out.Err, core.ErrInterrupted) {
+		e.timeouts.Add(1)
+		out.Err = fmt.Errorf("%w: instance %q exceeded %v", ErrTimeout, in.Name, e.cfg.Timeout)
+	}
+	if out.Err != nil {
+		e.errs.Add(1)
+		return out
+	}
+	if e.memo != nil {
+		e.memo.put(k, out.Solution.clone())
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"math"
+
+	"malsched/internal/instance"
+)
+
+// memoKey identifies a (workload, options) pair in the memo. The hash is a
+// 64-bit FNV-1a over the semantically relevant input — machine size, every
+// task's full time table, and the scheduling options — deliberately
+// excluding the instance and task names: plans reference tasks by index
+// only, so renamed copies of the same workload are memo hits. The m/n
+// fields ride along as cheap collision guards; a residual 64-bit collision
+// between same-shape workloads is possible in principle and accepted (the
+// memo is a per-process cache, not a correctness oracle — disable it with a
+// negative capacity for adversarial inputs).
+type memoKey struct {
+	hash uint64
+	m, n int
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type fnv64 uint64
+
+func (h *fnv64) byte(b byte) {
+	*h = (*h ^ fnv64(b)) * fnvPrime
+}
+
+func (h *fnv64) uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *fnv64) float64(f float64) {
+	h.uint64(math.Float64bits(f))
+}
+
+func (h *fnv64) string(s string) {
+	h.uint64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+// fingerprint computes the memo key of an instance under the given options.
+func fingerprint(in *instance.Instance, o Options) memoKey {
+	h := fnv64(fnvOffset)
+	h.uint64(uint64(in.M))
+	h.uint64(uint64(in.N()))
+	for _, t := range in.Tasks {
+		h.uint64(uint64(t.MaxProcs()))
+		for p := 1; p <= t.MaxProcs(); p++ {
+			h.float64(t.Time(p))
+		}
+	}
+	h.float64(o.Eps)
+	if o.Compact {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+	h.string(o.Baseline)
+	return memoKey{hash: uint64(h), m: in.M, n: in.N()}
+}

@@ -1,0 +1,90 @@
+package engine
+
+import "sync"
+
+// lru is a fixed-capacity least-recently-used map from memo keys to
+// solutions. It is safe for concurrent use; one mutex suffices because the
+// critical sections are pointer splices around a multi-millisecond solve.
+type lru struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[memoKey]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+}
+
+type lruNode struct {
+	key        memoKey
+	value      Solution
+	prev, next *lruNode
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{capacity: capacity, entries: make(map[memoKey]*lruNode, capacity)}
+}
+
+// get returns the cached solution and promotes it to most recently used.
+func (l *lru) get(k memoKey) (Solution, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n, ok := l.entries[k]
+	if !ok {
+		return Solution{}, false
+	}
+	l.unlink(n)
+	l.pushFront(n)
+	return n.value, true
+}
+
+// put inserts or refreshes a cached solution, evicting the least recently
+// used entry when full.
+func (l *lru) put(k memoKey, v Solution) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n, ok := l.entries[k]; ok {
+		n.value = v
+		l.unlink(n)
+		l.pushFront(n)
+		return
+	}
+	if len(l.entries) >= l.capacity {
+		evict := l.tail
+		l.unlink(evict)
+		delete(l.entries, evict.key)
+	}
+	n := &lruNode{key: k, value: v}
+	l.entries[k] = n
+	l.pushFront(n)
+}
+
+// len returns the current entry count.
+func (l *lru) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+func (l *lru) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else if l.head == n {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else if l.tail == n {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (l *lru) pushFront(n *lruNode) {
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}

@@ -1,0 +1,125 @@
+// Package engine is the high-throughput scheduling substrate behind the
+// malsched facade: the single-instance solve pipeline (dual-approximation
+// search or named baseline, plus validation), an LRU memo keyed by a
+// name-independent instance fingerprint, and a bounded worker pool that
+// schedules batches and streams of instances with per-instance timeouts and
+// error isolation.
+//
+// The facade's malsched.Schedule and malsched.Engine both run through Solve
+// here, so batch results are bit-identical to sequential calls by
+// construction; the engine only adds reuse (pooled core.Scratch buffers,
+// memoised solutions) around the same deterministic pipeline.
+package engine
+
+import (
+	"fmt"
+
+	"malsched/internal/baseline"
+	"malsched/internal/core"
+	"malsched/internal/instance"
+	"malsched/internal/lowerbound"
+	"malsched/internal/schedule"
+)
+
+// Options selects and tunes the per-instance pipeline. It mirrors the
+// facade's scheduling options (the facade re-exports the semantics; see
+// malsched.Options).
+type Options struct {
+	// Eps is the dichotomic search tolerance; the guarantee is √3(1+Eps).
+	Eps float64
+	// Compact greedily left-shifts the final schedule.
+	Compact bool
+	// Baseline, when non-empty, runs a named baseline instead of the
+	// paper's algorithm.
+	Baseline string
+}
+
+// Solution is the outcome of scheduling one instance: the validated plan
+// plus its certificates. It is the engine-level mirror of malsched.Result.
+type Solution struct {
+	// Plan is the schedule; always complete and validated.
+	Plan *schedule.Schedule
+	// Makespan is the parallel execution time achieved.
+	Makespan float64
+	// LowerBound is a certified lower bound on the optimal makespan.
+	LowerBound float64
+	// Branch names the paper construction (or baseline) that produced the
+	// plan.
+	Branch string
+}
+
+// clone returns a Solution whose plan shares no memory with the receiver's,
+// so memo entries stay immutable when callers mutate returned plans.
+func (s Solution) clone() Solution {
+	if s.Plan == nil {
+		return s
+	}
+	cp := &schedule.Schedule{
+		Algorithm:  s.Plan.Algorithm,
+		Placements: make([]schedule.Placement, len(s.Plan.Placements)),
+	}
+	copy(cp.Placements, s.Plan.Placements)
+	for i := range cp.Placements {
+		if ps := cp.Placements[i].ProcSet; ps != nil {
+			cp.Placements[i].ProcSet = append([]int(nil), ps...)
+		}
+	}
+	s.Plan = cp
+	return s
+}
+
+// Solve schedules one instance through the full pipeline and returns the
+// validated solution. It is the single implementation behind both
+// malsched.Schedule and the engine's workers.
+func Solve(in *instance.Instance, o Options) (Solution, error) {
+	return solve(in, o, nil, nil)
+}
+
+// solve is Solve with the engine-only hooks: sc supplies reusable probe
+// buffers (nil allocates per call) and interrupt aborts the dual search
+// early (nil never fires).
+func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}) (Solution, error) {
+	if o.Baseline != "" {
+		return runBaseline(in, o.Baseline)
+	}
+	res, err := core.Approximate(in, core.Options{
+		Eps:       o.Eps,
+		Compact:   o.Compact,
+		Scratch:   sc,
+		Interrupt: interrupt,
+	})
+	if err != nil {
+		return Solution{}, err
+	}
+	if err := schedule.Validate(in, res.Schedule, true); err != nil {
+		return Solution{}, fmt.Errorf("malsched: internal error, produced invalid schedule: %w", err)
+	}
+	return Solution{
+		Plan:       res.Schedule,
+		Makespan:   res.Makespan,
+		LowerBound: res.LowerBound,
+		Branch:     res.Branch,
+	}, nil
+}
+
+func runBaseline(in *instance.Instance, name string) (Solution, error) {
+	for _, alg := range baseline.All() {
+		if alg.Name != name {
+			continue
+		}
+		s, err := alg.Run(in)
+		if err != nil {
+			return Solution{}, err
+		}
+		if err := schedule.Validate(in, s, name != "twy-list"); err != nil {
+			return Solution{}, fmt.Errorf("malsched: baseline %s produced invalid schedule: %w", name, err)
+		}
+		return Solution{
+			Plan:       s,
+			Makespan:   s.Makespan(in),
+			LowerBound: lowerbound.SquashedArea(in),
+			Branch:     name,
+		}, nil
+	}
+	return Solution{}, fmt.Errorf("malsched: unknown baseline %q", name)
+}

@@ -8,9 +8,16 @@
 // In the paper's usage an item is a task of T₁ with Weight = d_i (processors
 // needed to finish within the second shelf) and Profit = γ_i (canonical
 // processors released from the first shelf).
+//
+// Every solver exists in two forms: a package-level function that allocates
+// its tables per call, and the equivalent method on Solver that reuses them
+// across calls (the dual search's hot path). Both run the same code.
 package knapsack
 
 import "math"
+
+// inf64 is the sentinel for "unreachable" weights in the (KS') tables.
+const inf64 = math.MaxInt64 / 4
 
 // Item is one knapsack item. Weights and profits are non-negative;
 // zero-profit items are never taken, zero-weight items always fit.
@@ -24,89 +31,16 @@ type Item struct {
 // (ascending) and the optimal profit. Time and memory are O(n·capacity) —
 // the classical pseudo-polynomial bound the paper quotes as O(n·m).
 func MaxProfit(items []Item, capacity int) (sel []int, profit int) {
-	if capacity < 0 {
-		return nil, 0
-	}
-	n := len(items)
-	dp := make([]int, capacity+1)
-	// take[i] is a bitset over capacities: whether item i is taken at that
-	// residual capacity in the optimal table.
-	words := (capacity + 64) / 64
-	take := make([][]uint64, n)
-	for i, it := range items {
-		row := make([]uint64, words)
-		if it.Weight <= capacity && it.Profit > 0 {
-			for c := capacity; c >= it.Weight; c-- {
-				if v := dp[c-it.Weight] + it.Profit; v > dp[c] {
-					dp[c] = v
-					row[c/64] |= 1 << (c % 64)
-				}
-			}
-		}
-		take[i] = row
-	}
-	profit = dp[capacity]
-	c := capacity
-	for i := n - 1; i >= 0; i-- {
-		if take[i][c/64]&(1<<(c%64)) != 0 {
-			sel = append(sel, i)
-			c -= items[i].Weight
-		}
-	}
-	reverse(sel)
-	return sel, profit
+	var s Solver
+	return s.MaxProfit(items, capacity)
 }
 
 // MinWeight solves problem (KS') exactly: a subset with total profit ≥
 // target minimising total weight. ok is false when even taking everything
 // misses the target. Time and memory are O(n·target).
 func MinWeight(items []Item, target int) (sel []int, weight int, ok bool) {
-	if target <= 0 {
-		return nil, 0, true
-	}
-	const inf = math.MaxInt64 / 4
-	// dp[q] = minimal weight achieving profit ≥ q.
-	dp := make([]int64, target+1)
-	for q := 1; q <= target; q++ {
-		dp[q] = inf
-	}
-	n := len(items)
-	words := (target + 64) / 64
-	take := make([][]uint64, n)
-	for i, it := range items {
-		row := make([]uint64, words)
-		if it.Profit > 0 {
-			for q := target; q >= 1; q-- {
-				prev := q - it.Profit
-				if prev < 0 {
-					prev = 0
-				}
-				if dp[prev] < inf {
-					if v := dp[prev] + int64(it.Weight); v < dp[q] {
-						dp[q] = v
-						row[q/64] |= 1 << (q % 64)
-					}
-				}
-			}
-		}
-		take[i] = row
-	}
-	if dp[target] >= inf {
-		return nil, 0, false
-	}
-	q := target
-	for i := n - 1; i >= 0; i-- {
-		if q > 0 && take[i][q/64]&(1<<(q%64)) != 0 {
-			sel = append(sel, i)
-			q -= items[i].Profit
-			if q < 0 {
-				q = 0
-			}
-		}
-	}
-	reverse(sel)
-	weight = int(dp[target])
-	return sel, weight, true
+	var s Solver
+	return s.MinWeight(items, target)
 }
 
 // MaxProfitFPTAS is the fully polynomial approximation scheme for (KS)
@@ -115,67 +49,8 @@ func MinWeight(items []Item, target int) (sel []int, weight int, ok bool) {
 // capacity, which is what makes the paper's allotment selection polynomial
 // even when m is exponential in the input size.
 func MaxProfitFPTAS(items []Item, capacity int, eps float64) (sel []int, profit int) {
-	pmax := 0
-	for _, it := range items {
-		if it.Weight <= capacity && it.Profit > pmax {
-			pmax = it.Profit
-		}
-	}
-	if pmax == 0 {
-		return nil, 0
-	}
-	n := len(items)
-	k := eps * float64(pmax) / float64(n)
-	if k < 1 {
-		k = 1 // profits already small: the DP below is exact
-	}
-	scaled := make([]int, n)
-	total := 0
-	for i, it := range items {
-		scaled[i] = int(float64(it.Profit) / k)
-		total += scaled[i]
-	}
-	// dp[q] = min weight achieving scaled profit exactly q.
-	const inf = math.MaxInt64 / 4
-	dp := make([]int64, total+1)
-	for q := 1; q <= total; q++ {
-		dp[q] = inf
-	}
-	words := (total + 64) / 64
-	take := make([][]uint64, n)
-	for i := range items {
-		row := make([]uint64, words)
-		if scaled[i] > 0 || items[i].Weight == 0 {
-			for q := total; q >= scaled[i]; q-- {
-				if dp[q-scaled[i]] < inf {
-					if v := dp[q-scaled[i]] + int64(items[i].Weight); v < dp[q] {
-						dp[q] = v
-						row[q/64] |= 1 << (q % 64)
-					}
-				}
-			}
-		}
-		take[i] = row
-	}
-	best := 0
-	for q := total; q >= 1; q-- {
-		if dp[q] <= int64(capacity) {
-			best = q
-			break
-		}
-	}
-	q := best
-	for i := n - 1; i >= 0; i-- {
-		if take[i][q/64]&(1<<(q%64)) != 0 {
-			sel = append(sel, i)
-			q -= scaled[i]
-		}
-	}
-	reverse(sel)
-	for _, i := range sel {
-		profit += items[i].Profit
-	}
-	return sel, profit
+	var s Solver
+	return s.MaxProfitFPTAS(items, capacity, eps)
 }
 
 // MinWeightApprox approximately solves (KS'): it returns a subset with
@@ -186,28 +61,8 @@ func MaxProfitFPTAS(items []Item, capacity int, eps float64) (sel []int, profit 
 // Complexity O(n²·(1/eps)·…) independent of the capacity. ok is false when
 // the target is unreachable even ignoring weights.
 func MinWeightApprox(items []Item, target, weightCap int, eps float64) (sel []int, weight int, ok bool) {
-	if target <= 0 {
-		return nil, 0, true
-	}
-	n := len(items)
-	k := eps * float64(weightCap) / float64(n)
-	if k < 1 {
-		// Grid finer than integers: the exact DP by weight is cheaper.
-		// dp over scaled==actual weights via MinWeight.
-		return MinWeight(items, target)
-	}
-	scaled := make([]Item, n)
-	for i, it := range items {
-		scaled[i] = Item{Weight: int(float64(it.Weight) / k), Profit: it.Profit}
-	}
-	sel, _, ok = MinWeight(scaled, target)
-	if !ok {
-		return nil, 0, false
-	}
-	for _, i := range sel {
-		weight += items[i].Weight
-	}
-	return sel, weight, true
+	var s Solver
+	return s.MinWeightApprox(items, target, weightCap, eps)
 }
 
 // BruteForce enumerates all subsets; the oracle for property tests. It

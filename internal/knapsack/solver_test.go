@@ -1,0 +1,72 @@
+package knapsack
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// A Solver reused across many differently-shaped problems must return
+// exactly what the allocate-per-call functions return — same selections,
+// same profits and weights — since both run the same code on different
+// memory.
+func TestSolverReuseMatchesFreeFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSolver()
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(14)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Weight: rng.Intn(30), Profit: rng.Intn(30)}
+		}
+		capacity := rng.Intn(60)
+		target := rng.Intn(60)
+		eps := 0.01 + rng.Float64()*0.3
+
+		selA, profA := MaxProfit(items, capacity)
+		selB, profB := s.MaxProfit(items, capacity)
+		if profA != profB || !reflect.DeepEqual(selA, selB) {
+			t.Fatalf("iter %d: MaxProfit diverged: (%v,%d) vs (%v,%d)", iter, selB, profB, selA, profA)
+		}
+
+		selA, wA, okA := MinWeight(items, target)
+		selB, wB, okB := s.MinWeight(items, target)
+		if okA != okB || wA != wB || !reflect.DeepEqual(selA, selB) {
+			t.Fatalf("iter %d: MinWeight diverged", iter)
+		}
+
+		selA, profA = MaxProfitFPTAS(items, capacity, eps)
+		selB, profB = s.MaxProfitFPTAS(items, capacity, eps)
+		if profA != profB || !reflect.DeepEqual(selA, selB) {
+			t.Fatalf("iter %d: MaxProfitFPTAS diverged", iter)
+		}
+
+		selA, wA, okA = MinWeightApprox(items, target, capacity, eps)
+		selB, wB, okB = s.MinWeightApprox(items, target, capacity, eps)
+		if okA != okB || wA != wB || !reflect.DeepEqual(selA, selB) {
+			t.Fatalf("iter %d: MinWeightApprox diverged", iter)
+		}
+	}
+}
+
+// Degenerate shapes must not corrupt the reused buffers for later calls.
+func TestSolverDegenerateShapes(t *testing.T) {
+	s := NewSolver()
+	if sel, p := s.MaxProfit(nil, 10); sel != nil || p != 0 {
+		t.Fatal("empty items")
+	}
+	if sel, p := s.MaxProfit([]Item{{Weight: 5, Profit: 5}}, -1); sel != nil || p != 0 {
+		t.Fatal("negative capacity")
+	}
+	if _, _, ok := s.MinWeight([]Item{{Weight: 1, Profit: 1}}, 5); ok {
+		t.Fatal("unreachable target accepted")
+	}
+	if sel, w, ok := s.MinWeight(nil, 0); sel != nil || w != 0 || !ok {
+		t.Fatal("zero target")
+	}
+	// A normal call right after the degenerate ones.
+	sel, p := s.MaxProfit([]Item{{Weight: 2, Profit: 3}, {Weight: 2, Profit: 4}}, 2)
+	if p != 4 || len(sel) != 1 || sel[0] != 1 {
+		t.Fatalf("post-degenerate call broken: sel=%v p=%d", sel, p)
+	}
+}

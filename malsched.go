@@ -11,7 +11,8 @@
 // certified per-instance lower bound so callers can see the actual ratio
 // they obtained.
 //
-// Quickstart:
+// Quickstart (asserted verbatim by ExampleSchedule_quickstart in
+// example_test.go):
 //
 //	tasks := []malsched.Task{
 //		malsched.Amdahl("solver", 120, 0.05, 64),
@@ -19,20 +20,28 @@
 //		malsched.Sequential("io", 15, 64),
 //	}
 //	in, err := malsched.NewInstance("demo", 64, tasks)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	res, err := malsched.Schedule(in, nil)
-//	fmt.Println(res.Makespan, res.Ratio(), res.Gantt(in, 80))
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	fmt.Printf("makespan %.3f, certified ratio %.3f\n", res.Makespan, res.Ratio())
+//
+// For batches and streams of instances, NewEngine wraps the same pipeline
+// in a bounded worker pool with memoisation of repeated workloads; see
+// Engine.
 //
 // The subpackages under internal implement the paper's machinery (dual
 // approximation, canonical allotments, knapsack-based shelf selection) and
 // the substrates the evaluation needs (two-phase baselines, strip packers,
-// exact solver, experiment harness); this package is the stable surface.
+// exact solver, experiment harness, batch engine); this package is the
+// stable surface.
 package malsched
 
 import (
-	"fmt"
-
-	"malsched/internal/baseline"
-	"malsched/internal/core"
+	"malsched/internal/engine"
 	"malsched/internal/instance"
 	"malsched/internal/lowerbound"
 	"malsched/internal/schedule"
@@ -117,48 +126,24 @@ func (r Result) Gantt(in *Instance, cols int) string {
 // and returns the schedule with its certificates. The returned plan is
 // validated (contiguity included, except the inherently non-contiguous
 // "twy-list" baseline) before being handed back.
+//
+// Schedule and Engine.ScheduleBatch run the exact same deterministic
+// pipeline (internal/engine.Solve); the engine only adds buffer reuse and
+// memoisation around it, so batching never changes results.
 func Schedule(in *Instance, opts *Options) (Result, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
-	if opts.Baseline != "" {
-		return runBaseline(in, opts.Baseline)
-	}
-	res, err := core.Approximate(in, core.Options{Eps: opts.Eps, Compact: opts.Compact})
+	sol, err := engine.Solve(in, engine.Options{Eps: opts.Eps, Compact: opts.Compact, Baseline: opts.Baseline})
 	if err != nil {
 		return Result{}, err
 	}
-	if err := schedule.Validate(in, res.Schedule, true); err != nil {
-		return Result{}, fmt.Errorf("malsched: internal error, produced invalid schedule: %w", err)
-	}
 	return Result{
-		Plan:       res.Schedule,
-		Makespan:   res.Makespan,
-		LowerBound: res.LowerBound,
-		Branch:     res.Branch,
+		Plan:       sol.Plan,
+		Makespan:   sol.Makespan,
+		LowerBound: sol.LowerBound,
+		Branch:     sol.Branch,
 	}, nil
-}
-
-func runBaseline(in *Instance, name string) (Result, error) {
-	for _, alg := range baseline.All() {
-		if alg.Name != name {
-			continue
-		}
-		s, err := alg.Run(in)
-		if err != nil {
-			return Result{}, err
-		}
-		if err := schedule.Validate(in, s, name != "twy-list"); err != nil {
-			return Result{}, fmt.Errorf("malsched: baseline %s produced invalid schedule: %w", name, err)
-		}
-		return Result{
-			Plan:       s,
-			Makespan:   s.Makespan(in),
-			LowerBound: lowerbound.SquashedArea(in),
-			Branch:     name,
-		}, nil
-	}
-	return Result{}, fmt.Errorf("malsched: unknown baseline %q", name)
 }
 
 // LowerBound returns the strongest certified lower bound available (the

@@ -61,6 +61,60 @@ func TestScheduleOptionsCompact(t *testing.T) {
 	if comp.Makespan > plain.Makespan+1e-9 {
 		t.Fatalf("compaction increased makespan")
 	}
+	// The compacted plan is still a complete, contiguous, validated plan
+	// with consistent certificates.
+	if err := Validate(in, comp.Plan, true); err != nil {
+		t.Fatalf("compacted plan invalid: %v", err)
+	}
+	if comp.LowerBound <= 0 || comp.Makespan < comp.LowerBound-1e-9 {
+		t.Fatalf("compacted certificates inconsistent: %v / %v", comp.Makespan, comp.LowerBound)
+	}
+}
+
+// Validate must reject every way a plan can be corrupted after scheduling.
+func TestValidateRejectsCorruptedPlan(t *testing.T) {
+	in := demoInstance(t)
+	res, err := Schedule(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func(p *Plan)) {
+		t.Helper()
+		cp := &Plan{Algorithm: res.Plan.Algorithm, Placements: append([]Placement(nil), res.Plan.Placements...)}
+		mutate(cp)
+		if err := Validate(in, cp, true); err == nil {
+			t.Fatalf("%s: corrupted plan passed validation", name)
+		}
+	}
+
+	corrupt("drop a task", func(p *Plan) {
+		p.Placements = p.Placements[:len(p.Placements)-1]
+	})
+	corrupt("duplicate a task", func(p *Plan) {
+		p.Placements = append(p.Placements, p.Placements[0])
+	})
+	corrupt("width beyond profile", func(p *Plan) {
+		p.Placements[0].Width = in.Tasks[p.Placements[0].Task].MaxProcs() + 1
+	})
+	corrupt("processor outside machine", func(p *Plan) {
+		p.Placements[0].First = in.M
+	})
+	corrupt("negative start", func(p *Plan) {
+		p.Placements[0].Start = -1
+	})
+	corrupt("overlap", func(p *Plan) {
+		// Stack every placement at time 0 on processor 0.
+		for i := range p.Placements {
+			p.Placements[i].Start = 0
+			p.Placements[i].First = 0
+		}
+	})
+
+	// The untouched plan still validates after all that.
+	if err := Validate(in, res.Plan, true); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestScheduleBaselines(t *testing.T) {
@@ -113,6 +167,67 @@ func TestLowerBoundExported(t *testing.T) {
 	in := demoInstance(t)
 	if LowerBound(in) <= 0 {
 		t.Fatal("lower bound must be positive")
+	}
+}
+
+// The facade engine must return exactly what sequential Schedule calls
+// return, preserve batch order, and expose its counters.
+func TestEngineFacadeMatchesSchedule(t *testing.T) {
+	var ins []*Instance
+	for name, gen := range instance.Families() {
+		for seed := int64(0); seed < 4; seed++ {
+			in := gen(seed, 12, 8)
+			in.Name = name + in.Name
+			ins = append(ins, in)
+		}
+	}
+	want := make([]Result, len(ins))
+	for i, in := range ins {
+		r, err := Schedule(in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+
+	eng := NewEngine(EngineOptions{Workers: 4})
+	out := eng.ScheduleBatch(ins)
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", ins[i].Name, r.Err)
+		}
+		if r.Index != i || r.Instance != ins[i] {
+			t.Fatalf("batch result %d misrouted", i)
+		}
+		if r.Result.Makespan != want[i].Makespan || r.Result.LowerBound != want[i].LowerBound || r.Result.Branch != want[i].Branch {
+			t.Fatalf("%s: engine result differs from Schedule", ins[i].Name)
+		}
+	}
+	st := eng.Stats()
+	if st.Scheduled != uint64(len(ins)) || st.Errors != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestEngineFacadeStreamAndBaseline(t *testing.T) {
+	eng := NewEngine(EngineOptions{Workers: 2, Schedule: Options{Baseline: "seq-lpt"}})
+	jobs := make(chan *Instance, 4)
+	for seed := int64(0); seed < 4; seed++ {
+		jobs <- instance.Mixed(seed, 10, 8)
+	}
+	close(jobs)
+	count := 0
+	for r := range eng.ScheduleStream(jobs) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Result.Branch != "seq-lpt" {
+			t.Fatalf("branch = %q", r.Result.Branch)
+		}
+		count++
+	}
+	if count != 4 {
+		t.Fatalf("stream emitted %d results, want 4", count)
 	}
 }
 
