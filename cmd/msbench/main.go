@@ -1,10 +1,13 @@
 // Command msbench is the repo's benchmark harness. Its default mode runs a
-// declarative scenario grid (profile family × task count × machine size)
-// through the batch engine with fixed seeds and repeats and emits
-// BENCH_engine.json — the reproducible perf artifact whose schema is
-// documented in docs/BENCHMARKS.md. Future PRs regenerate the artifact and
-// compare ns/op, allocs/op and achieved ratios against the committed
-// trajectory.
+// declarative scenario grid (profile family × task count × machine size ×
+// solver configuration) through the batch engine with fixed seeds and
+// repeats and emits BENCH_engine.json — the reproducible perf artifact
+// whose schema is documented in docs/BENCHMARKS.md. The solver dimension
+// tracks the sequential paper algorithm ("mrt"), the speculative parallel
+// dual search ("mrt" at parallelism 8, single engine worker so the probe
+// throughput compares per-search) and the default solver portfolio. Future
+// PRs regenerate the artifact and compare ns/op, allocs/op, probe
+// throughput and achieved ratios against the committed trajectory.
 //
 // Usage:
 //
@@ -32,22 +35,45 @@ import (
 )
 
 // Schema identifies the BENCH_engine.json layout; bump on breaking change.
-const Schema = "malsched/bench-engine/v1"
+// v2 added the solver dimension (solver, parallelism, workers per row) and
+// probe-throughput fields.
+const Schema = "malsched/bench-engine/v2"
 
-// scenario is one cell of the declarative grid.
+// scenario is one cell of the declarative grid: a workload (family, n, m)
+// under one solver configuration.
 type scenario struct {
 	Family string
 	N, M   int
+	// Solver is the registered solver the cell runs ("mrt", "portfolio", …).
+	Solver string
+	// Parallelism is the speculative dual-search width (mrt only).
+	Parallelism int
+	// Workers is the engine worker-pool size for this cell. The mrt cells
+	// pin it to 1 so sequential vs speculative search compare per-search
+	// (instance-level batch parallelism would mask the λ-level speedup);
+	// portfolio cells use the configured pool.
+	Workers int
+}
+
+// label names the solver configuration in reports.
+func (sc scenario) label() string {
+	if sc.Solver == "mrt" && sc.Parallelism > 1 {
+		return fmt.Sprintf("mrt-p%d", sc.Parallelism)
+	}
+	return sc.Solver
 }
 
 // scenarioResult is the measured outcome of one scenario; field semantics
 // are specified in docs/BENCHMARKS.md.
 type scenarioResult struct {
-	Family    string `json:"family"`
-	N         int    `json:"n"`
-	M         int    `json:"m"`
-	Instances int    `json:"instances"`
-	Repeats   int    `json:"repeats"`
+	Family      string `json:"family"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Solver      string `json:"solver"`
+	Parallelism int    `json:"parallelism"`
+	Workers     int    `json:"workers"`
+	Instances   int    `json:"instances"`
+	Repeats     int    `json:"repeats"`
 
 	OpsCold         int    `json:"ops_cold"`
 	OpsWarm         int    `json:"ops_warm"`
@@ -57,6 +83,13 @@ type scenarioResult struct {
 	AllocsPerOpWarm uint64 `json:"allocs_per_op_warm"`
 	BytesPerOpCold  uint64 `json:"bytes_per_op_cold"`
 	BytesPerOpWarm  uint64 `json:"bytes_per_op_warm"`
+
+	// ProbesCold counts dual-approximation steps over the cold pass
+	// (speculative probes included) and ProbesPerSecCold the resulting
+	// probe throughput — the metric that compares the sequential and
+	// speculative search configurations.
+	ProbesCold       int64   `json:"probes_cold"`
+	ProbesPerSecCold float64 `json:"probes_per_sec_cold"`
 
 	MemoHitRateWarm float64 `json:"memo_hit_rate_warm"`
 	RatioMean       float64 `json:"ratio_mean"`
@@ -95,10 +128,12 @@ func main() {
 	runEngineGrid(*quick, *seed, *out, *seeds, *repeats, *workers)
 }
 
-// grid returns the declarative scenario grid. Every scenario is a pure
-// function of (family, n, m, seed), so the artifact's workload-derived
-// fields are exactly regenerable.
-func grid(quick bool) []scenario {
+// grid returns the declarative scenario grid: every workload cell crossed
+// with the solver dimension — the sequential paper algorithm, the
+// speculative search at width 8, and the default portfolio. Every scenario
+// is a pure function of (family, n, m, seed), so the artifact's
+// workload-derived fields are exactly regenerable.
+func grid(quick bool, workers int) []scenario {
 	families := []string{"mixed", "random-monotone", "comm-heavy", "wide-parallel", "powerlaw-0.7"}
 	ns := []int{25, 100, 400}
 	ms := []int{16, 64, 256}
@@ -107,11 +142,25 @@ func grid(quick bool) []scenario {
 		ns = []int{20, 60}
 		ms = []int{8, 32}
 	}
+	cfgs := []struct {
+		solver      string
+		parallelism int
+		workers     int
+	}{
+		{"mrt", 1, 1},
+		{"mrt", 8, 1},
+		{"portfolio", 0, workers},
+	}
 	var g []scenario
 	for _, f := range families {
 		for _, n := range ns {
 			for _, m := range ms {
-				g = append(g, scenario{Family: f, N: n, M: m})
+				for _, c := range cfgs {
+					g = append(g, scenario{
+						Family: f, N: n, M: m,
+						Solver: c.solver, Parallelism: c.parallelism, Workers: c.workers,
+					})
+				}
 			}
 		}
 	}
@@ -161,11 +210,11 @@ func runEngineGrid(quick bool, seed int64, out string, seeds, repeats, workers i
 	}
 
 	gens := instance.Families()
-	scenarios := grid(quick)
+	scenarios := grid(quick, rep.Workers)
 	fmt.Fprintf(os.Stderr, "msbench: %d scenarios × %d instances × %d passes (workers=%d)\n",
 		len(scenarios), seeds, repeats, rep.Workers)
-	fmt.Fprintf(os.Stderr, "%-18s %5s %5s  %14s %14s %10s %8s %8s\n",
-		"family", "n", "m", "cold ns/op", "warm ns/op", "allocs/op", "ratio", "hit%")
+	fmt.Fprintf(os.Stderr, "%-18s %5s %5s %-10s  %14s %14s %12s %8s %8s\n",
+		"family", "n", "m", "solver", "cold ns/op", "warm ns/op", "probes/s", "ratio", "hit%")
 
 	for _, sc := range scenarios {
 		gen, ok := gens[sc.Family]
@@ -177,11 +226,11 @@ func runEngineGrid(quick bool, seed int64, out string, seeds, repeats, workers i
 		for i := range ins {
 			ins[i] = gen(seed+int64(i), sc.N, sc.M)
 		}
-		r := benchScenario(sc, ins, repeats, workers)
+		r := benchScenario(sc, ins, repeats)
 		rep.Scenarios = append(rep.Scenarios, r)
-		fmt.Fprintf(os.Stderr, "%-18s %5d %5d  %14d %14d %10d %8.3f %8.1f\n",
-			sc.Family, sc.N, sc.M, r.NsPerOpCold, r.NsPerOpWarm, r.AllocsPerOpCold,
-			r.RatioMax, 100*r.MemoHitRateWarm)
+		fmt.Fprintf(os.Stderr, "%-18s %5d %5d %-10s  %14d %14d %12.0f %8.3f %8.1f\n",
+			sc.Family, sc.N, sc.M, sc.label(), r.NsPerOpCold, r.NsPerOpWarm,
+			r.ProbesPerSecCold, r.RatioMax, 100*r.MemoHitRateWarm)
 	}
 
 	enc := json.NewEncoder(w)
@@ -198,14 +247,23 @@ func runEngineGrid(quick bool, seed int64, out string, seeds, repeats, workers i
 // benchScenario measures one scenario: a cold batch pass (memo empty) and
 // repeats-1 warm passes (memo resident), with allocation deltas from the
 // runtime's global counters.
-func benchScenario(sc scenario, ins []*malsched.Instance, repeats, workers int) scenarioResult {
-	eng := malsched.NewEngine(malsched.EngineOptions{Workers: workers})
+func benchScenario(sc scenario, ins []*malsched.Instance, repeats int) scenarioResult {
+	eng := malsched.NewEngine(malsched.EngineOptions{
+		Workers: sc.Workers,
+		Schedule: malsched.Options{
+			Solver:      sc.Solver,
+			Parallelism: sc.Parallelism,
+		},
+	})
 	r := scenarioResult{
-		Family:    sc.Family,
-		N:         sc.N,
-		M:         sc.M,
-		Instances: len(ins),
-		Repeats:   repeats,
+		Family:      sc.Family,
+		N:           sc.N,
+		M:           sc.M,
+		Solver:      sc.Solver,
+		Parallelism: sc.Parallelism,
+		Workers:     sc.Workers,
+		Instances:   len(ins),
+		Repeats:     repeats,
 	}
 
 	var ms0, ms1 runtime.MemStats
@@ -227,11 +285,15 @@ func benchScenario(sc scenario, ins []*malsched.Instance, repeats, workers int) 
 			continue
 		}
 		r.MakespanSum += o.Result.Makespan
+		r.ProbesCold += int64(o.Result.Probes)
 		ratio := o.Result.Ratio()
 		r.RatioMean += ratio
 		if ratio > r.RatioMax {
 			r.RatioMax = ratio
 		}
+	}
+	if s := coldDt.Seconds(); s > 0 {
+		r.ProbesPerSecCold = float64(r.ProbesCold) / s
 	}
 	if ok := len(ins) - r.Errors; ok > 0 {
 		r.RatioMean /= float64(ok)

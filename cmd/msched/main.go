@@ -3,8 +3,14 @@
 //
 // Usage:
 //
-//	msched [-algo mrt|twy-list|twy-ffdh|twy-nfdh|twy-bld|seq-lpt|full-parallel]
+//	msched [-solver mrt|portfolio|exact|twy-ffdh|…] [-parallelism k]
 //	       [-eps 1e-3] [-compact] [-cols 80] [-json] [file]
+//	msched -solvers
+//
+// -solver selects any registered solver (-solvers lists them); -algo is the
+// deprecated spelling of the same flag. -parallelism ≥ 2 speculates that
+// many λ-guesses of the dual search concurrently — same output, lower
+// latency on idle cores.
 //
 // Reads the instance from file (or stdin). With -json the schedule is
 // written as JSON instead of a chart. The instance format is the one
@@ -28,12 +34,22 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("msched: ")
-	algo := flag.String("algo", "mrt", "algorithm: mrt or a baseline name")
+	algo := flag.String("algo", "", "deprecated alias for -solver")
+	solverName := flag.String("solver", "", "registered solver to run (default mrt; see -solvers)")
+	parallelism := flag.Int("parallelism", 0, "speculative dual-search width (≥ 2 probes λ-guesses concurrently)")
+	listSolvers := flag.Bool("solvers", false, "list registered solvers and exit")
 	eps := flag.Float64("eps", 1e-3, "dual search tolerance (mrt only)")
 	compact := flag.Bool("compact", false, "left-shift the final schedule")
 	cols := flag.Int("cols", 80, "gantt width in columns")
 	asJSON := flag.Bool("json", false, "emit the schedule as JSON")
 	flag.Parse()
+
+	if *listSolvers {
+		for _, name := range malsched.Solvers() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	var r io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -49,9 +65,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := &malsched.Options{Eps: *eps, Compact: *compact}
-	if *algo != "mrt" {
-		opts.Baseline = *algo
+	opts := &malsched.Options{Eps: *eps, Compact: *compact, Parallelism: *parallelism}
+	switch {
+	case *solverName != "":
+		opts.Solver = *solverName
+	case *algo != "" && *algo != "mrt":
+		opts.Solver = *algo
 	}
 	res, err := malsched.Schedule(in, opts)
 	if err != nil {
@@ -86,6 +105,6 @@ func main() {
 		return
 	}
 	fmt.Print(res.Gantt(in, *cols))
-	fmt.Printf("branch=%s makespan=%.6g certified-LB=%.6g certified-ratio=%.4f (√3≈1.7321)\n",
-		res.Branch, res.Makespan, res.LowerBound, res.Ratio())
+	fmt.Printf("solver=%s branch=%s makespan=%.6g certified-LB=%.6g certified-ratio=%.4f (√3≈1.7321)\n",
+		res.Solver, res.Branch, res.Makespan, res.LowerBound, res.Ratio())
 }

@@ -66,11 +66,7 @@ func NewEngine(opts EngineOptions) *Engine {
 		Workers:      opts.Workers,
 		MemoCapacity: opts.MemoCapacity,
 		Timeout:      opts.Timeout,
-		Options: engine.Options{
-			Eps:      opts.Schedule.Eps,
-			Compact:  opts.Schedule.Compact,
-			Baseline: opts.Schedule.Baseline,
-		},
+		Options:      engineOptions(opts.Schedule),
 	})}
 }
 
@@ -124,6 +120,8 @@ func resultOf(sol engine.Solution) Result {
 		Makespan:   sol.Makespan,
 		LowerBound: sol.LowerBound,
 		Branch:     sol.Branch,
+		Solver:     sol.Solver,
+		Probes:     sol.Probes,
 	}
 }
 

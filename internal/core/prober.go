@@ -1,0 +1,29 @@
+package core
+
+import "malsched/internal/instance"
+
+// Prober evaluates one deadline guess of the dichotomic search. It is the
+// seam between the search drivers — sequential and speculative — and the
+// paper's dual step: every guess Approximate makes flows through exactly one
+// Probe call, so tests can instrument the guess sequence and alternative
+// dual steps can be swapped in without touching the drivers.
+//
+// A Prober must be deterministic in (in, lambda, p) and safe for concurrent
+// calls with distinct Scratch values: the speculative driver invokes it from
+// up to Parallelism goroutines, one pooled Scratch per worker.
+type Prober interface {
+	// Probe evaluates the guess λ on the instance: either a schedule of
+	// makespan ≤ ρλ or a rejection (see StepResult). Working memory comes
+	// from sc; a non-nil interrupt aborts mid-probe with
+	// StepResult{Interrupted: true}.
+	Probe(in *instance.Instance, lambda float64, p Params, sc *Scratch, interrupt <-chan struct{}) StepResult
+}
+
+// DualProber is the default Prober: the paper's dual √3-approximation step
+// (DualStep on scratch memory).
+type DualProber struct{}
+
+// Probe implements Prober with dualStep.
+func (DualProber) Probe(in *instance.Instance, lambda float64, p Params, sc *Scratch, interrupt <-chan struct{}) StepResult {
+	return dualStep(in, lambda, p, sc, interrupt)
+}

@@ -22,10 +22,26 @@ type Options struct {
 	// (never increases the makespan; off by default to match the paper's
 	// structures exactly).
 	Compact bool
+	// Parallelism, when ≥ 2, runs the dichotomic search speculatively: up
+	// to Parallelism λ-guesses — the upcoming doubling guesses, then the
+	// next levels of the bisection decision tree — are evaluated
+	// concurrently, each probe on its own pooled Scratch, and the outcomes
+	// are consumed in exactly the order the sequential search would probe
+	// them; off-path outcomes are discarded unseen. Every output is
+	// therefore bit-identical to Parallelism ≤ 1: only Probes and
+	// Speculated report the extra work. Values ≤ 1 (the default) keep the
+	// fully sequential search.
+	Parallelism int
+	// Prober, when non-nil, replaces the paper's dual step (DualProber) as
+	// the evaluator of deadline guesses. Tests instrument it; the
+	// speculative driver calls it concurrently with distinct Scratch
+	// values.
+	Prober Prober
 	// Scratch, when non-nil, supplies the reusable working memory of the
 	// probes. A nil Scratch allocates a private one per call (still shared
 	// across that search's probes). Callers scheduling many instances pool
-	// a Scratch per worker; results never alias it.
+	// a Scratch per worker; results never alias it. With Parallelism ≥ 2
+	// the extra workers draw additional buffers from a package-level pool.
 	Scratch *Scratch
 	// Interrupt, when non-nil, aborts the search with ErrInterrupted as
 	// soon as the channel is closed. The search polls it between probes
@@ -47,8 +63,13 @@ type Result struct {
 	LowerBound float64
 	// AcceptedLambda is the smallest accepted guess.
 	AcceptedLambda float64
-	// Probes counts dual steps performed.
+	// Probes counts dual steps performed, speculative ones included.
 	Probes int
+	// Speculated counts probes that were executed speculatively and then
+	// discarded because the search path never reached their guess (always
+	// 0 when Parallelism ≤ 1). Probes includes them; Probes − Speculated
+	// is the sequential search's probe count.
+	Speculated int
 	// UnprovenRejects counts RejectUnproven outcomes. The paper's theorems
 	// imply 0 for every monotone instance; the experiment suite reports it
 	// as the reproduction's health metric (a non-zero value would also void
@@ -71,12 +92,52 @@ var ErrNoSchedule = errors.New("core: dual search found no acceptable deadline g
 // finished.
 var ErrInterrupted = errors.New("core: search interrupted")
 
+// ErrZeroLowerBound is returned when the instance admits no positive
+// trivial lower bound — no tasks, or all-zero execution times on an
+// instance hand-rolled around validation. The doubling phase cannot grow a
+// guess from 0 (hi *= 2 never moves), so the search refuses the instance
+// instead of spinning on it.
+var ErrZeroLowerBound = errors.New("core: trivial lower bound is zero (empty or zero-work instance)")
+
+// search is the shared state of the dichotomic dual search: the result
+// under construction, the incumbent schedule and the current bracketing
+// interval. Both drivers — the sequential loop and the speculative k-probe
+// driver — mutate it through merge, in the same order, which is what makes
+// their outputs identical.
+//
+// No guess is ever probed twice, by construction rather than bookkeeping:
+// every consumed guess becomes an interval endpoint (doubling guesses are
+// successive floors, bisection guesses the new lo or hi), every future
+// bisection guess is a strictly interior midpoint, and the collapse guard
+// stops the search once the interval reaches float resolution — the
+// instrumented-prober tests assert the resulting probe counts.
+type search struct {
+	in        *instance.Instance
+	p         Params
+	eps       float64
+	prober    Prober
+	interrupt <-chan struct{}
+
+	res    Result
+	best   *schedule.Schedule
+	bestMk float64
+
+	// lo is the largest rejected guess (search floor, starts at the
+	// trivial lower bound); hi the smallest accepted one.
+	lo, hi float64
+	// consumed counts merged probes; Probes − consumed is the speculative
+	// waste.
+	consumed int
+}
+
 // Approximate runs the dichotomic dual search of §2.2: starting from the
 // certified trivial lower bound it doubles the guess until a dual step
 // accepts, then bisects between the largest rejected and smallest accepted
 // guesses. The returned schedule has makespan ≤ ρ(1+Eps)·OPT (Theorem 3
 // plus the search argument); the reported LowerBound certifies the ratio a
-// posteriori, instance by instance.
+// posteriori, instance by instance. With Options.Parallelism ≥ 2 the same
+// search speculates several guesses concurrently — same output, fewer
+// sequential probe rounds.
 func Approximate(in *instance.Instance, opts Options) (Result, error) {
 	p := opts.Params
 	if p.Rho == 0 {
@@ -86,100 +147,160 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 	if eps <= 0 {
 		eps = 1e-3
 	}
-
-	res := Result{LowerBound: lowerbound.Trivial(in)}
-	var best *schedule.Schedule
-	bestMk := 0.0
-	consider := func(s *schedule.Schedule) {
-		if s == nil {
-			return
-		}
-		if mk := s.Makespan(in); best == nil || mk < bestMk {
-			best, bestMk = s, mk
-		}
+	prober := opts.Prober
+	if prober == nil {
+		prober = DualProber{}
 	}
-
 	sc := opts.Scratch
 	if sc == nil {
 		sc = NewScratch()
 	}
-	interrupted := func() bool {
-		if opts.Interrupt == nil {
-			return false
-		}
-		select {
-		case <-opts.Interrupt:
-			return true
-		default:
-			return false
-		}
-	}
 
-	lo := res.LowerBound // invariant: OPT ≥ certified LB; lo tracks search floor
+	s := &search{
+		in:        in,
+		p:         p,
+		eps:       eps,
+		prober:    prober,
+		interrupt: opts.Interrupt,
+	}
+	s.res.LowerBound = lowerbound.Trivial(in)
+	if !(s.res.LowerBound > 0) {
+		return Result{}, fmt.Errorf("%w (instance %q)", ErrZeroLowerBound, in.Name)
+	}
+	s.lo = s.res.LowerBound // invariant: OPT ≥ certified LB; lo tracks search floor
+
+	var err error
+	if opts.Parallelism >= 2 {
+		err = s.runSpeculative(opts.Parallelism, sc)
+	} else {
+		err = s.runSequential(sc)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	s.res.Speculated = s.res.Probes - s.consumed
+
+	if opts.Compact {
+		s.consider(schedule.Compact(in, s.best))
+	}
+	s.res.Schedule = s.best
+	s.res.Makespan = s.bestMk
+	s.res.Branch = s.best.Algorithm
+	return s.res, nil
+}
+
+// consider keeps the schedule if it strictly beats the incumbent; ties keep
+// the earlier one, so consumption order decides and must match the
+// sequential probe order.
+func (s *search) consider(sch *schedule.Schedule) {
+	if sch == nil {
+		return
+	}
+	if mk := sch.Makespan(s.in); s.best == nil || mk < s.bestMk {
+		s.best, s.bestMk = sch, mk
+	}
+}
+
+// merge applies one consumed probe outcome to the search result. Both
+// drivers call it in the sequential probe order; speculative probes whose
+// guess the path never reaches are never merged.
+func (s *search) merge(lambda float64, r StepResult) {
+	s.consumed++
+	if r.Schedule != nil {
+		s.consider(r.Schedule)
+	} else if r.Certified {
+		if lambda > s.res.LowerBound {
+			s.res.LowerBound = lambda
+		}
+	} else {
+		s.res.UnprovenRejects++
+	}
+}
+
+// converged reports the bisection termination test hi ≤ lo·(1+eps).
+func (s *search) converged() bool { return !(s.hi > s.lo*(1+s.eps)) }
+
+func (s *search) interrupted() bool {
+	if s.interrupt == nil {
+		return false
+	}
+	select {
+	case <-s.interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *search) errInterrupted() error {
+	return fmt.Errorf("%w (instance %q)", ErrInterrupted, s.in.Name)
+}
+
+// maxDoubling caps the doubling phase; 2^64 above the trivial lower bound
+// covers every representable guess.
+const maxDoubling = 64
+
+// runSequential is the reference driver: one probe at a time, exactly the
+// §2.2 loop. Its probe order defines the output every other driver must
+// reproduce.
+func (s *search) runSequential(sc *Scratch) error {
 	step := func(l float64) StepResult {
-		res.Probes++
-		r := dualStep(in, l, p, sc, opts.Interrupt)
+		s.res.Probes++
+		r := s.prober.Probe(s.in, l, s.p, sc, s.interrupt)
 		if r.Interrupted {
 			return r
 		}
-		if r.Schedule != nil {
-			consider(r.Schedule)
-		} else if r.Certified {
-			if l > res.LowerBound {
-				res.LowerBound = l
-			}
-		} else {
-			res.UnprovenRejects++
-		}
+		s.merge(l, r)
 		return r
 	}
 
 	// Doubling phase.
-	hi := lo
+	hi := s.lo
 	accepted := false
-	for i := 0; i < 64; i++ {
-		if interrupted() {
-			return Result{}, fmt.Errorf("%w (instance %q)", ErrInterrupted, in.Name)
+	for i := 0; i < maxDoubling; i++ {
+		if s.interrupted() {
+			return s.errInterrupted()
 		}
 		r := step(hi)
 		if r.Interrupted {
-			return Result{}, fmt.Errorf("%w (instance %q)", ErrInterrupted, in.Name)
+			return s.errInterrupted()
 		}
 		if r.Schedule != nil {
 			accepted = true
 			break
 		}
-		lo = hi
+		s.lo = hi
 		hi *= 2
 	}
 	if !accepted {
-		return Result{}, fmt.Errorf("%w (instance %q)", ErrNoSchedule, in.Name)
+		return fmt.Errorf("%w (instance %q)", ErrNoSchedule, s.in.Name)
 	}
-	res.AcceptedLambda = hi
+	s.hi = hi
+	s.res.AcceptedLambda = hi
 
 	// Bisection phase.
-	for hi > lo*(1+eps) {
-		if interrupted() {
-			return Result{}, fmt.Errorf("%w (instance %q)", ErrInterrupted, in.Name)
+	for !s.converged() {
+		if s.interrupted() {
+			return s.errInterrupted()
 		}
-		mid := (lo + hi) / 2
+		mid := (s.lo + s.hi) / 2
+		if mid <= s.lo || mid >= s.hi {
+			// The interval collapsed to float resolution; no further
+			// guess can shrink it (and any repeat of an endpoint guess
+			// would re-pay for a probe — see the search type's
+			// no-duplicate-probes invariant).
+			break
+		}
 		r := step(mid)
 		if r.Interrupted {
-			return Result{}, fmt.Errorf("%w (instance %q)", ErrInterrupted, in.Name)
+			return s.errInterrupted()
 		}
 		if r.Schedule != nil {
-			hi = mid
-			res.AcceptedLambda = mid
+			s.hi = mid
+			s.res.AcceptedLambda = mid
 		} else {
-			lo = mid
+			s.lo = mid
 		}
 	}
-
-	if opts.Compact {
-		consider(schedule.Compact(in, best))
-	}
-	res.Schedule = best
-	res.Makespan = bestMk
-	res.Branch = best.Algorithm
-	return res, nil
+	return nil
 }

@@ -399,3 +399,46 @@ func TestConcurrentMixedUse(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%+v", st)
 }
+
+// Portfolio and parallelism options flow through the batch path, and the
+// solution reports the winning solver and its probe count.
+func TestBatchWithPortfolioAndParallelism(t *testing.T) {
+	ins := testFleet(t, 2)[:6]
+	e := New(Config{Workers: 3, Options: Options{Portfolio: []string{"mrt", "seq-lpt"}, Parallelism: 4}})
+	for i, o := range e.ScheduleBatch(ins) {
+		if o.Err != nil {
+			t.Fatalf("instance %d: %v", i, o.Err)
+		}
+		if o.Solution.Solver == "" {
+			t.Fatalf("instance %d: no winning solver reported", i)
+		}
+		if err := schedule.Validate(ins[i], o.Plan, false); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+	if _, err := Solve(ins[0], Options{Solver: "mrt"}); err != nil {
+		t.Fatal(err)
+	}
+	if sol, err := Solve(ins[0], Options{}); err != nil || sol.Probes == 0 {
+		t.Fatalf("Probes not reported: %+v, %v", sol, err)
+	}
+}
+
+// The memo key resolves the solver identity: the deprecated Baseline alias
+// shares entries with the explicit Solver spelling, and Parallelism — which
+// cannot change results — is excluded.
+func TestFingerprintSolverResolution(t *testing.T) {
+	a := testFleet(t, 1)[0]
+	if fingerprint(a, Options{Solver: "seq-lpt"}) != fingerprint(a, Options{Baseline: "seq-lpt"}) {
+		t.Fatal("Solver and Baseline alias hash differently")
+	}
+	if fingerprint(a, Options{}) != fingerprint(a, Options{Solver: "mrt"}) {
+		t.Fatal("default and explicit mrt hash differently")
+	}
+	if fingerprint(a, Options{}) != fingerprint(a, Options{Parallelism: 8}) {
+		t.Fatal("Parallelism leaked into the memo key")
+	}
+	if fingerprint(a, Options{}) == fingerprint(a, Options{Portfolio: []string{"mrt"}}) {
+		t.Fatal("portfolio ignored by the memo key")
+	}
+}

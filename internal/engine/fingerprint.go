@@ -65,6 +65,19 @@ func fingerprint(in *instance.Instance, o Options) memoKey {
 	} else {
 		h.byte(0)
 	}
-	h.string(o.Baseline)
+	// The solver identity is hashed in resolved form, so the deprecated
+	// Baseline alias and an explicit Solver of the same name share memo
+	// entries. Parallelism is deliberately excluded: the speculative
+	// search is bit-identical to the sequential one (enforced by the
+	// golden and determinism tests), so its results are interchangeable.
+	if len(o.Portfolio) > 0 {
+		h.string("portfolio")
+		h.uint64(uint64(len(o.Portfolio)))
+		for _, m := range o.Portfolio {
+			h.string(m)
+		}
+	} else {
+		h.string(o.solverName())
+	}
 	return memoKey{hash: uint64(h), m: in.M, n: in.N()}
 }

@@ -1,9 +1,9 @@
 // Package engine is the high-throughput scheduling substrate behind the
-// malsched facade: the single-instance solve pipeline (dual-approximation
-// search or named baseline, plus validation), an LRU memo keyed by a
-// name-independent instance fingerprint, and a bounded worker pool that
-// schedules batches and streams of instances with per-instance timeouts and
-// error isolation.
+// malsched facade: the single-instance solve pipeline (a named solver from
+// the registry — the paper's dual-approximation search by default), an LRU
+// memo keyed by a name-independent instance fingerprint, and a bounded
+// worker pool that schedules batches and streams of instances with
+// per-instance timeouts and error isolation.
 //
 // The facade's malsched.Schedule and malsched.Engine both run through Solve
 // here, so batch results are bit-identical to sequential calls by
@@ -12,13 +12,10 @@
 package engine
 
 import (
-	"fmt"
-
-	"malsched/internal/baseline"
 	"malsched/internal/core"
 	"malsched/internal/instance"
-	"malsched/internal/lowerbound"
 	"malsched/internal/schedule"
+	"malsched/internal/solver"
 )
 
 // Options selects and tunes the per-instance pipeline. It mirrors the
@@ -29,9 +26,46 @@ type Options struct {
 	Eps float64
 	// Compact greedily left-shifts the final schedule.
 	Compact bool
-	// Baseline, when non-empty, runs a named baseline instead of the
-	// paper's algorithm.
+	// Solver names the registered solver to run; empty means the paper's
+	// algorithm ("mrt").
+	Solver string
+	// Portfolio, when non-empty, runs these registered solvers
+	// concurrently and keeps the best certified result; it overrides
+	// Solver.
+	Portfolio []string
+	// Parallelism is the speculative width of the dual search; results
+	// are identical at every value (see core.Options.Parallelism).
+	Parallelism int
+	// Baseline is a deprecated alias for Solver, kept for callers of the
+	// pre-registry API.
 	Baseline string
+}
+
+// solverName resolves the registry name the options select (portfolio
+// excluded): Solver wins over the deprecated Baseline alias; empty means
+// the paper's algorithm.
+func (o Options) solverName() string {
+	if o.Solver != "" {
+		return o.Solver
+	}
+	if o.Baseline != "" {
+		return o.Baseline
+	}
+	return solver.PaperSolverName
+}
+
+// resolveSolver maps the options to a registered solver (or an ad-hoc
+// portfolio over the named members).
+func resolveSolver(o Options) (solver.Solver, error) {
+	if len(o.Portfolio) > 0 {
+		return solver.NewPortfolio(solver.PortfolioName, o.Portfolio)
+	}
+	name := o.solverName()
+	s, ok := solver.Lookup(name)
+	if !ok {
+		return nil, solver.ErrUnknown(name)
+	}
+	return s, nil
 }
 
 // Solution is the outcome of scheduling one instance: the validated plan
@@ -46,6 +80,12 @@ type Solution struct {
 	// Branch names the paper construction (or baseline) that produced the
 	// plan.
 	Branch string
+	// Solver names the registered solver that produced the plan (the
+	// winning member for portfolios).
+	Solver string
+	// Probes counts dual-approximation steps performed, speculative ones
+	// included (0 for solvers without a dual search).
+	Probes int
 }
 
 // clone returns a Solution whose plan shares no memory with the receiver's,
@@ -77,49 +117,29 @@ func Solve(in *instance.Instance, o Options) (Solution, error) {
 
 // solve is Solve with the engine-only hooks: sc supplies reusable probe
 // buffers (nil allocates per call) and interrupt aborts the dual search
-// early (nil never fires).
+// early (nil never fires). Plan validation lives inside each registered
+// solver, so portfolio members are checked individually.
 func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}) (Solution, error) {
-	if o.Baseline != "" {
-		return runBaseline(in, o.Baseline)
+	sv, err := resolveSolver(o)
+	if err != nil {
+		return Solution{}, err
 	}
-	res, err := core.Approximate(in, core.Options{
-		Eps:       o.Eps,
-		Compact:   o.Compact,
-		Scratch:   sc,
-		Interrupt: interrupt,
+	sol, err := sv.Solve(in, solver.Options{
+		Eps:         o.Eps,
+		Compact:     o.Compact,
+		Parallelism: o.Parallelism,
+		Scratch:     sc,
+		Interrupt:   interrupt,
 	})
 	if err != nil {
 		return Solution{}, err
 	}
-	if err := schedule.Validate(in, res.Schedule, true); err != nil {
-		return Solution{}, fmt.Errorf("malsched: internal error, produced invalid schedule: %w", err)
-	}
 	return Solution{
-		Plan:       res.Schedule,
-		Makespan:   res.Makespan,
-		LowerBound: res.LowerBound,
-		Branch:     res.Branch,
+		Plan:       sol.Plan,
+		Makespan:   sol.Makespan,
+		LowerBound: sol.LowerBound,
+		Branch:     sol.Branch,
+		Solver:     sol.Solver,
+		Probes:     sol.Probes,
 	}, nil
-}
-
-func runBaseline(in *instance.Instance, name string) (Solution, error) {
-	for _, alg := range baseline.All() {
-		if alg.Name != name {
-			continue
-		}
-		s, err := alg.Run(in)
-		if err != nil {
-			return Solution{}, err
-		}
-		if err := schedule.Validate(in, s, name != "twy-list"); err != nil {
-			return Solution{}, fmt.Errorf("malsched: baseline %s produced invalid schedule: %w", name, err)
-		}
-		return Solution{
-			Plan:       s,
-			Makespan:   s.Makespan(in),
-			LowerBound: lowerbound.SquashedArea(in),
-			Branch:     name,
-		}, nil
-	}
-	return Solution{}, fmt.Errorf("malsched: unknown baseline %q", name)
 }

@@ -5,7 +5,8 @@
 // is the optimum over non-contiguous non-preemptive schedules — a valid
 // reference ≤ any contiguous schedule's makespan, and ≥ the package
 // lowerbound's relaxation bounds, which is exactly the sandwich the tests
-// use.
+// use. SolveSchedule additionally reconstructs a witness schedule, which is
+// how the solver registry exposes the search as the "exact" solver.
 //
 // Complexity is exponential; Solve refuses instances beyond small limits
 // rather than hanging.
@@ -18,6 +19,7 @@ import (
 
 	"malsched/internal/instance"
 	"malsched/internal/rigid"
+	"malsched/internal/schedule"
 )
 
 // Limits guard the search space.
@@ -29,14 +31,64 @@ const (
 // ErrTooLarge reports an instance beyond the exhaustive-search limits.
 var ErrTooLarge = errors.New("exact: instance too large for exhaustive search")
 
+// ErrInterrupted reports that the interrupt channel fired mid-search.
+var ErrInterrupted = errors.New("exact: search interrupted")
+
 // Solve returns the optimal (non-contiguous, non-preemptive) makespan.
 func Solve(in *instance.Instance) (float64, error) {
+	_, mk, err := SolveSchedule(in)
+	return mk, err
+}
+
+// SolveSchedule returns an optimal schedule together with its makespan. The
+// schedule is non-contiguous (placements carry explicit processor sets) and
+// optimal over all non-preemptive schedules, contiguous or not.
+func SolveSchedule(in *instance.Instance) (*schedule.Schedule, float64, error) {
+	return SolveScheduleInterruptible(in, nil)
+}
+
+// SolveScheduleInterruptible is SolveSchedule with an abort hook: even
+// within the size gates the search is exponential, so callers with
+// deadlines (the engine's per-instance timeout) pass a channel and get
+// ErrInterrupted soon after it closes — the search polls it every few
+// thousand branch-and-bound nodes. A nil channel never fires.
+func SolveScheduleInterruptible(in *instance.Instance, interrupt <-chan struct{}) (*schedule.Schedule, float64, error) {
 	if in.N() > MaxTasks || in.M > MaxProcs {
-		return 0, fmt.Errorf("%w: n=%d m=%d (limits %d, %d)", ErrTooLarge, in.N(), in.M, MaxTasks, MaxProcs)
+		return nil, 0, fmt.Errorf("%w: n=%d m=%d (limits %d, %d)", ErrTooLarge, in.N(), in.M, MaxTasks, MaxProcs)
+	}
+	// stop polls the interrupt once per 1024 nodes (allotment enumeration
+	// and rigid branch-and-bound combined) and latches, so the recursion
+	// unwinds promptly without re-polling on every frame.
+	var nodes int
+	aborted := false
+	stop := func() bool {
+		if aborted {
+			return true
+		}
+		if interrupt == nil {
+			return false
+		}
+		// Poll on the first node (an already-expired deadline aborts even
+		// a tiny search) and then every 1024.
+		if nodes++; nodes&1023 != 1 {
+			return false
+		}
+		select {
+		case <-interrupt:
+			aborted = true
+			return true
+		default:
+			return false
+		}
 	}
 	n := in.N()
 	best := math.Inf(1)
-	// Initialise the incumbent with a greedy schedule so pruning bites.
+	bestAlloc := make([]int, n)
+	var bestStarts []float64
+	var bestProcs [][]int
+
+	// Initialise the incumbent with a greedy schedule so pruning bites; its
+	// placements seed the witness in case no allotment improves on it.
 	{
 		jobs := make([]rigid.Job, n)
 		for i, t := range in.Tasks {
@@ -44,11 +96,21 @@ func Solve(in *instance.Instance) (float64, error) {
 		}
 		pls := rigid.List(in.M, jobs, rigid.ByDecreasingTime(jobs))
 		best = rigid.Makespan(jobs, pls)
+		bestStarts = make([]float64, n)
+		bestProcs = make([][]int, n)
+		for i, p := range pls {
+			bestAlloc[i] = 1
+			bestStarts[i] = p.Start
+			bestProcs[i] = append([]int(nil), p.Procs...)
+		}
 	}
 
 	alloc := make([]int, n)
 	var rec func(i int, area float64, tmax float64)
 	rec = func(i int, area, tmax float64) {
+		if stop() {
+			return
+		}
 		lb := math.Max(area/float64(in.M), tmax)
 		if i == n {
 			// Remaining-area LB cannot prune the exact rigid search, but
@@ -60,8 +122,11 @@ func Solve(in *instance.Instance) (float64, error) {
 			for j := range jobs {
 				jobs[j] = rigid.Job{Width: alloc[j], Time: in.Tasks[j].Time(alloc[j])}
 			}
-			if mk := rigidOptimal(in.M, jobs, best); mk < best {
+			if mk, starts := rigidOptimal(in.M, jobs, best, stop); mk < best {
 				best = mk
+				copy(bestAlloc, alloc)
+				bestStarts = starts
+				bestProcs = nil // re-derived from the starts below
 			}
 			return
 		}
@@ -80,7 +145,66 @@ func Solve(in *instance.Instance) (float64, error) {
 		}
 	}
 	rec(0, 0, 0)
-	return best, nil
+	if aborted {
+		return nil, 0, fmt.Errorf("%w (instance %q)", ErrInterrupted, in.Name)
+	}
+
+	jobs := make([]rigid.Job, n)
+	for j := range jobs {
+		jobs[j] = rigid.Job{Width: bestAlloc[j], Time: in.Tasks[j].Time(bestAlloc[j])}
+	}
+	if bestProcs == nil {
+		procs, err := assignProcs(in.M, jobs, bestStarts)
+		if err != nil {
+			return nil, 0, fmt.Errorf("exact: internal error reconstructing %q: %w", in.Name, err)
+		}
+		bestProcs = procs
+	}
+	s := &schedule.Schedule{Algorithm: "exact"}
+	for j := range jobs {
+		s.Placements = append(s.Placements, schedule.Placement{
+			Task: j, Start: bestStarts[j], Width: jobs[j].Width, First: -1, ProcSet: bestProcs[j],
+		})
+	}
+	return s, best, nil
+}
+
+// assignProcs materialises processor sets for a start-time vector the branch
+// and bound proved feasible: sweeping jobs in start order, each takes the
+// lowest-indexed processors free at its start. Feasibility is exact — every
+// start and completion in the sweep is computed by the same float operations
+// as in the search, so the capacity check never needs a tolerance.
+func assignProcs(m int, jobs []rigid.Job, starts []float64) ([][]int, error) {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			a, b := order[i], order[j]
+			if starts[b] < starts[a] || (starts[b] == starts[a] && b < a) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	busyUntil := make([]float64, m)
+	procs := make([][]int, len(jobs))
+	for _, j := range order {
+		ps := make([]int, 0, jobs[j].Width)
+		for p := 0; p < m && len(ps) < jobs[j].Width; p++ {
+			if busyUntil[p] <= starts[j] {
+				ps = append(ps, p)
+			}
+		}
+		if len(ps) < jobs[j].Width {
+			return nil, fmt.Errorf("job %d (width %d) does not fit at t=%v", j, jobs[j].Width, starts[j])
+		}
+		for _, p := range ps {
+			busyUntil[p] = starts[j] + jobs[j].Time
+		}
+		procs[j] = ps
+	}
+	return procs, nil
 }
 
 // runningJob is a started job in the branch-and-bound state.
@@ -90,15 +214,20 @@ type runningJob struct {
 }
 
 // rigidOptimal finds the optimal rigid makespan by complete branch and
-// bound. Every non-preemptive schedule can be left-shifted so that each
-// start time is 0 or another job's completion; the search branches, at the
-// current decision time, on starting each feasible job or advancing to the
-// next completion event, which enumerates exactly that normal form.
-func rigidOptimal(m int, jobs []rigid.Job, incumbent float64) float64 {
+// bound, returning the per-job start times of the best schedule found (nil
+// when nothing improved on the incumbent). Every non-preemptive schedule
+// can be left-shifted so that each start time is 0 or another job's
+// completion; the search branches, at the current decision time, on
+// starting each feasible job or advancing to the next completion event,
+// which enumerates exactly that normal form. A true stop() abandons the
+// search (results are discarded by the caller).
+func rigidOptimal(m int, jobs []rigid.Job, incumbent float64, stop func() bool) (float64, []float64) {
 	n := len(jobs)
 	best := incumbent
+	var bestStarts []float64
 	running := make([]runningJob, 0, n)
 	done := make([]bool, n)
+	starts := make([]float64, n)
 
 	var totalRemaining float64
 	for _, j := range jobs {
@@ -107,6 +236,9 @@ func rigidOptimal(m int, jobs []rigid.Job, incumbent float64) float64 {
 
 	var dfs func(now float64, started int, finishedMax float64, remArea float64)
 	dfs = func(now float64, started int, finishedMax, remArea float64) {
+		if stop != nil && stop() {
+			return
+		}
 		// Lower bound: all remaining area squeezed from now on, and the
 		// longest remaining job started now.
 		free := m
@@ -131,6 +263,7 @@ func rigidOptimal(m int, jobs []rigid.Job, incumbent float64) float64 {
 		if started == n {
 			if runMax < best {
 				best = runMax
+				bestStarts = append(bestStarts[:0], starts...)
 			}
 			return
 		}
@@ -142,6 +275,7 @@ func rigidOptimal(m int, jobs []rigid.Job, incumbent float64) float64 {
 			}
 			anyFits = true
 			done[i] = true
+			starts[i] = now
 			running = append(running, runningJob{end: now + j.Time, width: j.Width})
 			dfs(now, started+1, finishedMax, remArea-float64(j.Width)*j.Time)
 			running = running[:len(running)-1]
@@ -177,5 +311,8 @@ func rigidOptimal(m int, jobs []rigid.Job, incumbent float64) float64 {
 		}
 	}
 	dfs(0, 0, 0, totalRemaining)
-	return best
+	if bestStarts == nil {
+		return best, nil
+	}
+	return best, bestStarts
 }

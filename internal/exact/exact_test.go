@@ -9,6 +9,7 @@ import (
 	"malsched/internal/core"
 	"malsched/internal/instance"
 	"malsched/internal/lowerbound"
+	"malsched/internal/schedule"
 	"malsched/internal/task"
 )
 
@@ -124,4 +125,34 @@ func TestCoreWithinSqrt3OfOptimum(t *testing.T) {
 		}
 	}
 	t.Logf("worst observed ratio vs true OPT: %.4f", worst)
+}
+
+// SolveSchedule must return a valid witness achieving exactly the optimal
+// makespan it reports, on hand-checked and random tiny instances.
+func TestSolveScheduleWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ins := []*instance.Instance{
+		instance.MustNew("w1", 2, []task.Task{task.Linear("a", 4, 2), task.Linear("b", 4, 2)}),
+		instance.MustNew("w2", 3, []task.Task{task.Sequential("a", 5, 3), task.Sequential("b", 1, 3)}),
+	}
+	for iter := 0; iter < 40; iter++ {
+		m := 2 + rng.Intn(4)
+		n := 2 + rng.Intn(4)
+		ins = append(ins, instance.RandomMonotone(rng.Int63(), n, m))
+	}
+	for _, in := range ins {
+		s, opt, err := SolveSchedule(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if err := schedule.Validate(in, s, false); err != nil {
+			t.Fatalf("%s: witness invalid: %v", in.Name, err)
+		}
+		if mk := s.Makespan(in); math.Abs(mk-opt) > 1e-9 {
+			t.Fatalf("%s: witness makespan %v ≠ reported optimum %v", in.Name, mk, opt)
+		}
+		if lb := lowerbound.SquashedArea(in); opt < lb-1e-9 {
+			t.Fatalf("%s: optimum %v below certified lower bound %v", in.Name, opt, lb)
+		}
+	}
 }

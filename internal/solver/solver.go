@@ -1,0 +1,118 @@
+// Package solver is the pluggable solver layer between the engine and the
+// algorithms: a named registry of everything that can turn an instance into
+// a certified schedule. The paper's √3-approximation ("mrt"), the six
+// two-phase/naive baselines, the exhaustive-search reference ("exact",
+// auto-gated to tiny instances) and the "portfolio" meta-solver all register
+// here, and the engine dispatches by name instead of string-switching —
+// adding a solver is one Register call, visible to the facade, the batch
+// engine, cmd/msched and cmd/msbench at once.
+//
+// Every registered solver must return a complete, validated plan with a
+// certified lower bound, so callers can compare solvers by certified ratio
+// without trusting them.
+package solver
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"malsched/internal/core"
+	"malsched/internal/instance"
+	"malsched/internal/schedule"
+)
+
+// Options tunes one Solve call. The zero value is the paper's
+// configuration.
+type Options struct {
+	// Eps is the dichotomic search tolerance; the guarantee is √3(1+Eps).
+	Eps float64
+	// Compact greedily left-shifts the final schedule.
+	Compact bool
+	// Parallelism is the speculative-search width of the dual search
+	// (core.Options.Parallelism); results are identical at every value.
+	// Solvers without an internal search ignore it.
+	Parallelism int
+
+	// Scratch and Interrupt are the engine's per-worker hooks: reusable
+	// probe buffers (nil allocates) and the per-instance timeout channel
+	// (nil never fires). Solvers running sub-solvers concurrently must
+	// hand the Scratch to at most one of them.
+	Scratch   *core.Scratch
+	Interrupt <-chan struct{}
+}
+
+// Solution is the outcome of one solver on one instance: the validated plan
+// plus its certificates and provenance.
+type Solution struct {
+	// Plan is the schedule; always complete and validated.
+	Plan *schedule.Schedule
+	// Makespan is the parallel execution time achieved.
+	Makespan float64
+	// LowerBound is a certified lower bound on the optimal makespan.
+	LowerBound float64
+	// Branch names the construction that produced the plan.
+	Branch string
+	// Solver names the registered solver that produced the plan; for the
+	// portfolio it is the winning member, not "portfolio".
+	Solver string
+	// Probes counts dual-approximation steps performed (0 for solvers
+	// without a dual search; the portfolio sums its members').
+	Probes int
+}
+
+// Solver turns an instance into a certified solution. Implementations must
+// be safe for concurrent Solve calls on distinct instances (the engine's
+// workers share one Solver value) and must validate their own plans.
+type Solver interface {
+	// Name is the registry key, stable across releases.
+	Name() string
+	// Solve schedules the instance. The returned plan must pass
+	// schedule.Validate; the lower bound must be certified.
+	Solve(in *instance.Instance, o Options) (Solution, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Solver)
+)
+
+// Register adds a solver under its Name. It panics on an empty name or a
+// duplicate registration — both are wiring bugs, caught at init time.
+func Register(s Solver) {
+	name := s.Name()
+	if name == "" {
+		panic("solver: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("solver: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the solver registered under name.
+func Lookup(name string) (Solver, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered solver name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ErrUnknown wraps every lookup failure with the registered alternatives.
+func ErrUnknown(name string) error {
+	return fmt.Errorf("solver: unknown solver %q (registered: %v)", name, Names())
+}

@@ -29,6 +29,16 @@
 //	}
 //	fmt.Printf("makespan %.3f, certified ratio %.3f\n", res.Makespan, res.Ratio())
 //
+// Scheduling runs through a pluggable solver registry: Options.Solver picks
+// any registered solver (Solvers lists them — the paper's "mrt", six
+// baselines, an exhaustive "exact" reference for tiny instances), and
+// Options.Portfolio runs several concurrently, keeping the plan with the
+// smallest makespan under the strongest certified lower bound any member
+// produced (Result.Solver names the winner). Options.Parallelism speculates
+// λ-guesses of the dual search concurrently — bit-identical output, lower
+// latency on idle cores. RegisterSolver plugs in external solvers; see
+// docs/ARCHITECTURE.md.
+//
 // For batches and streams of instances, NewEngine wraps the same pipeline
 // in a bounded worker pool with memoisation of repeated workloads; see
 // Engine.
@@ -45,6 +55,7 @@ import (
 	"malsched/internal/instance"
 	"malsched/internal/lowerbound"
 	"malsched/internal/schedule"
+	"malsched/internal/solver"
 	"malsched/internal/task"
 )
 
@@ -86,16 +97,31 @@ func NewInstance(name string, m int, tasks []Task) (*Instance, error) {
 }
 
 // Options tunes Schedule. The zero value (or nil) uses the paper's
-// configuration: ρ = √3, search tolerance 1e-3, no compaction.
+// configuration: ρ = √3, search tolerance 1e-3, no compaction, the "mrt"
+// solver, sequential search.
 type Options struct {
 	// Eps is the dichotomic search tolerance; the guarantee is √3(1+Eps).
 	Eps float64
 	// Compact greedily left-shifts the final schedule (never increases the
 	// makespan; changes the shelf structure).
 	Compact bool
-	// Baseline, when non-empty, bypasses the paper's algorithm and runs a
-	// named baseline instead: "twy-list", "twy-ffdh", "twy-nfdh",
-	// "twy-bld", "seq-lpt" or "full-parallel". For comparisons.
+	// Solver names the registered solver to run; empty means the paper's
+	// algorithm ("mrt"). Solvers() lists the registry: the six baselines,
+	// the exhaustive "exact" reference (tiny instances only), the default
+	// "portfolio", and anything added with RegisterSolver.
+	Solver string
+	// Portfolio, when non-empty, runs these registered solvers
+	// concurrently and keeps the best certified result: the smallest
+	// makespan under the strongest certified lower bound any member
+	// produced. Overrides Solver. See Result.Solver for the winner.
+	Portfolio []string
+	// Parallelism, when ≥ 2, speculates that many λ-guesses of the dual
+	// search concurrently. Every output is bit-identical to the
+	// sequential search — parallelism only trades spare cores for search
+	// latency. Ignored by solvers without a dual search.
+	Parallelism int
+	// Baseline is a deprecated alias for Solver, kept for pre-registry
+	// callers; Solver wins when both are set.
 	Baseline string
 }
 
@@ -111,6 +137,13 @@ type Result struct {
 	// Branch names the paper construction (or baseline) that produced the
 	// plan: "malleable-list", "canonical-list[+realloc]", "two-shelf", …
 	Branch string
+	// Solver names the registered solver that produced the plan; for
+	// portfolio runs it is the winning member, not "portfolio".
+	Solver string
+	// Probes counts dual-approximation steps performed, speculative ones
+	// included (0 for solvers without a dual search; portfolios sum their
+	// members'). The benchmark harness derives probe throughput from it.
+	Probes int
 }
 
 // Ratio returns Makespan / LowerBound, the certified ratio.
@@ -134,7 +167,7 @@ func Schedule(in *Instance, opts *Options) (Result, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
-	sol, err := engine.Solve(in, engine.Options{Eps: opts.Eps, Compact: opts.Compact, Baseline: opts.Baseline})
+	sol, err := engine.Solve(in, engineOptions(*opts))
 	if err != nil {
 		return Result{}, err
 	}
@@ -143,7 +176,60 @@ func Schedule(in *Instance, opts *Options) (Result, error) {
 		Makespan:   sol.Makespan,
 		LowerBound: sol.LowerBound,
 		Branch:     sol.Branch,
+		Solver:     sol.Solver,
+		Probes:     sol.Probes,
 	}, nil
+}
+
+// engineOptions maps the facade options onto the engine's.
+func engineOptions(o Options) engine.Options {
+	return engine.Options{
+		Eps:         o.Eps,
+		Compact:     o.Compact,
+		Solver:      o.Solver,
+		Portfolio:   o.Portfolio,
+		Parallelism: o.Parallelism,
+		Baseline:    o.Baseline,
+	}
+}
+
+// Solvers returns the names of every registered solver — the paper's "mrt",
+// the six baselines, the "exact" reference, the default "portfolio" and any
+// solver added with RegisterSolver.
+func Solvers() []string { return solver.Names() }
+
+// SolverFunc is a custom scheduling algorithm for RegisterSolver: it must
+// return a complete plan (validated non-contiguously by the registry) and a
+// certified lower bound for the instance. Eps, Compact and Parallelism are
+// passed through in opts; Solver/Portfolio/Baseline are empty.
+type SolverFunc func(in *Instance, opts Options) (Result, error)
+
+// RegisterSolver makes a custom solver available to Schedule, Engine and
+// portfolios under the given name (Options.Solver / Options.Portfolio).
+// It panics on an empty or duplicate name — registration is init-time
+// wiring, not a runtime operation.
+func RegisterSolver(name string, fn SolverFunc) {
+	solver.Register(solver.Func{
+		SolverName: name,
+		Fn: func(in *instance.Instance, o solver.Options) (solver.Solution, error) {
+			res, err := fn(in, Options{Eps: o.Eps, Compact: o.Compact, Parallelism: o.Parallelism})
+			if err != nil {
+				return solver.Solution{}, err
+			}
+			branch := res.Branch
+			if branch == "" {
+				branch = name
+			}
+			return solver.Solution{
+				Plan:       res.Plan,
+				Makespan:   res.Makespan,
+				LowerBound: res.LowerBound,
+				Branch:     branch,
+				Solver:     name,
+				Probes:     res.Probes,
+			}, nil
+		},
+	})
 }
 
 // LowerBound returns the strongest certified lower bound available (the

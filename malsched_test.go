@@ -3,6 +3,7 @@ package malsched
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"malsched/internal/instance"
@@ -244,4 +245,101 @@ func TestScheduleAllFamilies(t *testing.T) {
 			t.Fatalf("%s: ratio %v", name, res.Ratio())
 		}
 	}
+}
+
+// The solver registry through the facade: named solvers, the deprecated
+// Baseline alias, the portfolio, and the reported winner.
+func TestScheduleSolverRegistry(t *testing.T) {
+	in := demoInstance(t)
+
+	if got := Solvers(); len(got) < 9 {
+		t.Fatalf("Solvers() = %v, want at least the 9 builtins", got)
+	}
+
+	mrt, err := Schedule(in, &Options{Solver: "mrt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrt.Solver != "mrt" {
+		t.Fatalf("Solver = %q, want mrt", mrt.Solver)
+	}
+
+	// Solver and the deprecated Baseline alias select the same pipeline.
+	viaSolver, err := Schedule(in, &Options{Solver: "seq-lpt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBaseline, err := Schedule(in, &Options{Baseline: "seq-lpt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSolver.Makespan != viaBaseline.Makespan || viaSolver.Solver != "seq-lpt" || viaBaseline.Solver != "seq-lpt" {
+		t.Fatalf("alias mismatch: %+v vs %+v", viaSolver, viaBaseline)
+	}
+
+	// A portfolio never loses to any member and reports the winner.
+	port, err := Schedule(in, &Options{Portfolio: []string{"mrt", "twy-ffdh", "seq-lpt"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port.Makespan > mrt.Makespan+1e-12 {
+		t.Fatalf("portfolio makespan %v worse than mrt's %v", port.Makespan, mrt.Makespan)
+	}
+	if port.Solver == "" || port.Solver == "portfolio" {
+		t.Fatalf("portfolio winner = %q, want a member name", port.Solver)
+	}
+	if err := Validate(in, port.Plan, false); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Schedule(in, &Options{Solver: "no-such"}); err == nil {
+		t.Fatal("want error for unknown solver")
+	}
+	if _, err := Schedule(in, &Options{Portfolio: []string{"mrt", "no-such"}}); err == nil {
+		t.Fatal("want error for unknown portfolio member")
+	}
+}
+
+// registerTestSolver guards the init-time registration so the test survives
+// multiple runs in one process (-cpu lists, -count).
+var registerTestSolver sync.Once
+
+// External solvers registered through the facade run like builtins, alone
+// and as portfolio members.
+func TestRegisterSolverExternal(t *testing.T) {
+	registerTestSolver.Do(registerSeqStack)
+
+	in := demoInstance(t)
+	res, err := Schedule(in, &Options{Solver: "test-seq-stack"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != "test-seq-stack" || res.Branch != "test-seq-stack" {
+		t.Fatalf("provenance = %q/%q", res.Solver, res.Branch)
+	}
+	if err := Validate(in, res.Plan, false); err != nil {
+		t.Fatal(err)
+	}
+
+	port, err := Schedule(in, &Options{Portfolio: []string{"test-seq-stack", "mrt"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if port.Solver != "mrt" {
+		t.Fatalf("winner = %q, want mrt to beat the stacked straw man", port.Solver)
+	}
+}
+
+func registerSeqStack() {
+	RegisterSolver("test-seq-stack", func(in *Instance, opts Options) (Result, error) {
+		// Every task sequential on processor 0, stacked back to back: a
+		// deliberately weak but valid plan with the exported bound.
+		p := &Plan{Algorithm: "test-seq-stack"}
+		var t0 float64
+		for i := range in.Tasks {
+			p.Placements = append(p.Placements, Placement{Task: i, Start: t0, Width: 1, First: 0})
+			t0 += in.Tasks[i].SeqTime()
+		}
+		return Result{Plan: p, Makespan: t0, LowerBound: LowerBound(in)}, nil
+	})
 }
