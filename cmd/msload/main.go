@@ -1,0 +1,300 @@
+// Command msload is the scheduling service's end-to-end differential
+// oracle: a deterministic seeded load generator that replays workloads from
+// the internal/instance families against a running msserve and asserts that
+// every response is bit-identical to scheduling the same instance
+// in-process — same makespan and lower-bound bits, same branch, solver,
+// probe count and placements. Any divergence is a bug in the service
+// plumbing (codec, sharding, memoisation), never an acceptable drift.
+//
+// Usage:
+//
+//	msload [-addr http://127.0.0.1:8080] [-seed 1] [-n 200] [-batch 0]
+//	       [-families mixed,random-monotone,comm-heavy,wide-parallel,powerlaw-0.7]
+//	       [-tasks 18] [-m 16] [-solver name] [-parallelism 0] [-eps 0]
+//	       [-compact] [-v]
+//
+// The workload is a pure function of -seed/-n/-families/-tasks/-m, so a
+// reported divergence is replayable by rerunning the same invocation.
+// -batch k > 1 sends /v1/batch requests of k instances instead of single
+// /v1/schedule calls, exercising the per-item path. Exits non-zero on any
+// mismatch or transport failure and prints a one-line verdict:
+//
+//	msload: 0 mismatches across 200 requests (seed 1)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"malsched"
+	"malsched/internal/instance"
+	"malsched/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msload: ")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "msserve base URL")
+	seed := flag.Int64("seed", 1, "workload seed (the replay key)")
+	n := flag.Int("n", 200, "number of instances to replay")
+	batch := flag.Int("batch", 0, "≥ 2 sends /v1/batch requests of this size; else /v1/schedule")
+	famFlag := flag.String("families", "", "comma-separated family list (default: all)")
+	maxTasks := flag.Int("tasks", 18, "max tasks per instance")
+	maxM := flag.Int("m", 16, "max processors per instance")
+	solverName := flag.String("solver", "", "registered solver for every request (default mrt)")
+	parallelism := flag.Int("parallelism", 0, "speculative dual-search width")
+	eps := flag.Float64("eps", 0, "search tolerance (0 = default)")
+	compact := flag.Bool("compact", false, "left-shift final schedules")
+	verbose := flag.Bool("v", false, "log every request")
+	flag.Parse()
+
+	fams := instance.Families()
+	var famNames []string
+	if *famFlag == "" {
+		for name := range fams {
+			famNames = append(famNames, name)
+		}
+		sort.Strings(famNames)
+	} else {
+		for _, name := range strings.Split(*famFlag, ",") {
+			name = strings.TrimSpace(name)
+			if fams[name] == nil {
+				log.Fatalf("unknown family %q", name)
+			}
+			famNames = append(famNames, name)
+		}
+	}
+	if *maxTasks < 2 || *maxM < 2 {
+		log.Fatal("-tasks and -m must be ≥ 2")
+	}
+
+	opts := &server.RequestOptions{
+		Solver:      *solverName,
+		Eps:         *eps,
+		Compact:     *compact,
+		Parallelism: *parallelism,
+	}
+	local := &malsched.Options{
+		Solver:      *solverName,
+		Eps:         *eps,
+		Compact:     *compact,
+		Parallelism: *parallelism,
+	}
+
+	ld := &loader{
+		client:  &http.Client{Timeout: 120 * time.Second},
+		base:    strings.TrimRight(*addr, "/"),
+		opts:    opts,
+		local:   local,
+		verbose: *verbose,
+	}
+
+	// The workload is a pure function of the flags: family round-robin,
+	// sizes and seeds derived from the request index.
+	reqs := make([]replay, *n)
+	for i := range reqs {
+		family := famNames[i%len(famNames)]
+		nT := 2 + (i*5)%(*maxTasks-1)
+		m := 2 + (i*3)%(*maxM-1)
+		in := fams[family](*seed*1_000_003+int64(i), nT, m)
+		raw, err := server.EncodeInstance(in)
+		if err != nil {
+			log.Fatalf("encoding %s: %v", in.Name, err)
+		}
+		// Decode the encoded bytes back so the local reference sees exactly
+		// the instance the server will decode — the comparison then tests
+		// the service, not the codec round-trip.
+		canonical, err := server.DecodeInstance(raw)
+		if err != nil {
+			log.Fatalf("decoding %s: %v", in.Name, err)
+		}
+		reqs[i] = replay{index: i, raw: raw, in: canonical}
+	}
+
+	if *batch >= 2 {
+		for lo := 0; lo < len(reqs); lo += *batch {
+			hi := lo + *batch
+			if hi > len(reqs) {
+				hi = len(reqs)
+			}
+			ld.replayBatch(reqs[lo:hi])
+		}
+	} else {
+		for i := range reqs {
+			ld.replaySingle(&reqs[i])
+		}
+	}
+
+	fmt.Printf("msload: %d mismatches across %d requests (seed %d)\n", ld.mismatches, len(reqs), *seed)
+	if ld.mismatches > 0 {
+		os.Exit(1)
+	}
+}
+
+// replay is one instance to send plus its canonical in-memory form.
+type replay struct {
+	index int
+	raw   json.RawMessage
+	in    *malsched.Instance
+}
+
+type loader struct {
+	client  *http.Client
+	base    string
+	opts    *server.RequestOptions
+	local   *malsched.Options
+	verbose bool
+
+	mismatches int
+}
+
+func (l *loader) mismatch(r *replay, format string, args ...any) {
+	l.mismatches++
+	log.Printf("MISMATCH [%d] %s: %s", r.index, r.in.Name, fmt.Sprintf(format, args...))
+}
+
+// post sends one JSON request and decodes the response body. Admission
+// shedding is not a pipeline divergence: 429 (queue full) is retried with
+// backoff, and 503 (draining) aborts the run as a transport-level failure
+// — neither may ever be reported as a differential mismatch.
+func (l *loader) post(path string, body any) (int, []byte) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatalf("marshaling request: %v", err)
+	}
+	const retries = 60
+	for attempt := 0; ; attempt++ {
+		resp, err := l.client.Post(l.base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			log.Fatalf("POST %s: %v (is msserve running?)", path, err)
+		}
+		var out bytes.Buffer
+		_, readErr := out.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			log.Fatalf("reading response: %v", readErr)
+		}
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			if attempt >= retries {
+				log.Fatalf("POST %s: still shed (429) after %d retries; target is overloaded", path, retries)
+			}
+			time.Sleep(250 * time.Millisecond)
+			continue
+		case http.StatusServiceUnavailable:
+			log.Fatalf("POST %s: target is draining (503): %s", path, out.Bytes())
+		}
+		return resp.StatusCode, out.Bytes()
+	}
+}
+
+func (l *loader) replaySingle(r *replay) {
+	status, body := l.post("/v1/schedule", server.ScheduleRequest{Instance: r.raw, Options: l.opts})
+	l.compare(r, status, body)
+}
+
+func (l *loader) replayBatch(rs []replay) {
+	raws := make([]json.RawMessage, len(rs))
+	for i := range rs {
+		raws[i] = rs[i].raw
+	}
+	status, body := l.post("/v1/batch", server.BatchRequest{Instances: raws, Options: l.opts})
+	if status != http.StatusOK {
+		for i := range rs {
+			l.mismatch(&rs[i], "batch request failed: HTTP %d: %s", status, body)
+		}
+		return
+	}
+	var resp server.BatchResponse
+	if err := json.Unmarshal(body, &resp); err != nil || len(resp.Results) != len(rs) {
+		for i := range rs {
+			l.mismatch(&rs[i], "undecodable batch response (%d results, err %v)", len(resp.Results), err)
+		}
+		return
+	}
+	for i := range rs {
+		item := resp.Results[i]
+		if item.Error != nil {
+			l.compareError(&rs[i], item.Error.Code)
+			continue
+		}
+		l.compareResult(&rs[i], item.Result)
+	}
+}
+
+// compare checks a /v1/schedule response against the in-process pipeline.
+func (l *loader) compare(r *replay, status int, body []byte) {
+	if status != http.StatusOK {
+		var eb server.ErrorBody
+		_ = json.Unmarshal(body, &eb)
+		l.compareError(r, eb.Error.Code)
+		return
+	}
+	var resp server.ScheduleResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		l.mismatch(r, "undecodable response: %v", err)
+		return
+	}
+	l.compareResult(r, &resp)
+}
+
+// compareError handles the rare case where the reference pipeline itself
+// fails (e.g. a solver not applicable to the instance): then the service
+// must fail too, with a typed code.
+func (l *loader) compareError(r *replay, code string) {
+	if _, err := malsched.Schedule(r.in, l.local); err == nil {
+		l.mismatch(r, "server errored (%s) but in-process Schedule succeeds", code)
+	} else if l.verbose {
+		log.Printf("[%d] %s: both sides error (%s)", r.index, r.in.Name, code)
+	}
+}
+
+func (l *loader) compareResult(r *replay, got *server.ScheduleResponse) {
+	want, err := malsched.Schedule(r.in, l.local)
+	if err != nil {
+		l.mismatch(r, "server succeeded but in-process Schedule fails: %v", err)
+		return
+	}
+	if math.Float64bits(got.Makespan) != math.Float64bits(want.Makespan) {
+		l.mismatch(r, "makespan %v != in-process %v", got.Makespan, want.Makespan)
+		return
+	}
+	if math.Float64bits(got.LowerBound) != math.Float64bits(want.LowerBound) {
+		l.mismatch(r, "lower bound %v != in-process %v", got.LowerBound, want.LowerBound)
+		return
+	}
+	if got.Branch != want.Branch || got.Solver != want.Solver {
+		l.mismatch(r, "provenance %s/%s != in-process %s/%s", got.Branch, got.Solver, want.Branch, want.Solver)
+		return
+	}
+	if got.Probes != want.Probes {
+		l.mismatch(r, "probes %d != in-process %d", got.Probes, want.Probes)
+		return
+	}
+	if got.Plan.Algorithm != want.Plan.Algorithm {
+		l.mismatch(r, "plan algorithm %q != %q", got.Plan.Algorithm, want.Plan.Algorithm)
+		return
+	}
+	wantPl := make([]server.PlacementJSON, len(want.Plan.Placements))
+	for i, p := range want.Plan.Placements {
+		wantPl[i] = server.PlacementJSON{Task: p.Task, Start: p.Start, Width: p.Width, First: p.First, ProcSet: p.ProcSet}
+	}
+	if !reflect.DeepEqual(got.Plan.Placements, wantPl) {
+		l.mismatch(r, "placements differ")
+		return
+	}
+	if l.verbose {
+		log.Printf("[%d] %s: ok (makespan %.6g, shard %d, memo %v)",
+			r.index, r.in.Name, got.Makespan, got.Shard, got.FromMemo)
+	}
+}

@@ -1,0 +1,84 @@
+// Command msserve runs the malsched scheduling service: an HTTP/JSON API
+// over the batch engine with fingerprint-sharded memoisation, a bounded
+// admission queue and registry-validated per-request solver selection.
+// Every response is re-checked with the canonical plan verifier before it
+// leaves the process.
+//
+// Usage:
+//
+//	msserve [-addr :8080] [-shards 4] [-workers 0] [-memo 0] [-queue 64]
+//	        [-timeout 0] [-max-timeout 60s] [-drain-grace 30s]
+//
+// On SIGTERM or SIGINT the server drains gracefully: /healthz flips to 503
+// so load balancers stop routing, new scheduling requests are refused with
+// a typed "draining" error, and in-flight requests get up to -drain-grace
+// to finish before the listener closes.
+//
+// See docs/SERVICE.md for the API schema and cmd/msload for the
+// differential load generator that replays workloads against a running
+// msserve.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"malsched"
+	"malsched/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", server.DefaultShards, "engine shards (workloads are fingerprint-routed)")
+	workers := flag.Int("workers", 0, "workers per shard (0 = GOMAXPROCS)")
+	memo := flag.Int("memo", 0, "memo capacity per shard (0 = default, negative disables)")
+	queue := flag.Int("queue", server.DefaultQueueDepth, "admission queue depth (further requests get 429)")
+	timeout := flag.Duration("timeout", 0, "default per-request solve timeout (0 = none)")
+	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "cap on per-request timeout_ms")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long in-flight requests get after SIGTERM")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Shards:         *shards,
+		Workers:        *workers,
+		MemoCapacity:   *memo,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (%d shards, queue %d, solvers: %s)",
+		*addr, *shards, *queue, strings.Join(malsched.Solvers(), ", "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case got := <-sig:
+		log.Printf("%v: draining (in-flight requests get %v)", got, *drainGrace)
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Fatalf("drain incomplete: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Printf("drained cleanly")
+	}
+}

@@ -1,0 +1,56 @@
+package malsched_test
+
+import (
+	"bytes"
+	"testing"
+
+	"malsched"
+	"malsched/internal/instance"
+)
+
+// FuzzSchedule drives the full pipeline with fuzzer-built instances decoded
+// through the production JSON codec: whatever parses must either schedule
+// successfully — with a plan that passes the canonical verifier — or fail
+// with an ordinary error. No panic may escape and no uncertified schedule
+// may be returned. Size gates keep each iteration fast (the search is
+// superlinear in n·m); magnitude gates keep the work sums finite, and the
+// overflow guard beyond them is unit-tested in internal/core.
+func FuzzSchedule(f *testing.F) {
+	var buf bytes.Buffer
+	if err := instance.Mixed(5, 5, 4).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	for _, s := range []string{
+		`{"name":"one","m":1,"tasks":[{"name":"a","times":[1]}]}`,
+		`{"name":"two-shelf","m":4,"tasks":[{"name":"a","times":[4,2.1,1.5,1.2]},{"name":"b","times":[3.9,2,1.4,1.1]},{"name":"c","times":[0.4]}]}`,
+		`{"name":"flat","m":3,"tasks":[{"name":"a","times":[2,2,2]},{"name":"b","times":[2,2,2]}]}`,
+		`{"name":"spread","m":6,"tasks":[{"name":"a","times":[9,4.6,3.2,2.5,2.1,1.8]},{"name":"b","times":[0.01]},{"name":"c","times":[5,5,5,5,5,5]}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := instance.ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Small decoded instances only: the property is verification, not
+		// throughput.
+		if in.N() > 6 || in.M > 8 {
+			return
+		}
+		for _, tk := range in.Tasks {
+			if tk.SeqTime() > 1e12 || tk.MinTime() < 1e-9 {
+				return
+			}
+		}
+		res, err := malsched.Schedule(in, nil)
+		if err != nil {
+			return // typed failure is acceptable; panics are not
+		}
+		if err := malsched.Verify(in, res, true); err != nil {
+			t.Fatalf("schedule for %q failed verification: %v", in.Name, err)
+		}
+	})
+}

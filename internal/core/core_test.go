@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -336,5 +337,17 @@ func TestDefaultParamsDerived(t *testing.T) {
 	}
 	if math.Abs(p.theta()-math.Sqrt(3)/2) > 1e-12 {
 		t.Fatalf("theta = %v", p.theta())
+	}
+}
+
+// An instance whose total-work bound overflows float64 must be refused
+// typed instead of bisecting on an infinite interval (found by fuzzing the
+// JSON codec: times near 1e308 are valid per-task but their sum is not).
+func TestApproximateRefusesOverflow(t *testing.T) {
+	huge := task.MustNew("huge", []float64{1e308})
+	in := instance.MustNew("overflow", 1, []task.Task{huge, huge, huge})
+	_, err := Approximate(in, Options{})
+	if !errors.Is(err, ErrOverflow) {
+		t.Fatalf("got %v, want ErrOverflow", err)
 	}
 }

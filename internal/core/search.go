@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"malsched/internal/instance"
 	"malsched/internal/lowerbound"
@@ -99,6 +100,14 @@ var ErrInterrupted = errors.New("core: search interrupted")
 // instead of spinning on it.
 var ErrZeroLowerBound = errors.New("core: trivial lower bound is zero (empty or zero-work instance)")
 
+// ErrOverflow is returned when the instance's trivial lower bound is not
+// finite — execution times (or their sum) overflow float64. Valid tasks
+// have finite profiles, but the total-work bound sums them, and a fuzzer
+// (or a caller with ~1e308-scale times) can push that sum to +Inf; the
+// bisection interval [Inf, Inf] could never converge, so the search refuses
+// the instance up front.
+var ErrOverflow = errors.New("core: trivial lower bound overflows float64")
+
 // search is the shared state of the dichotomic dual search: the result
 // under construction, the incumbent schedule and the current bracketing
 // interval. Both drivers — the sequential loop and the speculative k-probe
@@ -166,6 +175,9 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 	s.res.LowerBound = lowerbound.Trivial(in)
 	if !(s.res.LowerBound > 0) {
 		return Result{}, fmt.Errorf("%w (instance %q)", ErrZeroLowerBound, in.Name)
+	}
+	if math.IsInf(s.res.LowerBound, 1) {
+		return Result{}, fmt.Errorf("%w (instance %q)", ErrOverflow, in.Name)
 	}
 	s.lo = s.res.LowerBound // invariant: OPT ≥ certified LB; lo tracks search floor
 

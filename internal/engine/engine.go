@@ -63,6 +63,13 @@ var ErrTimeout = errors.New("engine: instance timed out")
 // ErrNilInstance reports a nil instance submitted to the engine.
 var ErrNilInstance = errors.New("engine: nil instance")
 
+// ErrBadInstance wraps every admission rejection of a malformed instance
+// (zero processors, no tasks, nil or non-monotone profiles — see
+// instance.Check). Such instances used to surface as recovered panics with
+// free-text messages; the typed error keeps a poisoned batch item
+// diagnosable while its siblings succeed.
+var ErrBadInstance = errors.New("engine: invalid instance")
+
 // New builds an Engine from the config; see Config for the zero-value
 // defaults.
 func New(cfg Config) *Engine {
@@ -102,7 +109,7 @@ type Outcome struct {
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
 	// Scheduled counts instances accepted for scheduling (memo hits
-	// included, nil instances excluded).
+	// included; nil and invalid instances excluded).
 	Scheduled uint64
 	// Errors counts failed instances of any kind; Panics and Timeouts
 	// break out the two isolated failure classes also counted here.
@@ -141,6 +148,25 @@ var solveFn = solve
 func (e *Engine) Schedule(in *instance.Instance) (Solution, error) {
 	o := e.run(0, in)
 	return o.Solution, o.Err
+}
+
+// ScheduleWith runs one instance under per-call scheduling options and
+// timeout instead of the engine's configured ones, sharing the same pooled
+// scratches and memo (entries are keyed by options, so differently-tuned
+// calls never collide). A zero timeout means no limit. It is how the
+// scheduling service maps per-request solver/parallelism/timeout selection
+// onto shared engines.
+func (e *Engine) ScheduleWith(in *instance.Instance, o Options, timeout time.Duration) Outcome {
+	return e.runWith(0, in, o, timeout, nil)
+}
+
+// ScheduleWithHash is ScheduleWith for callers that already computed
+// Fingerprint(in, o): the scheduling service routes shards by that hash,
+// and the memo probe reuses it instead of re-hashing every profile. The
+// hash MUST equal Fingerprint(in, o) — a stale one would alias memo
+// entries.
+func (e *Engine) ScheduleWithHash(in *instance.Instance, o Options, timeout time.Duration, hash uint64) Outcome {
+	return e.runWith(0, in, o, timeout, &hash)
 }
 
 // ScheduleBatch schedules every instance and returns one outcome per
@@ -212,21 +238,30 @@ func (e *Engine) ScheduleStream(jobs <-chan *instance.Instance) <-chan Outcome {
 	return out
 }
 
-// run executes one job: memo probe, pooled-scratch solve under the
-// per-instance deadline, panic recovery, memo fill.
+// run executes one job under the engine's configured options and timeout.
 func (e *Engine) run(idx int, in *instance.Instance) Outcome {
+	return e.runWith(idx, in, e.cfg.Options, e.cfg.Timeout, nil)
+}
+
+// runWith executes one job: admission check, memo probe, pooled-scratch
+// solve under the per-call deadline, panic recovery, memo fill. A non-nil
+// hash supplies the caller-precomputed Fingerprint(in, opts).
+func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout time.Duration, hash *uint64) Outcome {
 	out := Outcome{Index: idx, In: in}
 	if in == nil {
 		out.Err = ErrNilInstance
 		e.errs.Add(1)
 		return out
 	}
-	e.scheduled.Add(1)
-
 	var k memoKey
 	if e.memo != nil {
-		k = fingerprint(in, e.cfg.Options)
+		if hash != nil {
+			k = memoKey{hash: *hash, m: in.M, n: in.N()}
+		} else {
+			k = fingerprint(in, opts)
+		}
 		if v, ok := e.memo.get(k); ok {
+			e.scheduled.Add(1)
 			e.hits.Add(1)
 			out.Solution = v.clone()
 			out.FromMemo = true
@@ -235,13 +270,25 @@ func (e *Engine) run(idx int, in *instance.Instance) Outcome {
 		e.misses.Add(1)
 	}
 
+	// The admission gate sits after the memo probe: a hit proves a
+	// same-profile workload already passed it (fingerprinting tolerates
+	// malformed profiles, and a poisoned profile cannot hash-match a
+	// validated one short of the accepted 64-bit collision), so the hot
+	// memo path skips the O(n·m) re-validation.
+	if err := instance.Check(in); err != nil {
+		out.Err = fmt.Errorf("%w: %w", ErrBadInstance, err)
+		e.errs.Add(1)
+		return out
+	}
+	e.scheduled.Add(1)
+
 	sc := e.scratch.Get().(*core.Scratch)
 	defer e.scratch.Put(sc)
 
 	var interrupt <-chan struct{}
-	if e.cfg.Timeout > 0 {
+	if timeout > 0 {
 		deadline := make(chan struct{})
-		t := time.AfterFunc(e.cfg.Timeout, func() { close(deadline) })
+		t := time.AfterFunc(timeout, func() { close(deadline) })
 		defer t.Stop()
 		interrupt = deadline
 	}
@@ -254,12 +301,12 @@ func (e *Engine) run(idx int, in *instance.Instance) Outcome {
 				out.Err = fmt.Errorf("engine: panic scheduling instance %q: %v", in.Name, r)
 			}
 		}()
-		out.Solution, out.Err = solveFn(in, e.cfg.Options, sc, interrupt)
+		out.Solution, out.Err = solveFn(in, opts, sc, interrupt)
 	}()
 
 	if errors.Is(out.Err, core.ErrInterrupted) {
 		e.timeouts.Add(1)
-		out.Err = fmt.Errorf("%w: instance %q exceeded %v", ErrTimeout, in.Name, e.cfg.Timeout)
+		out.Err = fmt.Errorf("%w: instance %q exceeded %v", ErrTimeout, in.Name, timeout)
 	}
 	if out.Err != nil {
 		e.errs.Add(1)

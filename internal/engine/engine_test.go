@@ -11,6 +11,7 @@ import (
 	"malsched/internal/core"
 	"malsched/internal/instance"
 	"malsched/internal/schedule"
+	"malsched/internal/task"
 )
 
 // testFleet generates a diverse fleet of instances across every generator
@@ -440,5 +441,121 @@ func TestFingerprintSolverResolution(t *testing.T) {
 	}
 	if fingerprint(a, Options{}) == fingerprint(a, Options{Portfolio: []string{"mrt"}}) {
 		t.Fatal("portfolio ignored by the memo key")
+	}
+}
+
+// A batch with poisoned instances — the silent-drop risk of the batch
+// paths — must return one typed error per bad item while every sibling
+// succeeds. The poison set is exactly what a caller can hand-roll around
+// instance.New: zero processors, no tasks, a zero-value Task with no
+// profile.
+func TestBatchIsolatesPoisonedInstances(t *testing.T) {
+	good := instance.Mixed(1, 10, 8)
+	good2 := instance.RandomMonotone(2, 6, 4)
+	poisoned := []*instance.Instance{
+		good,
+		{Name: "no-procs", M: 0, Tasks: good.Tasks},
+		nil,
+		{Name: "no-tasks", M: 4},
+		good2,
+		{Name: "nil-profile", M: 4, Tasks: make([]task.Task, 3)},
+	}
+	e := New(Config{Workers: 4})
+	outs := e.ScheduleBatch(poisoned)
+	if len(outs) != len(poisoned) {
+		t.Fatalf("got %d outcomes for %d instances", len(outs), len(poisoned))
+	}
+	wantErr := map[int]error{1: ErrBadInstance, 2: ErrNilInstance, 3: ErrBadInstance, 5: ErrBadInstance}
+	for i, o := range outs {
+		if want, bad := wantErr[i]; bad {
+			if !errors.Is(o.Err, want) {
+				t.Errorf("item %d: got error %v, want %v", i, o.Err, want)
+			}
+			continue
+		}
+		if o.Err != nil {
+			t.Errorf("healthy sibling %d failed: %v", i, o.Err)
+			continue
+		}
+		want, err := Solve(poisoned[i], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSolution(o.Solution, want) {
+			t.Errorf("healthy sibling %d result differs from sequential solve", i)
+		}
+	}
+	st := e.Stats()
+	if st.Errors != 4 {
+		t.Errorf("Errors = %d, want 4", st.Errors)
+	}
+	if st.Panics != 0 {
+		t.Errorf("Panics = %d, want 0 (poison must fail typed, not via recovery)", st.Panics)
+	}
+	if st.Scheduled != 2 {
+		t.Errorf("Scheduled = %d, want 2", st.Scheduled)
+	}
+}
+
+// ScheduleWith must honour per-call options (distinct memo entries per
+// option set, results identical to a dedicated engine) and per-call
+// timeouts.
+func TestScheduleWith(t *testing.T) {
+	in := instance.Mixed(3, 14, 8)
+	e := New(Config{Workers: 1})
+
+	mrt := e.ScheduleWith(in, Options{}, 0)
+	if mrt.Err != nil {
+		t.Fatal(mrt.Err)
+	}
+	lpt := e.ScheduleWith(in, Options{Solver: "seq-lpt"}, 0)
+	if lpt.Err != nil {
+		t.Fatal(lpt.Err)
+	}
+	if lpt.Branch != "seq-lpt" {
+		t.Fatalf("branch = %q, want seq-lpt", lpt.Branch)
+	}
+	if sameSolution(mrt.Solution, lpt.Solution) {
+		t.Fatal("per-call solver selection ignored")
+	}
+
+	// Same options again: memo hit with an identical solution.
+	again := e.ScheduleWith(in, Options{Solver: "seq-lpt"}, 0)
+	if !again.FromMemo || !sameSolution(again.Solution, lpt.Solution) {
+		t.Fatalf("repeat call not served identically from memo (fromMemo=%v)", again.FromMemo)
+	}
+
+	// Results match a dedicated engine configured with the same options.
+	want, err := New(Config{Workers: 1, Options: Options{Solver: "seq-lpt"}}).Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSolution(lpt.Solution, want) {
+		t.Fatal("ScheduleWith result differs from configured engine")
+	}
+
+	// A per-call timeout interrupts just that call, even on an engine with
+	// no configured timeout (deterministic via the solveFn seam, same
+	// idiom as TestTimeoutIsolatesInstance).
+	orig := solveFn
+	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}) (Solution, error) {
+		if in.Name == "slow" {
+			<-interrupt
+			return Solution{}, fmt.Errorf("%w (instance %q)", core.ErrInterrupted, in.Name)
+		}
+		return orig(in, o, sc, interrupt)
+	}
+	defer func() { solveFn = orig }()
+	// Memo disabled: the slow instance shares in's name-independent
+	// fingerprint, and a memo hit would answer before the stub runs.
+	e2 := New(Config{Workers: 1, MemoCapacity: -1})
+	slowIn := instance.MustNew("slow", in.M, in.Tasks)
+	slow := e2.ScheduleWith(slowIn, Options{}, time.Millisecond)
+	if !errors.Is(slow.Err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", slow.Err)
+	}
+	// The worker stays healthy and untimed calls still succeed.
+	if out := e2.ScheduleWith(in, Options{}, 0); out.Err != nil {
+		t.Fatalf("untimed call failed after a per-call timeout: %v", out.Err)
 	}
 }

@@ -48,6 +48,16 @@ func (h *fnv64) string(s string) {
 	}
 }
 
+// Fingerprint returns the 64-bit name-independent workload hash the memo
+// keys on: machine size, every task's full time table, and the scheduling
+// options in resolved form. Renamed copies of the same workload under the
+// same options collide on purpose. The scheduling service shards engines by
+// this value so repeated workloads always land on the shard whose memo
+// already holds them.
+func Fingerprint(in *instance.Instance, o Options) uint64 {
+	return fingerprint(in, o).hash
+}
+
 // fingerprint computes the memo key of an instance under the given options.
 func fingerprint(in *instance.Instance, o Options) memoKey {
 	h := fnv64(fnvOffset)

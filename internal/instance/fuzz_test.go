@@ -1,0 +1,71 @@
+package instance
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzParseInstance fuzzes the one JSON instance codec shared by msgen,
+// msched and the msserve request path. The invariants: ReadJSON never
+// panics; anything it accepts passes Check — so a codec-decoded instance
+// can never trip the engine's ErrBadInstance admission gate, and a service
+// request rejected there indicates an engine bug, not bad input; and
+// accepted instances survive a WriteJSON/ReadJSON round trip bit-exactly.
+func FuzzParseInstance(f *testing.F) {
+	// A valid instance straight from the production encoder.
+	var buf bytes.Buffer
+	if err := Mixed(1, 4, 3).WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Hand-written seeds covering the interesting rejection classes.
+	for _, s := range []string{
+		`{"name":"tiny","m":1,"tasks":[{"name":"a","times":[1]}]}`,
+		`{"name":"wide","m":4,"tasks":[{"name":"a","times":[4,2.2,1.6,1.3]},{"name":"b","times":[0.5]}]}`,
+		`{"name":"zero-m","m":0,"tasks":[{"name":"a","times":[1]}]}`,
+		`{"name":"no-tasks","m":3,"tasks":[]}`,
+		`{"name":"non-monotone","m":2,"tasks":[{"name":"a","times":[1,2]}]}`,
+		`{"name":"superlinear","m":2,"tasks":[{"name":"a","times":[4,1]}]}`,
+		`{"name":"negative","m":2,"tasks":[{"name":"a","times":[-1,1]}]}`,
+		`{"name":"huge","m":2,"tasks":[{"name":"a","times":[1e308,1e308]}]}`,
+		`{"m":2,"tasks":[{"times":[3,2]}]}`,
+		`not json`,
+		`{"name":"trunc","m":1,"tasks":[{"name":"a","times":[5,3,2]}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		if err := Check(in); err != nil {
+			t.Fatalf("ReadJSON accepted an instance Check rejects: %v", err)
+		}
+		var out bytes.Buffer
+		if err := in.WriteJSON(&out); err != nil {
+			t.Fatalf("re-encoding accepted instance: %v", err)
+		}
+		back, err := ReadJSON(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Name != in.Name || back.M != in.M || back.N() != in.N() {
+			t.Fatalf("round trip changed shape: %q m=%d n=%d vs %q m=%d n=%d",
+				in.Name, in.M, in.N(), back.Name, back.M, back.N())
+		}
+		for i := range in.Tasks {
+			a, b := in.Tasks[i].Times(), back.Tasks[i].Times()
+			if in.Tasks[i].Name != back.Tasks[i].Name || len(a) != len(b) {
+				t.Fatalf("task %d changed identity on round trip", i)
+			}
+			for p := range a {
+				if math.Float64bits(a[p]) != math.Float64bits(b[p]) {
+					t.Fatalf("task %d time %d drifted: %v -> %v", i, p, a[p], b[p])
+				}
+			}
+		}
+	})
+}

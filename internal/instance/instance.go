@@ -49,6 +49,34 @@ func New(name string, m int, tasks []task.Task) (*Instance, error) {
 	return &Instance{Name: name, M: m, Tasks: ts}, nil
 }
 
+// ErrNilInstance reports a nil *Instance handed to Check.
+var ErrNilInstance = errors.New("instance: nil instance")
+
+// Check validates an already-built instance: a machine of at least one
+// processor, at least one task, and every task profile passing task.Check
+// (non-empty, positive, finite, monotone). Instances built through New
+// always pass; the check is the admission gate for values hand-rolled as
+// struct literals — the batch engine and the scheduling service run it
+// before solving so poisoned instances (zero processors, nil profiles, NaN
+// times) fail with a typed error instead of panicking mid-pipeline.
+func Check(in *Instance) error {
+	if in == nil {
+		return ErrNilInstance
+	}
+	if in.M < 1 {
+		return fmt.Errorf("%w: m=%d (instance %q)", ErrNoProcs, in.M, in.Name)
+	}
+	if len(in.Tasks) == 0 {
+		return fmt.Errorf("%w (instance %q)", ErrNoTasks, in.Name)
+	}
+	for i, t := range in.Tasks {
+		if err := t.Check(); err != nil {
+			return fmt.Errorf("instance %q: task %d: %w", in.Name, i, err)
+		}
+	}
+	return nil
+}
+
 // MustNew is New that panics on error; for tests and generators.
 func MustNew(name string, m int, tasks []task.Task) *Instance {
 	in, err := New(name, m, tasks)

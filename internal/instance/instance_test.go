@@ -2,6 +2,7 @@ package instance
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -168,5 +169,30 @@ func TestTwoShelfStressMonotone(t *testing.T) {
 	}
 	if in.M != 32 {
 		t.Fatalf("M = %d", in.M)
+	}
+}
+
+// Check is the admission gate for hand-rolled instances: everything New
+// builds passes, struct-literal poison fails typed.
+func TestCheck(t *testing.T) {
+	good := Mixed(1, 5, 4)
+	if err := Check(good); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		in   *Instance
+		want error
+	}{
+		{"nil instance", nil, ErrNilInstance},
+		{"zero processors", &Instance{Name: "m0", M: 0, Tasks: good.Tasks}, ErrNoProcs},
+		{"negative processors", &Instance{Name: "mneg", M: -3, Tasks: good.Tasks}, ErrNoProcs},
+		{"no tasks", &Instance{Name: "empty", M: 4}, ErrNoTasks},
+		{"nil profile task", &Instance{Name: "zerotask", M: 4, Tasks: []task.Task{{}}}, task.ErrEmpty},
+	}
+	for _, tc := range cases {
+		if err := Check(tc.in); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
 	}
 }

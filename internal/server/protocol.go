@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"malsched/internal/engine"
+	"malsched/internal/instance"
+	"malsched/internal/schedule"
+)
+
+// Wire types of the msserve HTTP/JSON API, shared by the handlers,
+// cmd/msserve, cmd/msload and the tests. The instance payload itself uses
+// the module's one JSON instance codec (instance.ReadJSON / WriteJSON), so
+// msgen output pastes directly into a request.
+//
+// The full schema is documented in docs/SERVICE.md.
+
+// RequestOptions selects and tunes the solver for one request (or one
+// batch). The zero value / absent object is the paper's configuration:
+// solver "mrt", default search tolerance, sequential search, the server's
+// default timeout. Solver and portfolio names are validated against the
+// registry at admission; unknown names fail the request with
+// CodeUnknownSolver before any work is queued.
+type RequestOptions struct {
+	// Solver names a registered solver; empty means "mrt".
+	Solver string `json:"solver,omitempty"`
+	// Portfolio runs these registered solvers concurrently and keeps the
+	// best certified result; overrides Solver.
+	Portfolio []string `json:"portfolio,omitempty"`
+	// Eps is the dichotomic search tolerance (0 = default 1e-3).
+	Eps float64 `json:"eps,omitempty"`
+	// Compact left-shifts the final schedule.
+	Compact bool `json:"compact,omitempty"`
+	// Parallelism is the speculative dual-search width; results are
+	// bit-identical at every value. Capped by the server's MaxParallelism.
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS bounds the wall-clock time spent solving this request, in
+	// milliseconds; 0 means the server's default, and the server's
+	// MaxTimeout caps it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ScheduleRequest is the body of POST /v1/schedule.
+type ScheduleRequest struct {
+	// Instance is the workload in the instance JSON codec
+	// ({"name","m","tasks":[{"name","times"}]}).
+	Instance json.RawMessage `json:"instance"`
+	// Options tunes the solve; absent means server defaults.
+	Options *RequestOptions `json:"options,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: many instances under one
+// option set. Items fail individually — one poisoned instance never drops
+// its siblings.
+type BatchRequest struct {
+	Instances []json.RawMessage `json:"instances"`
+	Options   *RequestOptions   `json:"options,omitempty"`
+}
+
+// PlacementJSON mirrors schedule.Placement on the wire.
+type PlacementJSON struct {
+	Task    int     `json:"task"`
+	Start   float64 `json:"start"`
+	Width   int     `json:"width"`
+	First   int     `json:"first"`
+	ProcSet []int   `json:"proc_set,omitempty"`
+}
+
+// PlanJSON mirrors schedule.Schedule on the wire.
+type PlanJSON struct {
+	Algorithm  string          `json:"algorithm"`
+	Placements []PlacementJSON `json:"placements"`
+}
+
+// ScheduleResponse is the success body of /v1/schedule (and of each batch
+// item). Every field is produced by the same pipeline as the in-process
+// malsched.Schedule, and the plan has passed verify.Plan on the way out.
+type ScheduleResponse struct {
+	// Name echoes the instance name.
+	Name string `json:"name"`
+	// Makespan and LowerBound are the certificates; floats round-trip
+	// bit-exactly through JSON (shortest-representation encoding), which
+	// is what lets cmd/msload compare them for equality.
+	Makespan   float64 `json:"makespan"`
+	LowerBound float64 `json:"lower_bound"`
+	// Branch and Solver carry provenance, Probes the dual-search effort.
+	Branch string `json:"branch"`
+	Solver string `json:"solver"`
+	Probes int    `json:"probes"`
+	// FromMemo reports a memoised answer; Shard is the engine shard that
+	// served the request (fingerprint-routed, see docs/SERVICE.md).
+	FromMemo bool `json:"from_memo"`
+	Shard    int  `json:"shard"`
+	// Plan is the verified schedule.
+	Plan PlanJSON `json:"plan"`
+}
+
+// ErrorInfo is the typed error detail used by every failure path.
+type ErrorInfo struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// BatchItem pairs one batch instance with its result or typed error.
+type BatchItem struct {
+	Index  int               `json:"index"`
+	Result *ScheduleResponse `json:"result,omitempty"`
+	Error  *ErrorInfo        `json:"error,omitempty"`
+}
+
+// BatchResponse is the success body of /v1/batch; Results is index-aligned
+// with the request's Instances.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// Error codes. The admission codes (queue_full, draining) map to 429/503,
+// validation codes to 400, solve failures to 422/504, and verification
+// failures — a schedule the server refuses to vouch for — to 500.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeBadInstance   = "bad_instance"
+	CodeUnknownSolver = "unknown_solver"
+	CodeBadOptions    = "bad_options"
+	CodeQueueFull     = "queue_full"
+	CodeDraining      = "draining"
+	CodeTimeout       = "timeout"
+	CodeUnschedulable = "unschedulable"
+	CodeVerifyFailed  = "verify_failed"
+	CodeInternal      = "internal"
+)
+
+// QueueStats snapshots the admission queue for /statsz.
+type QueueStats struct {
+	// Depth is the configured bound on concurrently admitted requests.
+	Depth int `json:"depth"`
+	// InFlight is the number of currently admitted requests.
+	InFlight int `json:"in_flight"`
+	// Accepted and Rejected count admission outcomes since start.
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	// Draining reports drain mode (no new admissions, /healthz is 503).
+	Draining bool `json:"draining"`
+}
+
+// ShardStats snapshots one engine shard for /statsz.
+type ShardStats struct {
+	Shard       int    `json:"shard"`
+	Scheduled   uint64 `json:"scheduled"`
+	Errors      uint64 `json:"errors"`
+	Panics      uint64 `json:"panics"`
+	Timeouts    uint64 `json:"timeouts"`
+	MemoHits    uint64 `json:"memo_hits"`
+	MemoMisses  uint64 `json:"memo_misses"`
+	MemoEntries int    `json:"memo_entries"`
+}
+
+// StatsResponse is the body of GET /statsz.
+type StatsResponse struct {
+	Queue QueueStats `json:"queue"`
+	// Shards holds one entry per engine shard, in shard order.
+	Shards []ShardStats `json:"shards"`
+	// VerifyFailures counts responses withheld because verify.Plan
+	// rejected the solution — any non-zero value is a bug worth paging on.
+	VerifyFailures uint64 `json:"verify_failures"`
+}
+
+// HealthResponse is the body of GET /healthz (200 "ok", 503 "draining").
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// DecodeInstance decodes one wire instance through the module's canonical
+// codec, fully validated (monotone profiles included).
+func DecodeInstance(raw json.RawMessage) (*instance.Instance, error) {
+	return instance.ReadJSON(bytes.NewReader(raw))
+}
+
+// EncodeInstance encodes an instance for a request body.
+func EncodeInstance(in *instance.Instance) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ResponseOf maps an engine outcome onto the wire type; shard is the
+// serving shard index.
+func ResponseOf(in *instance.Instance, out engine.Outcome, shard int) *ScheduleResponse {
+	return &ScheduleResponse{
+		Name:       in.Name,
+		Makespan:   out.Makespan,
+		LowerBound: out.LowerBound,
+		Branch:     out.Branch,
+		Solver:     out.Solver,
+		Probes:     out.Probes,
+		FromMemo:   out.FromMemo,
+		Shard:      shard,
+		Plan:       planJSON(out.Plan),
+	}
+}
+
+func planJSON(p *schedule.Schedule) PlanJSON {
+	out := PlanJSON{Algorithm: p.Algorithm, Placements: make([]PlacementJSON, len(p.Placements))}
+	for i, pl := range p.Placements {
+		out.Placements[i] = PlacementJSON{
+			Task: pl.Task, Start: pl.Start, Width: pl.Width, First: pl.First, ProcSet: pl.ProcSet,
+		}
+	}
+	return out
+}

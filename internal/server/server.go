@@ -1,0 +1,477 @@
+// Package server implements msserve, the production HTTP/JSON scheduling
+// service over the batch engine: a bounded admission queue in front of
+// engine shards routed by workload fingerprint, per-request solver
+// selection validated against the registry, and verify.Plan enforced on
+// every response path — the server never vouches for a schedule it has not
+// independently re-checked.
+//
+// Endpoints:
+//
+//	POST /v1/schedule  one instance → one verified schedule
+//	POST /v1/batch     many instances, per-item errors, shared options
+//	GET  /healthz      200 while serving, 503 once draining
+//	GET  /statsz       queue + per-shard engine counters
+//
+// Admission control is a fixed-capacity token queue: a request that cannot
+// take a token immediately is rejected with 429 and a Retry-After header
+// rather than queued unboundedly — under overload the service sheds load
+// instead of accumulating latency. StartDrain flips the server into drain
+// mode: /healthz turns 503 (so load balancers stop routing), new scheduling
+// requests are refused with 503/draining, and in-flight requests run to
+// completion; cmd/msserve wires this to SIGTERM ahead of http.Server
+// shutdown.
+//
+// The wire schema lives in protocol.go and docs/SERVICE.md.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"malsched/internal/engine"
+	"malsched/internal/instance"
+	"malsched/internal/solver"
+	"malsched/internal/verify"
+)
+
+// Defaults for the zero Config.
+const (
+	DefaultShards       = 4
+	DefaultQueueDepth   = 64
+	DefaultMaxTimeout   = 60 * time.Second
+	DefaultMaxParallel  = 64
+	DefaultMaxBatch     = 256
+	DefaultMaxBodyBytes = 8 << 20
+)
+
+// Config tunes a Server. The zero value serves with DefaultShards engine
+// shards, GOMAXPROCS workers per shard, the engine's default memo size, a
+// DefaultQueueDepth admission queue, no default per-request timeout and the
+// paper's scheduling configuration.
+type Config struct {
+	// Shards is the number of engine shards; requests are routed by
+	// workload fingerprint so repeated workloads always hit the shard
+	// whose memo already holds them. ≤ 0 means DefaultShards.
+	Shards int
+	// Workers bounds concurrent solves per shard (a token per running
+	// solve, held across the memo probe and the search); ≤ 0 means
+	// GOMAXPROCS.
+	Workers int
+	// MemoCapacity sizes each shard's LRU memo (0 default, negative
+	// disables).
+	MemoCapacity int
+	// QueueDepth bounds concurrently admitted requests; further requests
+	// get 429 + Retry-After. ≤ 0 means DefaultQueueDepth.
+	QueueDepth int
+	// DefaultTimeout applies to requests that do not set timeout_ms;
+	// 0 means no limit.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps per-request timeouts; ≤ 0 means DefaultMaxTimeout.
+	MaxTimeout time.Duration
+	// MaxParallelism caps per-request speculative width; ≤ 0 means
+	// DefaultMaxParallel.
+	MaxParallelism int
+	// MaxBatch caps instances per /v1/batch request; ≤ 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes caps request body size; ≤ 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Server is the scheduling service. Build with New, mount Handler on an
+// http.Server, call StartDrain on shutdown signals. Safe for concurrent
+// use.
+type Server struct {
+	cfg    Config
+	shards []*engine.Engine
+	// slots[i] bounds concurrent solves on shard i to cfg.Workers — the
+	// engine's own pool only bounds its batch entry points, and the server
+	// drives engines through per-call ScheduleWith, so the bound lives
+	// here.
+	slots []chan struct{}
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	draining   atomic.Bool
+	accepted   atomic.Uint64
+	rejected   atomic.Uint64
+	verifyFail atomic.Uint64
+
+	// admitted, when non-nil, runs once per admitted scheduling request
+	// after the queue token is taken; the admission-control tests use it
+	// to hold tokens deterministically.
+	admitted func()
+	// corrupt, when non-nil, mutates solutions between solve and
+	// verification; the response-verification tests use it to prove a bad
+	// plan yields a 500, never a bad schedule.
+	corrupt func(*engine.Solution)
+}
+
+// New builds a Server; see Config for zero-value defaults.
+func New(cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	if cfg.MaxParallelism <= 0 {
+		cfg.MaxParallelism = DefaultMaxParallel
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		cfg:    cfg,
+		shards: make([]*engine.Engine, cfg.Shards),
+		slots:  make([]chan struct{}, cfg.Shards),
+		sem:    make(chan struct{}, cfg.QueueDepth),
+		mux:    http.NewServeMux(),
+	}
+	for i := range s.shards {
+		s.shards[i] = engine.New(engine.Config{
+			Workers:      cfg.Workers,
+			MemoCapacity: cfg.MemoCapacity,
+		})
+		s.slots[i] = make(chan struct{}, cfg.Workers)
+	}
+	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain switches the server into drain mode: /healthz answers 503, new
+// scheduling requests are refused with a typed "draining" error, in-flight
+// requests finish normally. It is idempotent and never blocks; callers then
+// use http.Server.Shutdown to wait for the in-flight connections.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats snapshots the queue and every shard.
+func (s *Server) Stats() StatsResponse {
+	resp := StatsResponse{
+		Queue: QueueStats{
+			Depth:    s.cfg.QueueDepth,
+			InFlight: len(s.sem),
+			Accepted: s.accepted.Load(),
+			Rejected: s.rejected.Load(),
+			Draining: s.draining.Load(),
+		},
+		VerifyFailures: s.verifyFail.Load(),
+	}
+	for i, sh := range s.shards {
+		st := sh.Stats()
+		resp.Shards = append(resp.Shards, ShardStats{
+			Shard:       i,
+			Scheduled:   st.Scheduled,
+			Errors:      st.Errors,
+			Panics:      st.Panics,
+			Timeouts:    st.Timeouts,
+			MemoHits:    st.MemoHits,
+			MemoMisses:  st.MemoMisses,
+			MemoEntries: st.MemoEntries,
+		})
+	}
+	return resp
+}
+
+// admit takes an admission token, or reports why it cannot. One token is
+// held per scheduling request (single or batch) for its whole lifetime.
+func (s *Server) admit() (release func(), errInfo *ErrorInfo, status int) {
+	if s.draining.Load() {
+		return nil, &ErrorInfo{Code: CodeDraining, Message: "server is draining; retry against another replica"}, http.StatusServiceUnavailable
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.accepted.Add(1)
+		if s.admitted != nil {
+			s.admitted()
+		}
+		return func() { <-s.sem }, nil, 0
+	default:
+		s.rejected.Add(1)
+		return nil, &ErrorInfo{
+			Code:    CodeQueueFull,
+			Message: fmt.Sprintf("admission queue full (%d in flight); retry after backoff", s.cfg.QueueDepth),
+		}, http.StatusTooManyRequests
+	}
+}
+
+// admitOrReject is admit with the rejection already written (Retry-After
+// included for shed requests); both scheduling handlers open with it.
+func (s *Server) admitOrReject(w http.ResponseWriter) (release func(), ok bool) {
+	release, errInfo, status := s.admit()
+	if errInfo != nil {
+		if errInfo.Code == CodeQueueFull {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, errInfo)
+		return nil, false
+	}
+	return release, true
+}
+
+// resolveOptions validates the per-request options against the registry and
+// the server's caps, returning the engine options and the effective
+// timeout.
+func (s *Server) resolveOptions(ro *RequestOptions) (engine.Options, time.Duration, *ErrorInfo) {
+	var o engine.Options
+	timeout := s.cfg.DefaultTimeout
+	if timeout > s.cfg.MaxTimeout {
+		// The cap binds the default too, so a request without options gets
+		// the same effective deadline as one with an empty options object.
+		timeout = s.cfg.MaxTimeout
+	}
+	if ro == nil {
+		return o, timeout, nil
+	}
+	if len(ro.Portfolio) > 0 {
+		for _, name := range ro.Portfolio {
+			if name == solver.PortfolioName {
+				return o, 0, &ErrorInfo{Code: CodeBadOptions, Message: "portfolio members must be leaf solvers, not \"portfolio\""}
+			}
+			if _, ok := solver.Lookup(name); !ok {
+				return o, 0, &ErrorInfo{Code: CodeUnknownSolver, Message: solver.ErrUnknown(name).Error()}
+			}
+		}
+		o.Portfolio = append([]string(nil), ro.Portfolio...)
+	} else if ro.Solver != "" {
+		if _, ok := solver.Lookup(ro.Solver); !ok {
+			return o, 0, &ErrorInfo{Code: CodeUnknownSolver, Message: solver.ErrUnknown(ro.Solver).Error()}
+		}
+		o.Solver = ro.Solver
+	}
+	if ro.Eps < 0 || ro.Eps != ro.Eps || ro.Eps > 1 {
+		return o, 0, &ErrorInfo{Code: CodeBadOptions, Message: fmt.Sprintf("eps must be in [0, 1], got %v", ro.Eps)}
+	}
+	o.Eps = ro.Eps
+	o.Compact = ro.Compact
+	if ro.Parallelism < 0 || ro.Parallelism > s.cfg.MaxParallelism {
+		return o, 0, &ErrorInfo{Code: CodeBadOptions, Message: fmt.Sprintf("parallelism must be in [0, %d], got %d", s.cfg.MaxParallelism, ro.Parallelism)}
+	}
+	o.Parallelism = ro.Parallelism
+	if ro.TimeoutMS < 0 {
+		return o, 0, &ErrorInfo{Code: CodeBadOptions, Message: fmt.Sprintf("timeout_ms must be ≥ 0, got %d", ro.TimeoutMS)}
+	}
+	if ro.TimeoutMS > 0 {
+		timeout = time.Duration(ro.TimeoutMS) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return o, timeout, nil
+}
+
+// solveVerified runs one instance on its shard and re-checks the result
+// with verify.Plan before anything is released to the caller. It returns
+// either a response or a typed error with its HTTP status.
+//
+// Routing is by workload fingerprint — the memo key hash — so renamed
+// copies of the same workload under the same options land on the same
+// shard and hit its memo; the hash is computed once and handed to the
+// engine, which reuses it for the memo probe. The shard's solve slots
+// bound concurrency to Config.Workers across all requests.
+func (s *Server) solveVerified(in *instance.Instance, o engine.Options, timeout time.Duration) (*ScheduleResponse, *ErrorInfo, int) {
+	hash := engine.Fingerprint(in, o)
+	shard := int(hash % uint64(len(s.shards)))
+	s.slots[shard] <- struct{}{}
+	out := s.shards[shard].ScheduleWithHash(in, o, timeout, hash)
+	<-s.slots[shard]
+	if out.Err != nil {
+		return nil, errInfoOf(out.Err), statusOf(out.Err)
+	}
+	if s.corrupt != nil {
+		s.corrupt(&out.Solution)
+	}
+	c := verify.Certified{Plan: out.Plan, Makespan: out.Makespan, LowerBound: out.LowerBound}
+	if err := verify.Plan(in, c, false); err != nil {
+		s.verifyFail.Add(1)
+		return nil, &ErrorInfo{
+			Code:    CodeVerifyFailed,
+			Message: fmt.Sprintf("refusing to serve an unverified schedule for %q: %v", in.Name, err),
+		}, http.StatusInternalServerError
+	}
+	return ResponseOf(in, out, shard), nil, 0
+}
+
+// errInfoOf maps engine/solver errors onto typed wire errors.
+func errInfoOf(err error) *ErrorInfo {
+	switch {
+	case errors.Is(err, engine.ErrTimeout):
+		return &ErrorInfo{Code: CodeTimeout, Message: err.Error()}
+	case errors.Is(err, engine.ErrBadInstance), errors.Is(err, engine.ErrNilInstance):
+		return &ErrorInfo{Code: CodeBadInstance, Message: err.Error()}
+	default:
+		return &ErrorInfo{Code: CodeUnschedulable, Message: err.Error()}
+	}
+}
+
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrTimeout):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, engine.ErrBadInstance), errors.Is(err, engine.ErrNilInstance):
+		return http.StatusBadRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitOrReject(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var req ScheduleRequest
+	if errInfo := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); errInfo != nil {
+		writeError(w, http.StatusBadRequest, errInfo)
+		return
+	}
+	o, timeout, errInfo := s.resolveOptions(req.Options)
+	if errInfo != nil {
+		writeError(w, http.StatusBadRequest, errInfo)
+		return
+	}
+	in, err := DecodeInstance(req.Instance)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &ErrorInfo{Code: CodeBadInstance, Message: err.Error()})
+		return
+	}
+	resp, errInfo, status := s.solveVerified(in, o, timeout)
+	if errInfo != nil {
+		writeError(w, status, errInfo)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admitOrReject(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var req BatchRequest
+	if errInfo := decodeBody(w, r, s.cfg.MaxBodyBytes, &req); errInfo != nil {
+		writeError(w, http.StatusBadRequest, errInfo)
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeError(w, http.StatusBadRequest, &ErrorInfo{Code: CodeBadRequest, Message: "batch has no instances"})
+		return
+	}
+	if len(req.Instances) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, &ErrorInfo{
+			Code:    CodeBadRequest,
+			Message: fmt.Sprintf("batch of %d exceeds the %d-instance cap", len(req.Instances), s.cfg.MaxBatch),
+		})
+		return
+	}
+	o, timeout, errInfo := s.resolveOptions(req.Options)
+	if errInfo != nil {
+		writeError(w, http.StatusBadRequest, errInfo)
+		return
+	}
+
+	// Items decode and solve independently: a poisoned instance yields its
+	// own typed error and never drops a sibling. Work fans out over the
+	// shard engines; the goroutine count here only bounds this request's
+	// submission concurrency — actual solves are bounded by the per-shard
+	// solve slots (Config.Workers each) shared with every other request.
+	resp := BatchResponse{Results: make([]BatchItem, len(req.Instances))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(req.Instances) {
+		workers = len(req.Instances)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Instances) {
+					return
+				}
+				resp.Results[i] = s.batchItem(i, req.Instances[i], o, timeout)
+			}
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) batchItem(i int, raw json.RawMessage, o engine.Options, timeout time.Duration) BatchItem {
+	in, err := DecodeInstance(raw)
+	if err != nil {
+		return BatchItem{Index: i, Error: &ErrorInfo{Code: CodeBadInstance, Message: err.Error()}}
+	}
+	res, errInfo, _ := s.solveVerified(in, o, timeout)
+	if errInfo != nil {
+		return BatchItem{Index: i, Error: errInfo}
+	}
+	return BatchItem{Index: i, Result: res}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// decodeBody decodes a JSON request body under the size cap, rejecting
+// trailing garbage.
+func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any) *ErrorInfo {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(dst); err != nil {
+		return &ErrorInfo{Code: CodeBadRequest, Message: fmt.Sprintf("decoding request body: %v", err)}
+	}
+	if dec.More() {
+		return &ErrorInfo{Code: CodeBadRequest, Message: "trailing data after request body"}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, info *ErrorInfo) {
+	writeJSON(w, status, ErrorBody{Error: *info})
+}

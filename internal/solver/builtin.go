@@ -9,7 +9,7 @@ import (
 	"malsched/internal/exact"
 	"malsched/internal/instance"
 	"malsched/internal/lowerbound"
-	"malsched/internal/schedule"
+	"malsched/internal/verify"
 )
 
 // PaperSolverName is the registry name of the paper's √3-approximation.
@@ -45,8 +45,9 @@ func (paperSolver) Solve(in *instance.Instance, o Options) (Solution, error) {
 	if err != nil {
 		return Solution{}, err
 	}
-	if err := schedule.Validate(in, res.Schedule, true); err != nil {
-		return Solution{}, fmt.Errorf("malsched: internal error, produced invalid schedule: %w", err)
+	c := verify.Certified{Plan: res.Schedule, Makespan: res.Makespan, LowerBound: res.LowerBound}
+	if err := verify.Plan(in, c, true); err != nil {
+		return Solution{}, fmt.Errorf("malsched: internal error, produced uncertified schedule: %w", err)
 	}
 	return Solution{
 		Plan:       res.Schedule,
@@ -72,15 +73,18 @@ func (b baselineSolver) Solve(in *instance.Instance, o Options) (Solution, error
 	if err != nil {
 		return Solution{}, err
 	}
+	mk := s.Makespan(in)
+	lb := lowerbound.SquashedArea(in)
 	// twy-list is inherently non-contiguous; every other baseline places
 	// contiguous blocks.
-	if err := schedule.Validate(in, s, b.alg.Name != "twy-list"); err != nil {
-		return Solution{}, fmt.Errorf("malsched: baseline %s produced invalid schedule: %w", b.alg.Name, err)
+	c := verify.Certified{Plan: s, Makespan: mk, LowerBound: lb}
+	if err := verify.Plan(in, c, b.alg.Name != "twy-list"); err != nil {
+		return Solution{}, fmt.Errorf("malsched: baseline %s produced uncertified schedule: %w", b.alg.Name, err)
 	}
 	return Solution{
 		Plan:       s,
-		Makespan:   s.Makespan(in),
-		LowerBound: lowerbound.SquashedArea(in),
+		Makespan:   mk,
+		LowerBound: lb,
 		Branch:     b.alg.Name,
 		Solver:     b.alg.Name,
 	}, nil
@@ -104,8 +108,8 @@ func (exactSolver) Solve(in *instance.Instance, o Options) (Solution, error) {
 		}
 		return Solution{}, err
 	}
-	if err := schedule.Validate(in, s, false); err != nil {
-		return Solution{}, fmt.Errorf("malsched: exact solver produced invalid schedule: %w", err)
+	if err := verify.Plan(in, verify.Certified{Plan: s, Makespan: opt, LowerBound: opt}, false); err != nil {
+		return Solution{}, fmt.Errorf("malsched: exact solver produced uncertified schedule: %w", err)
 	}
 	// The witness is optimal over non-contiguous schedules, so its own
 	// makespan is a certified lower bound for the measured adversary.
@@ -137,8 +141,9 @@ func (f Func) Solve(in *instance.Instance, o Options) (Solution, error) {
 	if err != nil {
 		return Solution{}, err
 	}
-	if err := schedule.Validate(in, sol.Plan, false); err != nil {
-		return Solution{}, fmt.Errorf("malsched: solver %s produced invalid schedule: %w", f.SolverName, err)
+	c := verify.Certified{Plan: sol.Plan, Makespan: sol.Makespan, LowerBound: sol.LowerBound}
+	if err := verify.Plan(in, c, false); err != nil {
+		return Solution{}, fmt.Errorf("malsched: solver %s produced uncertified schedule: %w", f.SolverName, err)
 	}
 	if sol.Solver == "" {
 		sol.Solver = f.SolverName

@@ -1,0 +1,85 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"malsched/internal/exact"
+	"malsched/internal/instance"
+	"malsched/internal/task"
+	"malsched/internal/verify"
+)
+
+// The registry-wide differential property: on exhaustively solvable
+// instances drawn from every generator family, every registered solver's
+// makespan is at least the exact optimum, every certified lower bound is at
+// most it, every plan passes the canonical verifier, and the paper's
+// algorithm lands within √3(1+ε) of the optimum. The exact witness itself
+// is verified too — the oracle is not exempt from the invariant layer.
+func TestDifferentialAgainstExact(t *testing.T) {
+	type size struct{ n, m int }
+	// Up to the exhaustive search's task gate (n ≤ 7); m stays small where
+	// n is large — the allotment enumeration is m^n and near-linear
+	// families defeat its pruning, so (7,6) alone costs ~20s.
+	sizes := []size{{2, 2}, {3, 4}, {4, 3}, {5, 6}, {6, 4}, {7, 3}}
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		sizes = sizes[:3]
+		seeds = seeds[:1]
+	}
+
+	const eps = 1e-3 // the default search tolerance of the mrt solver
+	ratioCap := math.Sqrt(3) * (1 + eps)
+	names := Names()
+	checked := 0
+	for famName, gen := range instance.Families() {
+		for _, sz := range sizes {
+			for _, seed := range seeds {
+				in := gen(seed, sz.n, sz.m)
+				wit, opt, err := exact.SolveSchedule(in)
+				if err != nil {
+					t.Fatalf("%s n=%d m=%d: exact failed: %v", famName, sz.n, sz.m, err)
+				}
+				if err := verify.Plan(in, verify.Certified{Plan: wit, Makespan: opt, LowerBound: opt}, false); err != nil {
+					t.Fatalf("%s: exact witness fails verification: %v", in.Name, err)
+				}
+				for _, name := range names {
+					sv, ok := Lookup(name)
+					if !ok {
+						t.Fatalf("registry lost %q mid-test", name)
+					}
+					sol, err := sv.Solve(in, Options{})
+					if errors.Is(err, exact.ErrTooLarge) {
+						continue
+					}
+					if err != nil {
+						t.Errorf("%s on %s: %v", name, in.Name, err)
+						continue
+					}
+					if !task.Geq(sol.Makespan, opt) {
+						t.Errorf("%s on %s: makespan %v beats the exact optimum %v",
+							name, in.Name, sol.Makespan, opt)
+					}
+					if !task.Leq(sol.LowerBound, opt) {
+						t.Errorf("%s on %s: certified lower bound %v exceeds the optimum %v — the certificate lies",
+							name, in.Name, sol.LowerBound, opt)
+					}
+					c := verify.Certified{Plan: sol.Plan, Makespan: sol.Makespan, LowerBound: sol.LowerBound}
+					if err := verify.Plan(in, c, false); err != nil {
+						t.Errorf("%s on %s: solution fails verification: %v", name, in.Name, err)
+					}
+					if name == PaperSolverName && !task.Leq(sol.Makespan, ratioCap*opt) {
+						t.Errorf("mrt on %s: makespan %v exceeds √3(1+ε)·OPT = %v (OPT %v)",
+							in.Name, sol.Makespan, ratioCap*opt, opt)
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("differential test checked nothing")
+	}
+	t.Logf("differential: %d (solver, instance) pairs against exact optima", checked)
+}

@@ -8,6 +8,7 @@ import (
 	"malsched/internal/core"
 	"malsched/internal/exact"
 	"malsched/internal/instance"
+	"malsched/internal/verify"
 )
 
 // PortfolioName is the registry name of the default portfolio.
@@ -129,5 +130,12 @@ func (p *Portfolio) Solve(in *instance.Instance, o Options) (Solution, error) {
 	}
 	best.LowerBound = maxLB
 	best.Probes = probes
+	// Members verified their own plans, but the merge built a new claim —
+	// the winning plan under the strongest member bound — so certify the
+	// combination too before it reaches the engine (or the memo).
+	c := verify.Certified{Plan: best.Plan, Makespan: best.Makespan, LowerBound: best.LowerBound}
+	if err := verify.Plan(in, c, false); err != nil {
+		return Solution{}, fmt.Errorf("malsched: portfolio merge produced uncertified result: %w", err)
+	}
 	return best, nil
 }

@@ -7,9 +7,10 @@
 // adding a solver is one Register call, visible to the facade, the batch
 // engine, cmd/msched and cmd/msbench at once.
 //
-// Every registered solver must return a complete, validated plan with a
-// certified lower bound, so callers can compare solvers by certified ratio
-// without trusting them.
+// Every registered solver must return a complete plan with a certified
+// lower bound and self-validate the pair through verify.Plan before
+// returning, so callers can compare solvers by certified ratio without
+// trusting them.
 package solver
 
 import (
@@ -67,8 +68,8 @@ type Solution struct {
 type Solver interface {
 	// Name is the registry key, stable across releases.
 	Name() string
-	// Solve schedules the instance. The returned plan must pass
-	// schedule.Validate; the lower bound must be certified.
+	// Solve schedules the instance. The returned plan and certificates
+	// must pass verify.Plan; the lower bound must be certified.
 	Solve(in *instance.Instance, o Options) (Solution, error)
 }
 

@@ -50,30 +50,47 @@ var (
 // descriptive error when it is violated; use Monotonize to repair a profile
 // instead of rejecting it.
 func New(name string, times []float64) (Task, error) {
-	if len(times) == 0 {
-		return Task{}, fmt.Errorf("%w (task %q)", ErrEmpty, name)
-	}
-	for p, t := range times {
-		if !(t > 0) || math.IsInf(t, 0) {
-			return Task{}, fmt.Errorf("%w: t(%d)=%v (task %q)", ErrNonPositive, p+1, t, name)
-		}
-	}
-	for p := 1; p < len(times); p++ {
-		if times[p] > times[p-1]*(1+Eps) {
-			return Task{}, fmt.Errorf("%w: t(%d)=%g > t(%d)=%g (task %q)",
-				ErrTimeIncrease, p+1, times[p], p, times[p-1], name)
-		}
-		wPrev := float64(p) * times[p-1]
-		wCur := float64(p+1) * times[p]
-		if wCur < wPrev*(1-Eps) {
-			return Task{}, fmt.Errorf("%w: w(%d)=%g < w(%d)=%g (task %q)",
-				ErrWorkDecrease, p+1, wCur, p, wPrev, name)
-		}
+	if err := checkTimes(name, times); err != nil {
+		return Task{}, err
 	}
 	cp := make([]float64, len(times))
 	copy(cp, times)
 	return Task{Name: name, times: cp}, nil
 }
+
+// checkTimes validates a time table in place: non-empty, positive and
+// finite, time non-increasing and work non-decreasing (the monotone
+// hypothesis). New and Check share it.
+func checkTimes(name string, times []float64) error {
+	if len(times) == 0 {
+		return fmt.Errorf("%w (task %q)", ErrEmpty, name)
+	}
+	for p, t := range times {
+		if !(t > 0) || math.IsInf(t, 0) {
+			return fmt.Errorf("%w: t(%d)=%v (task %q)", ErrNonPositive, p+1, t, name)
+		}
+	}
+	for p := 1; p < len(times); p++ {
+		if times[p] > times[p-1]*(1+Eps) {
+			return fmt.Errorf("%w: t(%d)=%g > t(%d)=%g (task %q)",
+				ErrTimeIncrease, p+1, times[p], p, times[p-1], name)
+		}
+		wPrev := float64(p) * times[p-1]
+		wCur := float64(p+1) * times[p]
+		if wCur < wPrev*(1-Eps) {
+			return fmt.Errorf("%w: w(%d)=%g < w(%d)=%g (task %q)",
+				ErrWorkDecrease, p+1, wCur, p, wPrev, name)
+		}
+	}
+	return nil
+}
+
+// Check re-validates the task's profile against New's invariants without
+// copying it. Tasks built through New always pass; the check exists for
+// trust boundaries fed hand-rolled values — the batch engine and the
+// scheduling service run it before solving (a zero Task, for example, has
+// no profile at all and fails with ErrEmpty).
+func (t Task) Check() error { return checkTimes(t.Name, t.times) }
 
 // MustNew is New that panics on error; for tests and literals.
 func MustNew(name string, times []float64) Task {

@@ -1,6 +1,7 @@
 package task
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -252,4 +253,30 @@ func randomMonotone(rng *rand.Rand, m int) Task {
 		times[p] = lo + (times[p-1]-lo)*rng.Float64()
 	}
 	return MustNew("rnd", times)
+}
+
+// Check must accept everything New accepts and reject hand-rolled Task
+// values that never went through New — the poisoned inputs the batch engine
+// and scheduling service gate on.
+func TestCheck(t *testing.T) {
+	if err := MustNew("ok", []float64{4, 2.5, 2}).Check(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		tk   Task
+		want error
+	}{
+		{"zero value (nil profile)", Task{Name: "zero"}, ErrEmpty},
+		{"NaN time", Task{Name: "nan", times: []float64{math.NaN()}}, ErrNonPositive},
+		{"zero time", Task{Name: "z", times: []float64{0}}, ErrNonPositive},
+		{"infinite time", Task{Name: "inf", times: []float64{math.Inf(1)}}, ErrNonPositive},
+		{"time increases", Task{Name: "inc", times: []float64{1, 2}}, ErrTimeIncrease},
+		{"work decreases", Task{Name: "dec", times: []float64{4, 1}}, ErrWorkDecrease},
+	}
+	for _, tc := range cases {
+		if err := tc.tk.Check(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
 }

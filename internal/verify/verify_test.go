@@ -1,0 +1,138 @@
+package verify
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"malsched/internal/core"
+	"malsched/internal/instance"
+	"malsched/internal/schedule"
+	"malsched/internal/task"
+)
+
+// certified runs the paper's algorithm and wraps its result, the canonical
+// way every production caller reaches Plan.
+func certified(t *testing.T, in *instance.Instance) Certified {
+	t.Helper()
+	res, err := core.Approximate(in, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Certified{Plan: res.Schedule, Makespan: res.Makespan, LowerBound: res.LowerBound}
+}
+
+func TestPlanAcceptsRealSchedules(t *testing.T) {
+	for _, in := range []*instance.Instance{
+		instance.Mixed(1, 12, 8),
+		instance.RandomMonotone(2, 6, 5),
+		instance.CommHeavy(3, 9, 6),
+	} {
+		c := certified(t, in)
+		if err := Plan(in, c, true); err != nil {
+			t.Errorf("%s: valid certified schedule rejected: %v", in.Name, err)
+		}
+	}
+}
+
+// Plan must reject every way a certificate or plan can be corrupted — the
+// property the server's response path and the fuzz layer rely on.
+func TestPlanRejectsCorruption(t *testing.T) {
+	in := instance.Mixed(7, 8, 6)
+	base := certified(t, in)
+
+	clone := func() Certified {
+		cp := &schedule.Schedule{Algorithm: base.Plan.Algorithm}
+		cp.Placements = append([]schedule.Placement(nil), base.Plan.Placements...)
+		return Certified{Plan: cp, Makespan: base.Makespan, LowerBound: base.LowerBound}
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(c *Certified)
+		want   error
+	}{
+		{"nil plan", func(c *Certified) { c.Plan = nil }, ErrNilPlan},
+		{"dropped task", func(c *Certified) { c.Plan.Placements = c.Plan.Placements[1:] }, schedule.ErrMissingTask},
+		{"duplicated task", func(c *Certified) {
+			c.Plan.Placements[0] = c.Plan.Placements[1]
+		}, schedule.ErrDuplicateTask},
+		{"width beyond profile", func(c *Certified) {
+			c.Plan.Placements[0].Width = in.Tasks[c.Plan.Placements[0].Task].MaxProcs() + 1
+		}, schedule.ErrBadWidth},
+		{"inflated makespan", func(c *Certified) { c.Makespan *= 2 }, ErrMakespanMismatch},
+		{"deflated makespan", func(c *Certified) { c.Makespan /= 2 }, ErrMakespanMismatch},
+		{"NaN makespan", func(c *Certified) { c.Makespan = math.NaN() }, ErrBadMakespan},
+		{"zero lower bound", func(c *Certified) { c.LowerBound = 0 }, ErrBadLowerBound},
+		{"negative lower bound", func(c *Certified) { c.LowerBound = -1 }, ErrBadLowerBound},
+		{"infinite lower bound", func(c *Certified) { c.LowerBound = math.Inf(1) }, ErrBadLowerBound},
+		{"bound above makespan", func(c *Certified) { c.LowerBound = c.Makespan * 1.5 }, ErrBoundAboveMakespan},
+	}
+	for _, tc := range cases {
+		c := clone()
+		tc.mutate(&c)
+		err := Plan(in, c, true)
+		if err == nil {
+			t.Errorf("%s: corrupted certificate passed verification", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestPlanRejectsNilInstance(t *testing.T) {
+	if err := Plan(nil, Certified{}, false); !errors.Is(err, ErrNilInstance) {
+		t.Fatalf("got %v, want ErrNilInstance", err)
+	}
+}
+
+// Monotony of the chosen times: the prefix check must reject profiles that
+// increase in time or lose work with more processors. Profiles built through
+// task.New cannot violate this, so the helper is exercised directly — it is
+// the defense-in-depth layer against Task values corrupted after
+// construction.
+func TestMonotonePrefix(t *testing.T) {
+	at := func(times []float64) func(int) float64 {
+		return func(p int) float64 { return times[p-1] }
+	}
+	cases := []struct {
+		name  string
+		times []float64
+		width int
+		ok    bool
+	}{
+		{"monotone", []float64{4, 2.5, 2}, 3, true},
+		{"time increases", []float64{4, 5, 3}, 3, false},
+		{"work collapses", []float64{4, 1, 0.5}, 2, false}, // w(2)=2 < w(1)=4: super-linear speedup
+		{"violation beyond width is ignored", []float64{4, 5, 3}, 1, true},
+	}
+	for _, tc := range cases {
+		err := monotonePrefix(tc.name, at(tc.times), tc.width)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && !errors.Is(err, ErrNonMonotone) {
+			t.Errorf("%s: got %v, want ErrNonMonotone", tc.name, err)
+		}
+	}
+}
+
+// A plan whose width overstates the profile (the other way a hand-rolled
+// instance goes wrong) is caught by the allotment-bounds check.
+func TestPlanRejectsWidthBeyondProfile(t *testing.T) {
+	tk, err := task.New("ok", []float64{4, 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &instance.Instance{Name: "hand-rolled", M: 4, Tasks: []task.Task{tk}}
+	plan := &schedule.Schedule{Placements: []schedule.Placement{{Task: 0, Start: 0, Width: 2, First: 0}}}
+	if err := Plan(in, Certified{Plan: plan, Makespan: 2.5, LowerBound: 2.5}, true); err != nil {
+		t.Fatalf("honest hand-rolled instance rejected: %v", err)
+	}
+	bad := schedule.Schedule{Placements: []schedule.Placement{{Task: 0, Start: 0, Width: 3, First: 0}}}
+	if err := Plan(in, Certified{Plan: &bad, Makespan: 1, LowerBound: 1}, true); !errors.Is(err, schedule.ErrBadWidth) {
+		t.Fatalf("got %v, want ErrBadWidth", err)
+	}
+}

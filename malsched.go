@@ -41,7 +41,9 @@
 //
 // For batches and streams of instances, NewEngine wraps the same pipeline
 // in a bounded worker pool with memoisation of repeated workloads; see
-// Engine.
+// Engine. As a network service, cmd/msserve exposes the engine over
+// HTTP/JSON with admission control and per-response verification (Verify
+// is the same invariant suite, exposed here); see docs/SERVICE.md.
 //
 // The subpackages under internal implement the paper's machinery (dual
 // approximation, canonical allotments, knapsack-based shelf selection) and
@@ -57,6 +59,7 @@ import (
 	"malsched/internal/schedule"
 	"malsched/internal/solver"
 	"malsched/internal/task"
+	"malsched/internal/verify"
 )
 
 // Task is a malleable task (see NewTask and the profile constructors).
@@ -241,4 +244,18 @@ func LowerBound(in *Instance) float64 { return lowerbound.SquashedArea(in) }
 // and (optionally) contiguous blocks.
 func Validate(in *Instance, p *Plan, requireContiguous bool) error {
 	return schedule.Validate(in, p, requireContiguous)
+}
+
+// Verify runs the canonical invariant suite on a certified result: plan
+// validity (Validate, contiguity included when requireContiguous), monotony
+// of the chosen times, the reported makespan matching the plan's, and a
+// positive finite lower bound not exceeding it. It is the same check every
+// registered solver self-applies and the msserve service enforces on every
+// response; exposed for external solvers and harnesses.
+func Verify(in *Instance, r Result, requireContiguous bool) error {
+	return verify.Plan(in, verify.Certified{
+		Plan:       r.Plan,
+		Makespan:   r.Makespan,
+		LowerBound: r.LowerBound,
+	}, requireContiguous)
 }
