@@ -330,6 +330,47 @@ func BenchmarkDualStep(b *testing.B) {
 	}
 }
 
+// The hot-probe benchmarks are the compiled-instance layer's acceptance
+// gauge: the steady-state cost of one dual-approximation probe in a
+// memo-free re-solve loop (shared Scratch, tables compiled once), compiled
+// vs the legacy task-struct path. The custom ns/probe metric is what
+// BENCH_engine.json's probe_ns_hot tracks; compiled must not be slower.
+func benchmarkHotProbe(b *testing.B, legacy bool) {
+	in := instance.Mixed(2, 200, 64)
+	opts := core.Options{Scratch: core.NewScratch(), Legacy: legacy}
+	if !legacy {
+		opts.Compiled = instance.Compile(in)
+	}
+	res, err := core.Approximate(in, opts) // warm scratch + segment caches
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := res.Probes
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Approximate(in, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*probes), "ns/probe")
+}
+
+func BenchmarkHotProbeCompiled(b *testing.B) { benchmarkHotProbe(b, false) }
+
+func BenchmarkHotProbeLegacy(b *testing.B) { benchmarkHotProbe(b, true) }
+
+// BenchmarkCompile prices the compile-once step the hot path amortises.
+func BenchmarkCompile(b *testing.B) {
+	in := instance.Mixed(2, 200, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if c := instance.Compile(in); c.N() != in.N() {
+			b.Fatal("bad compile")
+		}
+	}
+}
+
 // BenchmarkGantt covers the rendering path used by the tools.
 func BenchmarkGantt(b *testing.B) {
 	in := instance.Mixed(2, 100, 32)

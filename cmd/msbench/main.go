@@ -36,8 +36,10 @@ import (
 
 // Schema identifies the BENCH_engine.json layout; bump on breaking change.
 // v2 added the solver dimension (solver, parallelism, workers per row) and
-// probe-throughput fields.
-const Schema = "malsched/bench-engine/v2"
+// probe-throughput fields. v3 added the compiled dimension (compiled per
+// row, plus compile_ns and probe_ns_hot) tracking the compiled-instance
+// hot path against the legacy probe path.
+const Schema = "malsched/bench-engine/v3"
 
 // scenario is one cell of the declarative grid: a workload (family, n, m)
 // under one solver configuration.
@@ -53,10 +55,17 @@ type scenario struct {
 	// (instance-level batch parallelism would mask the λ-level speedup);
 	// portfolio cells use the configured pool.
 	Workers int
+	// Legacy disables the compiled-instance hot path for this cell — the
+	// compiled dimension's reference point. Results are bit-identical;
+	// only the timing columns may differ.
+	Legacy bool
 }
 
 // label names the solver configuration in reports.
 func (sc scenario) label() string {
+	if sc.Solver == "mrt" && sc.Legacy {
+		return "mrt-legacy"
+	}
 	if sc.Solver == "mrt" && sc.Parallelism > 1 {
 		return fmt.Sprintf("mrt-p%d", sc.Parallelism)
 	}
@@ -72,8 +81,11 @@ type scenarioResult struct {
 	Solver      string `json:"solver"`
 	Parallelism int    `json:"parallelism"`
 	Workers     int    `json:"workers"`
-	Instances   int    `json:"instances"`
-	Repeats     int    `json:"repeats"`
+	// Compiled reports whether the cell ran the compiled-instance hot path
+	// (false = the legacy reference, Options.Legacy).
+	Compiled  bool `json:"compiled"`
+	Instances int  `json:"instances"`
+	Repeats   int  `json:"repeats"`
 
 	OpsCold         int    `json:"ops_cold"`
 	OpsWarm         int    `json:"ops_warm"`
@@ -90,6 +102,15 @@ type scenarioResult struct {
 	// speculative search configurations.
 	ProbesCold       int64   `json:"probes_cold"`
 	ProbesPerSecCold float64 `json:"probes_per_sec_cold"`
+
+	// CompileNs is the mean per-instance cost of instance.Compile for the
+	// cell's workloads (0 on legacy rows, which never compile).
+	// ProbeNsHot is the steady-state time per dual-search probe: repeated
+	// memo-free searches on the same instances with one pooled Scratch and
+	// tables compiled once — the compiled-vs-legacy comparison column
+	// (mrt rows only; 0 for solvers without a dual search).
+	CompileNs  int64 `json:"compile_ns"`
+	ProbeNsHot int64 `json:"probe_ns_hot"`
 
 	MemoHitRateWarm float64 `json:"memo_hit_rate_warm"`
 	RatioMean       float64 `json:"ratio_mean"`
@@ -146,10 +167,12 @@ func grid(quick bool, workers int) []scenario {
 		solver      string
 		parallelism int
 		workers     int
+		legacy      bool
 	}{
-		{"mrt", 1, 1},
-		{"mrt", 8, 1},
-		{"portfolio", 0, workers},
+		{"mrt", 1, 1, false},
+		{"mrt", 1, 1, true}, // the compiled dimension's reference cell
+		{"mrt", 8, 1, false},
+		{"portfolio", 0, workers, false},
 	}
 	var g []scenario
 	for _, f := range families {
@@ -159,6 +182,7 @@ func grid(quick bool, workers int) []scenario {
 					g = append(g, scenario{
 						Family: f, N: n, M: m,
 						Solver: c.solver, Parallelism: c.parallelism, Workers: c.workers,
+						Legacy: c.legacy,
 					})
 				}
 			}
@@ -211,10 +235,24 @@ func runEngineGrid(quick bool, seed int64, out string, seeds, repeats, workers i
 
 	gens := instance.Families()
 	scenarios := grid(quick, rep.Workers)
+
+	// Warm the process before measuring anything: without this the grid's
+	// first cell absorbs allocator and scheduler ramp-up into its timing
+	// columns (reproducibly 2× on microsecond cells), which corrupted the
+	// compiled-vs-legacy comparison of whichever configuration ran first.
+	warmup := instance.Mixed(seed, 20, 8)
+	wsc := core.NewScratch()
+	for t0 := time.Now(); time.Since(t0) < 100*time.Millisecond; {
+		if _, err := core.Approximate(warmup, core.Options{Scratch: wsc}); err != nil {
+			fmt.Fprintf(os.Stderr, "msbench: warmup: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	fmt.Fprintf(os.Stderr, "msbench: %d scenarios × %d instances × %d passes (workers=%d)\n",
 		len(scenarios), seeds, repeats, rep.Workers)
-	fmt.Fprintf(os.Stderr, "%-18s %5s %5s %-10s  %14s %14s %12s %8s %8s\n",
-		"family", "n", "m", "solver", "cold ns/op", "warm ns/op", "probes/s", "ratio", "hit%")
+	fmt.Fprintf(os.Stderr, "%-18s %5s %5s %-10s  %14s %14s %12s %12s %8s %8s\n",
+		"family", "n", "m", "solver", "cold ns/op", "warm ns/op", "probes/s", "hot ns/prb", "ratio", "hit%")
 
 	for _, sc := range scenarios {
 		gen, ok := gens[sc.Family]
@@ -228,9 +266,9 @@ func runEngineGrid(quick bool, seed int64, out string, seeds, repeats, workers i
 		}
 		r := benchScenario(sc, ins, repeats)
 		rep.Scenarios = append(rep.Scenarios, r)
-		fmt.Fprintf(os.Stderr, "%-18s %5d %5d %-10s  %14d %14d %12.0f %8.3f %8.1f\n",
+		fmt.Fprintf(os.Stderr, "%-18s %5d %5d %-10s  %14d %14d %12.0f %12d %8.3f %8.1f\n",
 			sc.Family, sc.N, sc.M, sc.label(), r.NsPerOpCold, r.NsPerOpWarm,
-			r.ProbesPerSecCold, r.RatioMax, 100*r.MemoHitRateWarm)
+			r.ProbesPerSecCold, r.ProbeNsHot, r.RatioMax, 100*r.MemoHitRateWarm)
 	}
 
 	enc := json.NewEncoder(w)
@@ -253,6 +291,7 @@ func benchScenario(sc scenario, ins []*malsched.Instance, repeats int) scenarioR
 		Schedule: malsched.Options{
 			Solver:      sc.Solver,
 			Parallelism: sc.Parallelism,
+			Legacy:      sc.Legacy,
 		},
 	})
 	r := scenarioResult{
@@ -262,9 +301,11 @@ func benchScenario(sc scenario, ins []*malsched.Instance, repeats int) scenarioR
 		Solver:      sc.Solver,
 		Parallelism: sc.Parallelism,
 		Workers:     sc.Workers,
+		Compiled:    !sc.Legacy,
 		Instances:   len(ins),
 		Repeats:     repeats,
 	}
+	r.CompileNs, r.ProbeNsHot = measureHot(sc, ins)
 
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
@@ -323,6 +364,59 @@ func benchScenario(sc scenario, ins []*malsched.Instance, repeats int) scenarioR
 		r.MemoHitRateWarm = float64(after.MemoHits-before.MemoHits) / float64(r.OpsWarm)
 	}
 	return r
+}
+
+// measureHot times the compiled dimension's two columns. compile_ns is the
+// mean cost of instance.Compile over the cell's workloads (only paid — and
+// only reported — on compiled cells). probe_ns_hot is the steady-state
+// per-probe cost of the dual search: repeated memo-free searches on the
+// same instances, one pooled Scratch, tables compiled once and shared
+// across every probe of every pass — the memo-warm re-solve shape where
+// the compiled layer either earns its keep or doesn't (mrt cells only;
+// solvers without a dual search report 0).
+func measureHot(sc scenario, ins []*malsched.Instance) (compileNs, probeNsHot int64) {
+	compiled := make([]*instance.Compiled, len(ins))
+	if !sc.Legacy {
+		t0 := time.Now()
+		for i, in := range ins {
+			compiled[i] = instance.Compile(in)
+		}
+		compileNs = time.Since(t0).Nanoseconds() / int64(len(ins))
+	}
+	if sc.Solver != "mrt" {
+		return compileNs, 0
+	}
+	scratch := core.NewScratch()
+	opts := func(i int) core.Options {
+		return core.Options{
+			Parallelism: sc.Parallelism,
+			Scratch:     scratch,
+			Legacy:      sc.Legacy,
+			Compiled:    compiled[i],
+		}
+	}
+	run := func() (probes int64) {
+		for i, in := range ins {
+			res, err := core.Approximate(in, opts(i))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "msbench: hot pass: %v\n", err)
+				os.Exit(1)
+			}
+			probes += int64(res.Probes)
+		}
+		return probes
+	}
+	run() // warm the scratch (and the segment caches) before timing
+	const hotPasses = 3
+	var probes int64
+	t0 := time.Now()
+	for p := 0; p < hotPasses; p++ {
+		probes += run()
+	}
+	if dt := time.Since(t0); probes > 0 {
+		probeNsHot = dt.Nanoseconds() / probes
+	}
+	return compileNs, probeNsHot
 }
 
 // runTables prints the legacy EXPERIMENTS.md tables. Every table is

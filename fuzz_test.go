@@ -26,6 +26,9 @@ func FuzzSchedule(f *testing.F) {
 		`{"name":"two-shelf","m":4,"tasks":[{"name":"a","times":[4,2.1,1.5,1.2]},{"name":"b","times":[3.9,2,1.4,1.1]},{"name":"c","times":[0.4]}]}`,
 		`{"name":"flat","m":3,"tasks":[{"name":"a","times":[2,2,2]},{"name":"b","times":[2,2,2]}]}`,
 		`{"name":"spread","m":6,"tasks":[{"name":"a","times":[9,4.6,3.2,2.5,2.1,1.8]},{"name":"b","times":[0.01]},{"name":"c","times":[5,5,5,5,5,5]}]}`,
+		// Breakpoint-dense: all-distinct profile times, so every entry is
+		// its own λ-breakpoint — the worst case for the compiled tables.
+		`{"name":"breakpoint-dense","m":8,"tasks":[{"name":"a","times":[8,4.1,2.9,2.3,1.9,1.7,1.5,1.4]},{"name":"b","times":[7.7,4,2.8,2.2,1.8,1.6,1.45,1.35]},{"name":"c","times":[5.3,2.9,2.1,1.7,1.5,1.3,1.2,1.1]},{"name":"d","times":[0.9,0.55,0.4,0.33,0.29,0.26,0.24,0.23]}]}`,
 	} {
 		f.Add([]byte(s))
 	}

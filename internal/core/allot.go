@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"malsched/internal/instance"
 )
 
@@ -19,9 +17,18 @@ type Allotment struct {
 	Slowest int
 }
 
-// CanonicalAllotment computes γ_i(λ) for every task.
+// CanonicalAllotment computes γ_i(λ) for every task. It runs on a pooled
+// Scratch (the returned Gamma is detached, so callers own it), which keeps
+// casual callers — the analysis harness, tests, tools — off the allocator
+// for everything but the result itself.
 func CanonicalAllotment(in *instance.Instance, lambda float64) Allotment {
-	return canonicalAllotment(in, lambda, NewScratch())
+	sc := getScratch()
+	a := canonicalAllotment(in, lambda, sc)
+	if a.Gamma != nil {
+		a.Gamma = append([]int(nil), a.Gamma...)
+	}
+	putScratch(sc)
+	return a
 }
 
 // canonicalAllotment is CanonicalAllotment on scratch memory: the returned
@@ -49,21 +56,18 @@ func (a Allotment) Work(in *instance.Instance) float64 {
 }
 
 // ByDecreasingTime returns the task indices sorted by non-increasing
-// canonical execution time t_i(γ_i) (stable).
+// canonical execution time t_i(γ_i) (stable). Runs on a pooled Scratch; the
+// returned order is detached and owned by the caller.
 func (a Allotment) ByDecreasingTime(in *instance.Instance) []int {
-	return a.byDecreasingTime(in, NewScratch())
+	sc := getScratch()
+	order := append([]int(nil), a.byDecreasingTime(in, sc)...)
+	putScratch(sc)
+	return order
 }
 
 // byDecreasingTime is ByDecreasingTime into sc's order buffer.
 func (a Allotment) byDecreasingTime(in *instance.Instance, sc *Scratch) []int {
-	order := intsBuf(&sc.order, in.N())
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(x, y int) bool {
-		return in.Tasks[order[x]].Time(a.Gamma[order[x]]) > in.Tasks[order[y]].Time(a.Gamma[order[y]])
-	})
-	return order
+	return sortByDecreasingTime(legacyView(in), a, &sc.order)
 }
 
 // PrefixArea computes W, the canonical prefix area of Definition 1: with
@@ -71,24 +75,15 @@ func (a Allotment) byDecreasingTime(in *instance.Instance, sc *Scratch) []int {
 // minimal prefix whose canonical processor counts reach m — equivalently,
 // the area the first m processors compute when the canonical allotment runs
 // on an unbounded machine. The branch threshold compares W against θ·m·λ.
+// Runs on a pooled Scratch (the result is a scalar; nothing to detach).
 func (a Allotment) PrefixArea(in *instance.Instance) float64 {
-	return a.prefixArea(in, NewScratch())
+	sc := getScratch()
+	w := a.prefixArea(in, sc)
+	putScratch(sc)
+	return w
 }
 
 // prefixArea is PrefixArea on scratch memory.
 func (a Allotment) prefixArea(in *instance.Instance, sc *Scratch) float64 {
-	var w float64
-	cum := 0
-	for _, i := range a.byDecreasingTime(in, sc) {
-		g := a.Gamma[i]
-		t := in.Tasks[i].Time(g)
-		if cum+g < in.M {
-			w += float64(g) * t
-			cum += g
-			continue
-		}
-		w += float64(in.M-cum) * t // clip the crossing task to m processors
-		return w
-	}
-	return w // Σγ < m: the whole canonical area
+	return prefixAreaFrom(legacyView(in), a, a.byDecreasingTime(in, sc))
 }

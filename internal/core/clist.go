@@ -2,7 +2,6 @@ package core
 
 import (
 	"malsched/internal/instance"
-	"malsched/internal/rigid"
 	"malsched/internal/schedule"
 )
 
@@ -24,17 +23,21 @@ import (
 // allotment exists (and nil otherwise); the guarantee check lives in
 // DualStep.
 func CanonicalList(in *instance.Instance, lambda float64, reallocate bool) *schedule.Schedule {
-	sc := NewScratch()
+	sc := getScratch()
+	defer putScratch(sc)
 	a := canonicalAllotment(in, lambda, sc)
 	if !a.OK {
 		return nil
 	}
-	return canonicalListFromAllotment(in, a, reallocate, sc)
+	return canonicalListFromAllotment(legacyView(in), a, a.byDecreasingTime(in, sc), reallocate, sc)
 }
 
-func canonicalListFromAllotment(in *instance.Instance, a Allotment, reallocate bool, sc *Scratch) *schedule.Schedule {
-	m := in.M
-	order := a.byDecreasingTime(in, sc)
+// canonicalListFromAllotment builds the list schedule from an existing
+// allotment and its by-decreasing-time order (computed once per probe and
+// shared by both reallocation variants; on the compiled path it comes from
+// the segment cache). order is read, never modified.
+func canonicalListFromAllotment(v view, a Allotment, order []int, reallocate bool, sc *Scratch) *schedule.Schedule {
+	m := v.in.M
 	s := &schedule.Schedule{Algorithm: "canonical-list"}
 	if reallocate {
 		s.Algorithm = "canonical-list+realloc"
@@ -51,7 +54,7 @@ func canonicalListFromAllotment(in *instance.Instance, a Allotment, reallocate b
 			// (more processors never hurt, fewer are impossible here).
 			w = limit
 		}
-		x, start := rigid.BestWindow(front[:limit], w)
+		x, start := sc.win.Best(front[:limit], w)
 		if reallocate && !checked && start > 0 {
 			checked = true
 			// Count idle first-level processors (frontier still 0); by the
@@ -72,7 +75,7 @@ func canonicalListFromAllotment(in *instance.Instance, a Allotment, reallocate b
 		s.Placements = append(s.Placements, schedule.Placement{
 			Task: i, Start: start, Width: w, First: x,
 		})
-		end := start + in.Tasks[i].Time(w)
+		end := start + v.time(i, w)
 		for k := x; k < x+w; k++ {
 			front[k] = end
 		}

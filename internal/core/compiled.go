@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sort"
+
+	"malsched/internal/instance"
+)
+
+// view resolves per-task profile lookups for the probe path: from the
+// compiled struct-of-arrays tables when the search carries an
+// instance.Compiled, from the task structs otherwise (the legacy path, kept
+// as the benchmark reference and for the exported one-shot helpers). Both
+// resolve to the exact same float values — the compiled matrices are
+// flattened copies and the breakpoint thresholds are float-exact against
+// task.Leq — so every construction built on a view is bit-identical across
+// the two paths; the equivalence and golden tests enforce it.
+type view struct {
+	in *instance.Instance
+	c  *instance.Compiled // nil on the legacy path
+}
+
+func legacyView(in *instance.Instance) view { return view{in: in} }
+
+// time returns t_i(p).
+func (v view) time(i, p int) float64 {
+	if v.c != nil {
+		return v.c.Time(i, p)
+	}
+	return v.in.Tasks[i].Time(p)
+}
+
+// seqTime returns t_i(1).
+func (v view) seqTime(i int) float64 {
+	if v.c != nil {
+		return v.c.SeqTime(i)
+	}
+	return v.in.Tasks[i].SeqTime()
+}
+
+// canonical returns γ_i(λ) = min{p : t_i(p) ≤ λ}. The compiled form binary
+// searches the precomputed λ-threshold row (plain float compares); the
+// legacy form evaluates task.Leq at every step. Bit-identical by threshold
+// exactness.
+func (v view) canonical(i int, lambda float64) (int, bool) {
+	if v.c != nil {
+		return v.c.Gamma(i, lambda)
+	}
+	return v.in.Tasks[i].Canonical(lambda)
+}
+
+// segCacheCap bounds the per-Scratch segment cache across all compiled
+// instances it has seen. A search probes a few dozen distinct segments;
+// repeated searches replay the same set, so the steady state is all-hit
+// well under the cap even when a worker alternates between several
+// workloads. On overflow the cache is cleared wholesale — simple, bounds
+// memory (and how long evicted Compiled tables stay referenced), and the
+// next search refills its share.
+const segCacheCap = 512
+
+// segState caches, per (compiled instance, λ-segment), the tables a probe
+// derives that are constant on the segment: the canonical allotment
+// vector (with its existence verdict and total canonical work) and, filled
+// lazily because rejected probes never need them, the by-decreasing-time
+// order and the prefix area. The compiled breakpoint axis guarantees every
+// deadline in one segment derives the exact same tables, so a probe
+// landing in any previously-probed segment — the bisection endgame, and
+// every probe of a memo-warm re-search on a shared Scratch — pays zero
+// recompute and zero allocation.
+type segState struct {
+	caches map[*instance.Compiled]map[int]*segEntry
+	total  int
+}
+
+// segEntry holds one segment's cached tables.
+type segEntry struct {
+	haveGamma bool
+	ok        bool // allotment exists (every task meets the deadline)
+	slowest   int
+	gamma     []int
+	work      float64
+
+	haveOrder bool
+	order     []int
+
+	haveArea bool
+	area     float64
+}
+
+// entry returns the cache entry for (c, seg), creating it on first use and
+// clearing the whole cache when the entry cap is hit.
+func (st *segState) entry(c *instance.Compiled, seg int) *segEntry {
+	if st.caches == nil || st.total > segCacheCap {
+		st.caches = make(map[*instance.Compiled]map[int]*segEntry)
+		st.total = 0
+	}
+	m := st.caches[c]
+	if m == nil {
+		m = make(map[int]*segEntry)
+		st.caches[c] = m
+	}
+	e := m[seg]
+	if e == nil {
+		e = &segEntry{}
+		m[seg] = e
+		st.total++
+	}
+	return e
+}
+
+// fillGamma computes the canonical allotment vector and total canonical
+// work for a deadline in the entry's segment, mirroring canonicalAllotment
+// and Allotment.Work exactly (bail at the first task that cannot meet the
+// deadline; sum works in task order).
+func (e *segEntry) fillGamma(c *instance.Compiled, lambda float64) {
+	e.haveGamma = true
+	n := c.N()
+	e.gamma = intsBuf(&e.gamma, n)
+	e.ok = true
+	e.slowest = -1
+	for i := 0; i < n; i++ {
+		g, ok := c.Gamma(i, lambda)
+		if !ok {
+			e.ok = false
+			e.slowest = i
+			return
+		}
+		e.gamma[i] = g
+	}
+	var w float64
+	for i := 0; i < n; i++ {
+		w += c.Work(i, e.gamma[i])
+	}
+	e.work = w
+}
+
+// allotment materialises the cached vector as an Allotment for this
+// deadline. Gamma aliases the cache entry and is valid until the cache is
+// cleared (entry cap hit).
+func (e *segEntry) allotment(lambda float64) Allotment {
+	if !e.ok {
+		return Allotment{Lambda: lambda, OK: false, Slowest: e.slowest}
+	}
+	return Allotment{Lambda: lambda, Gamma: e.gamma, OK: true, Slowest: -1}
+}
+
+// sortByDecreasingTime fills *buf with the task indices sorted by
+// non-increasing canonical execution time t_i(γ_i) (stable) — the one
+// implementation behind the legacy byDecreasingTime and the compiled
+// segment cache, so both paths produce the identical permutation.
+func sortByDecreasingTime(v view, a Allotment, buf *[]int) []int {
+	order := intsBuf(buf, len(a.Gamma))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return v.time(order[x], a.Gamma[order[x]]) > v.time(order[y], a.Gamma[order[y]])
+	})
+	return order
+}
+
+// prefixAreaFrom computes the Definition-1 prefix area W from an already
+// sorted order; see Allotment.PrefixArea for the contract.
+func prefixAreaFrom(v view, a Allotment, order []int) float64 {
+	var w float64
+	cum := 0
+	m := v.in.M
+	for _, i := range order {
+		g := a.Gamma[i]
+		t := v.time(i, g)
+		if cum+g < m {
+			w += float64(g) * t
+			cum += g
+			continue
+		}
+		w += float64(m-cum) * t // clip the crossing task to m processors
+		return w
+	}
+	return w // Σγ < m: the whole canonical area
+}

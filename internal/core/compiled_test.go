@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"malsched/internal/instance"
+	"malsched/internal/lowerbound"
+)
+
+// The compiled hot path must be invisible in the output: over every
+// generator family, the full search on compiled breakpoint tables —
+// explicit, auto-compiled, and at speculative widths — returns bit-for-bit
+// what the legacy task-struct path returns.
+func TestApproximateCompiledBitIdentical(t *testing.T) {
+	for name, gen := range instance.Families() {
+		for seed := int64(0); seed < 3; seed++ {
+			for _, dims := range [][2]int{{25, 16}, {40, 64}} {
+				in := gen(seed, dims[0], dims[1])
+				legacy, err := Approximate(in, Options{Legacy: true})
+				if err != nil {
+					t.Fatalf("%s/%d: legacy: %v", name, seed, err)
+				}
+				c := instance.Compile(in)
+				for _, opts := range []Options{
+					{},                            // auto-compiled
+					{Compiled: c},                 // caller-compiled
+					{Compiled: c, Parallelism: 4}, // compiled + speculative
+				} {
+					got, err := Approximate(in, opts)
+					if err != nil {
+						t.Fatalf("%s/%d: compiled %+v: %v", name, seed, opts, err)
+					}
+					if math.Float64bits(got.Makespan) != math.Float64bits(legacy.Makespan) ||
+						math.Float64bits(got.LowerBound) != math.Float64bits(legacy.LowerBound) ||
+						math.Float64bits(got.AcceptedLambda) != math.Float64bits(legacy.AcceptedLambda) ||
+						got.Branch != legacy.Branch ||
+						got.UnprovenRejects != legacy.UnprovenRejects ||
+						got.Probes-got.Speculated != legacy.Probes {
+						t.Fatalf("%s/%d: compiled diverged: got %+v, want %+v", name, seed, got, legacy)
+					}
+					if !reflect.DeepEqual(got.Schedule.Placements, legacy.Schedule.Placements) {
+						t.Fatalf("%s/%d: compiled produced a different plan", name, seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Probe-level equivalence, including rejects: at deadlines spanning
+// certified-reject territory through comfortable accepts, a compiled
+// dualStep must agree with the legacy one on every field. One shared
+// Scratch per path exercises the segment caches across instances.
+func TestDualStepCompiledMatchesLegacy(t *testing.T) {
+	p := DefaultParams()
+	scC, scL := NewScratch(), NewScratch()
+	for name, gen := range instance.Families() {
+		for seed := int64(0); seed < 3; seed++ {
+			in := gen(seed, 30, 16)
+			c := instance.Compile(in)
+			lb := lowerbound.Trivial(in)
+			for _, f := range []float64{0.3, 0.7, 1, 1.3, 2, 4, 16} {
+				lambda := lb * f
+				// Probe twice per λ so the second compiled probe answers
+				// from a warm segment cache — it must not matter.
+				for pass := 0; pass < 2; pass++ {
+					rc := dualStep(in, c, lambda, p, scC, nil)
+					rl := dualStep(in, nil, lambda, p, scL, nil)
+					if rc.Reject != rl.Reject || rc.Certified != rl.Certified ||
+						rc.Branch != rl.Branch ||
+						math.Float64bits(rc.PrefixArea) != math.Float64bits(rl.PrefixArea) {
+						t.Fatalf("%s/%d λ=%v pass %d: %+v vs legacy %+v", name, seed, lambda, pass, rc, rl)
+					}
+					if !sameSchedule(rc.Schedule, rl.Schedule) {
+						t.Fatalf("%s/%d λ=%v pass %d: plans differ", name, seed, lambda, pass)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A breakpoint-dense workload (all-distinct profile times, the worst case
+// for the threshold tables) must also match across paths, at every
+// parallelism.
+func TestApproximateCompiledDenseProfiles(t *testing.T) {
+	in := instance.PowerLawFamily(3, 30, 48, 0.83)
+	legacy, err := Approximate(in, Options{Legacy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 8} {
+		got, err := Approximate(in, Options{Parallelism: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.Makespan) != math.Float64bits(legacy.Makespan) ||
+			got.Branch != legacy.Branch ||
+			!reflect.DeepEqual(got.Schedule.Placements, legacy.Schedule.Placements) {
+			t.Fatalf("parallelism %d: compiled diverged from legacy", k)
+		}
+	}
+}

@@ -21,34 +21,54 @@ import (
 // certifies (through Properties 1 and 2) that no schedule of length ≤ λ
 // exists.
 func MalleableList(in *instance.Instance, lambda float64) *schedule.Schedule {
-	return malleableList(in, lambda, NewScratch())
+	sc := getScratch()
+	s := malleableList(legacyView(in), lambda, sc)
+	putScratch(sc)
+	return s
 }
 
-// malleableList is MalleableList on scratch memory.
-func malleableList(in *instance.Instance, lambda float64, sc *Scratch) *schedule.Schedule {
+// malleableList is MalleableList on scratch memory, legacy or compiled per
+// the view. The compiled path resolves the relaxed-deadline allotment
+// through the mseg segment cache and reuses the precompiled sequential
+// order instead of re-sorting per probe.
+func malleableList(v view, lambda float64, sc *Scratch) *schedule.Schedule {
+	in := v.in
 	m := in.M
 	rhoM := RhoList(m)
 	deadline := rhoM * lambda
 
-	alloc := intsBuf(&sc.alloc, in.N())
-	for i, t := range in.Tasks {
-		g, ok := t.Canonical(deadline)
-		if !ok {
+	var alloc []int
+	var order []int
+	if v.c != nil {
+		e := sc.mseg.entry(v.c, v.c.Segment(deadline))
+		if !e.haveGamma {
+			e.fillGamma(v.c, deadline)
+		}
+		if !e.ok {
 			return nil // not even the relaxed deadline is reachable
 		}
-		alloc[i] = g
+		alloc = e.gamma
+		order = v.c.SeqOrder()
+	} else {
+		alloc = intsBuf(&sc.alloc, in.N())
+		for i, t := range in.Tasks {
+			g, ok := t.Canonical(deadline)
+			if !ok {
+				return nil // not even the relaxed deadline is reachable
+			}
+			alloc[i] = g
+		}
+		// Parallel tasks first, by non-increasing sequential time (every
+		// parallel task has t(1) > deadline ≥ any sequential task's t(1),
+		// so one global sort realises the paper's ordering).
+		order = intsBuf(&sc.morder, in.N())
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return in.Tasks[order[a]].SeqTime() > in.Tasks[order[b]].SeqTime()
+		})
 	}
-
-	// Parallel tasks first, by non-increasing sequential time (every
-	// parallel task has t(1) > deadline ≥ any sequential task's t(1), so
-	// one global sort realises the paper's ordering).
-	order := intsBuf(&sc.order, in.N())
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return in.Tasks[order[a]].SeqTime() > in.Tasks[order[b]].SeqTime()
-	})
 
 	s := &schedule.Schedule{Algorithm: "malleable-list"}
 	x := 0
@@ -79,7 +99,7 @@ func malleableList(in *instance.Instance, lambda float64, sc *Scratch) *schedule
 	}
 	durations := floatsBuf(&sc.durations, len(seq))
 	for k, i := range seq {
-		durations[k] = in.Tasks[i].SeqTime()
+		durations[k] = v.seqTime(i)
 	}
 	// seq is already in non-increasing t(1) order; LPT in index order.
 	proc, start := rigid.LPT(m, durations, release, nil)

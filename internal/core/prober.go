@@ -8,15 +8,18 @@ import "malsched/internal/instance"
 // Probe call, so tests can instrument the guess sequence and alternative
 // dual steps can be swapped in without touching the drivers.
 //
-// A Prober must be deterministic in (in, lambda, p) and safe for concurrent
-// calls with distinct Scratch values: the speculative driver invokes it from
-// up to Parallelism goroutines, one pooled Scratch per worker.
+// A Prober must be deterministic in (in, c, lambda, p) and safe for
+// concurrent calls with distinct Scratch values: the speculative driver
+// invokes it from up to Parallelism goroutines, one pooled Scratch per
+// worker. The compiled tables c are immutable and shared by all of them
+// (nil on the legacy path).
 type Prober interface {
 	// Probe evaluates the guess λ on the instance: either a schedule of
-	// makespan ≤ ρλ or a rejection (see StepResult). Working memory comes
-	// from sc; a non-nil interrupt aborts mid-probe with
+	// makespan ≤ ρλ or a rejection (see StepResult). c carries the
+	// instance's compiled λ-breakpoint tables (nil = legacy path); working
+	// memory comes from sc; a non-nil interrupt aborts mid-probe with
 	// StepResult{Interrupted: true}.
-	Probe(in *instance.Instance, lambda float64, p Params, sc *Scratch, interrupt <-chan struct{}) StepResult
+	Probe(in *instance.Instance, c *instance.Compiled, lambda float64, p Params, sc *Scratch, interrupt <-chan struct{}) StepResult
 }
 
 // DualProber is the default Prober: the paper's dual √3-approximation step
@@ -24,6 +27,6 @@ type Prober interface {
 type DualProber struct{}
 
 // Probe implements Prober with dualStep.
-func (DualProber) Probe(in *instance.Instance, lambda float64, p Params, sc *Scratch, interrupt <-chan struct{}) StepResult {
-	return dualStep(in, lambda, p, sc, interrupt)
+func (DualProber) Probe(in *instance.Instance, c *instance.Compiled, lambda float64, p Params, sc *Scratch, interrupt <-chan struct{}) StepResult {
+	return dualStep(in, c, lambda, p, sc, interrupt)
 }

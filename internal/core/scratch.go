@@ -1,6 +1,11 @@
 package core
 
-import "malsched/internal/knapsack"
+import (
+	"sync"
+
+	"malsched/internal/knapsack"
+	"malsched/internal/rigid"
+)
 
 // Scratch is the reusable working memory of the dual-approximation hot
 // path. One dichotomic search performs tens of probes, and a batch engine
@@ -8,6 +13,13 @@ import "malsched/internal/knapsack"
 // allotment, sort orders, list frontiers, the §4 partition and its knapsack
 // tables). A Scratch carries them across probes — and across instances —
 // so the hot path stops re-allocating them.
+//
+// On the compiled path the Scratch additionally carries the two
+// λ-segment caches (seg for the probe deadline, mseg for §3.1's relaxed
+// deadline): the canonical allotment vector, its total work, the
+// by-decreasing-time order and the prefix area are constant on each segment
+// of the compiled breakpoint axis, so a probe landing in a previously
+// cached segment reuses them wholesale.
 //
 // A Scratch is not safe for concurrent use: pool one per worker (the
 // engine's worker pool does exactly that). All constructions produce
@@ -18,23 +30,39 @@ import "malsched/internal/knapsack"
 //
 // The zero value is ready to use.
 type Scratch struct {
-	gamma     []int     // canonical allotment γ_i(λ)
-	order     []int     // sort order (prefix area, canonical list)
-	alloc     []int     // malleable-list allotments
+	gamma     []int     // canonical allotment γ_i(λ) (legacy path)
+	order     []int     // by-decreasing-time sort order (legacy path)
+	alloc     []int     // malleable-list allotments (legacy path)
+	morder    []int     // malleable-list sequential order (legacy path)
 	seq       []int     // malleable-list sequential tail
 	release   []float64 // malleable-list per-processor release times
 	durations []float64 // malleable-list LPT durations
 	front     []float64 // canonical-list frontier
 	sizes     []float64 // partition TS sizes
 	tsizes    []float64 // trivial-solution TS sizes
-	items     []knapsack.Item
+	wcol      []int     // knapsack weight column (d_i)
+	pcol      []int     // knapsack profit column (γ_i)
 	backing   []int
+	win       rigid.Windower // canonical-list window search deque
 	part      Partition
 	ks        knapsack.Solver
+	seg       segState // λ-segment cache of the probe deadline
+	mseg      segState // λ-segment cache of §3.1's relaxed deadline
 }
 
 // NewScratch returns an empty Scratch; buffers grow on demand.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool backs the exported one-shot helpers (CanonicalAllotment,
+// ByDecreasingTime, PrefixArea, MalleableList, CanonicalList, TwoShelf,
+// DualStep): instead of growing a fresh Scratch per call they borrow a
+// pooled one and detach only the result, so casual callers stop thrashing
+// the allocator. Results returned by those helpers never alias the pool.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+func getScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+func putScratch(sc *Scratch) { scratchPool.Put(sc) }
 
 // intsBuf returns *buf resized to n without zeroing (callers overwrite every
 // element).

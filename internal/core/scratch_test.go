@@ -46,14 +46,17 @@ func TestDualStepResultsDoNotAliasScratch(t *testing.T) {
 	in1 := instance.Mixed(1, 30, 16)
 	in2 := instance.Mixed(2, 40, 16)
 	lambda1 := instance.Mixed(1, 30, 16).MinTotalWork() // any accepted guess
-	r1 := dualStep(in1, lambda1, DefaultParams(), sc, nil)
+	r1 := dualStep(in1, instance.Compile(in1), lambda1, DefaultParams(), sc, nil)
 	if r1.Schedule == nil {
 		t.Fatalf("probe at λ=total work rejected: %v", r1.Reject)
 	}
 	snapshot := append([]float64(nil), flattenStarts(r1)...)
-	// Hammer the scratch with probes on a different instance.
+	// Hammer the scratch with probes on a different instance, compiled and
+	// legacy alike (both paths share the Scratch's buffers).
+	c2 := instance.Compile(in2)
 	for _, l := range []float64{1, 2, 4, 8, 16, 32} {
-		dualStep(in2, l, DefaultParams(), sc, nil)
+		dualStep(in2, c2, l, DefaultParams(), sc, nil)
+		dualStep(in2, nil, l, DefaultParams(), sc, nil)
 	}
 	if !reflect.DeepEqual(snapshot, flattenStarts(r1)) {
 		t.Fatal("earlier schedule mutated by later probes on the same Scratch")
@@ -88,19 +91,20 @@ func TestScratchVariantsMatchExported(t *testing.T) {
 				t.Fatalf("prefixArea %v != %v", w2, w1)
 			}
 			s1 := MalleableList(in, lambda)
-			s2 := malleableList(in, lambda, sc)
+			s2 := malleableList(legacyView(in), lambda, sc)
 			if !sameSchedule(s1, s2) {
 				t.Fatalf("malleableList differs at λ=%v", lambda)
 			}
+			order := a2.byDecreasingTime(in, sc)
 			for _, realloc := range []bool{false, true} {
 				c1 := CanonicalList(in, lambda, realloc)
-				c2 := canonicalListFromAllotment(in, a2, realloc, sc)
+				c2 := canonicalListFromAllotment(legacyView(in), a2, order, realloc, sc)
 				if !sameSchedule(c1, c2) {
 					t.Fatalf("canonicalList(realloc=%v) differs at λ=%v", realloc, lambda)
 				}
 			}
 			t1 := TwoShelf(in, lambda, p)
-			t2 := twoShelfFromAllotment(in, a2, p, sc)
+			t2 := twoShelfFromAllotment(legacyView(in), a2, p, sc)
 			if t1.Method != t2.Method || t1.Exact != t2.Exact || !sameSchedule(t1.Schedule, t2.Schedule) {
 				t.Fatalf("twoShelf differs at λ=%v: %q/%v vs %q/%v", lambda, t2.Method, t2.Exact, t1.Method, t1.Exact)
 			}

@@ -33,6 +33,22 @@ type Options struct {
 	// Speculated report the extra work. Values ≤ 1 (the default) keep the
 	// fully sequential search.
 	Parallelism int
+	// Compiled, when non-nil, supplies the instance's precompiled
+	// λ-breakpoint tables (instance.Compile) and must describe exactly the
+	// instance being solved (same machine size and time tables; names may
+	// differ — the tables are name-independent). When nil, Approximate
+	// compiles the instance itself before the first probe. Either way every
+	// probe of the search — sequential or speculative — shares the same
+	// immutable tables; callers solving repeated shapes (the engine's
+	// compiled cache, the scheduling service) pass their cached value so
+	// compilation happens once per workload, not once per search.
+	Compiled *instance.Compiled
+	// Legacy disables the compiled-instance hot path and probes through
+	// the original task-struct lookups instead. Results are bit-identical
+	// on both paths (enforced by the equivalence and golden tests); the
+	// option exists as the benchmark reference for the compiled layer and
+	// wins over Compiled when both are set.
+	Legacy bool
 	// Prober, when non-nil, replaces the paper's dual step (DualProber) as
 	// the evaluator of deadline guesses. Tests instrument it; the
 	// speculative driver calls it concurrently with distinct Scratch
@@ -122,6 +138,7 @@ var ErrOverflow = errors.New("core: trivial lower bound overflows float64")
 // instrumented-prober tests assert the resulting probe counts.
 type search struct {
 	in        *instance.Instance
+	c         *instance.Compiled // nil on the legacy path
 	p         Params
 	eps       float64
 	prober    Prober
@@ -164,9 +181,20 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 	if sc == nil {
 		sc = NewScratch()
 	}
+	c := opts.Compiled
+	if opts.Legacy {
+		c = nil
+	} else if c == nil {
+		// Compile once per search: every probe — tens of them, all on this
+		// one instance — then resolves canonical allotments by threshold
+		// compares and reuses the segment caches. Callers with a compiled
+		// cache pass Options.Compiled and skip even this.
+		c = instance.Compile(in)
+	}
 
 	s := &search{
 		in:        in,
+		c:         c,
 		p:         p,
 		eps:       eps,
 		prober:    prober,
@@ -258,7 +286,7 @@ const maxDoubling = 64
 func (s *search) runSequential(sc *Scratch) error {
 	step := func(l float64) StepResult {
 		s.res.Probes++
-		r := s.prober.Probe(s.in, l, s.p, sc, s.interrupt)
+		r := s.prober.Probe(s.in, s.c, l, s.p, sc, s.interrupt)
 		if r.Interrupted {
 			return r
 		}

@@ -19,11 +19,11 @@ type recordingProber struct {
 	lambdas []float64
 }
 
-func (r *recordingProber) Probe(in *instance.Instance, lambda float64, p Params, sc *Scratch, interrupt <-chan struct{}) StepResult {
+func (r *recordingProber) Probe(in *instance.Instance, c *instance.Compiled, lambda float64, p Params, sc *Scratch, interrupt <-chan struct{}) StepResult {
 	r.mu.Lock()
 	r.lambdas = append(r.lambdas, lambda)
 	r.mu.Unlock()
-	return dualStep(in, lambda, p, sc, interrupt)
+	return dualStep(in, c, lambda, p, sc, interrupt)
 }
 
 func searchTestInstances() []*instance.Instance {

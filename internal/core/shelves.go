@@ -2,7 +2,6 @@ package core
 
 import (
 	"malsched/internal/instance"
-	"malsched/internal/knapsack"
 	"malsched/internal/packing"
 	"malsched/internal/schedule"
 )
@@ -32,12 +31,16 @@ type Partition struct {
 
 // NewPartition computes the partition for allotment a and parameter mu.
 func NewPartition(in *instance.Instance, a Allotment, mu float64) (*Partition, error) {
-	return newPartition(in, a, mu, NewScratch())
+	// A private Scratch, not a pooled one: the returned Partition aliases
+	// its scratch and must stay valid for the caller indefinitely.
+	return newPartition(legacyView(in), a, mu, NewScratch())
 }
 
 // newPartition computes the partition into sc's reused Partition value; the
-// result is valid until the next probe on sc.
-func newPartition(in *instance.Instance, a Allotment, mu float64, sc *Scratch) (*Partition, error) {
+// result is valid until the next probe on sc. The compiled path resolves
+// t_i(γ_i) from the flattened matrix and d_i = γ_i(μλ) from the breakpoint
+// tables.
+func newPartition(v view, a Allotment, mu float64, sc *Scratch) (*Partition, error) {
 	lambda := a.Lambda
 	p := &sc.part
 	p.T1, p.T2, p.TS = p.T1[:0], p.T2[:0], p.TS[:0]
@@ -48,14 +51,15 @@ func newPartition(in *instance.Instance, a Allotment, mu float64, sc *Scratch) (
 	}
 	p.Q1, p.Q2, p.LS = 0, 0, 0
 	sizes := sc.sizes[:0]
-	for i, t := range in.Tasks {
+	n := v.in.N()
+	for i := 0; i < n; i++ {
 		g := a.Gamma[i]
-		ct := t.Time(g)
+		ct := v.time(i, g)
 		switch {
 		case ct > mu*lambda:
 			p.T1 = append(p.T1, i)
 			p.Q1 += g
-			if d, ok := t.Canonical(mu * lambda); ok {
+			if d, ok := v.canonical(i, mu*lambda); ok {
 				p.D[i] = d
 			}
 		case ct > lambda/2 || g > 1:
@@ -68,7 +72,7 @@ func newPartition(in *instance.Instance, a Allotment, mu float64, sc *Scratch) (
 			sizes = append(sizes, ct)
 		}
 	}
-	p.Q1 -= in.M
+	p.Q1 -= v.in.M
 	sc.sizes = sizes // keep the grown backing array for the next probe
 	pk, err := packing.FirstFit(sizes, mu*lambda)
 	if err != nil {
@@ -103,20 +107,22 @@ type TwoShelfResult struct {
 // μ-schedule or a trivial solution exists, so a nil result with Exact
 // certifies OPT > λ.
 func TwoShelf(in *instance.Instance, lambda float64, p Params) TwoShelfResult {
-	sc := NewScratch()
+	sc := getScratch()
+	defer putScratch(sc)
 	a := canonicalAllotment(in, lambda, sc)
 	if !a.OK {
 		return TwoShelfResult{Exact: true}
 	}
-	return twoShelfFromAllotment(in, a, p, sc)
+	return twoShelfFromAllotment(legacyView(in), a, p, sc)
 }
 
-func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params, sc *Scratch) TwoShelfResult {
+func twoShelfFromAllotment(v view, a Allotment, prm Params, sc *Scratch) TwoShelfResult {
 	mu := prm.mu()
-	part, err := newPartition(in, a, mu, sc)
+	part, err := newPartition(v, a, mu, sc)
 	if err != nil {
 		return TwoShelfResult{}
 	}
+	in := v.in
 	m := in.M
 	capacity := m - part.Q2 - part.LS
 
@@ -127,7 +133,7 @@ func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params, sc *S
 	if capacity < 0 {
 		// The second shelf overflows before any T1 task moves; no
 		// μ-schedule exists (T2 and TS placements are forced).
-		if r := trivialSolution(in, a, part, sc); r.Schedule != nil {
+		if r := trivialSolution(v, a, part, sc); r.Schedule != nil {
 			return r
 		}
 		return TwoShelfResult{Exact: true}
@@ -135,35 +141,39 @@ func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params, sc *S
 
 	// §4.5 trivial solutions: one big task moves and everything else fits
 	// in the first shelf.
-	if r := trivialSolution(in, a, part, sc); r.Schedule != nil {
+	if r := trivialSolution(v, a, part, sc); r.Schedule != nil {
 		return r
 	}
 
-	// Knapsack (KS) over the movable T1 tasks.
-	items := sc.items[:0]
+	// Knapsack (KS) over the movable T1 tasks, assembled as weight/profit
+	// columns (weight d_i, profit γ_i) straight into scratch — the columnar
+	// Solver API consumes them without materialising items.
+	wcol := sc.wcol[:0]
+	pcol := sc.pcol[:0]
 	backing := sc.backing[:0]
 	for _, i := range part.T1 {
 		if d, ok := part.D[i]; ok && d <= capacity {
-			items = append(items, knapsack.Item{Weight: d, Profit: a.Gamma[i]})
+			wcol = append(wcol, d)
+			pcol = append(pcol, a.Gamma[i])
 			backing = append(backing, i)
 		}
 	}
-	sc.items, sc.backing = items, backing
-	useDP := len(items)*(capacity+1) <= prm.MaxDPCells
+	sc.wcol, sc.pcol, sc.backing = wcol, pcol, backing
+	useDP := len(wcol)*(capacity+1) <= prm.MaxDPCells
 	var sel []int
 	var method string
 	exact := false
 	if useDP {
-		s, profit := sc.ks.MaxProfit(items, capacity)
+		s, profit := sc.ks.MaxProfitCols(wcol, pcol, capacity)
 		exact = true
 		if profit >= part.Q1 {
 			sel, method = s, "knapsack-dp"
 		}
 	} else {
-		s, profit := sc.ks.MaxProfitFPTAS(items, capacity, prm.KnapsackEps)
+		s, profit := sc.ks.MaxProfitFPTASCols(wcol, pcol, capacity, prm.KnapsackEps)
 		if profit >= part.Q1 {
 			sel, method = s, "knapsack-fptas"
-		} else if s2, w, ok := sc.ks.MinWeightApprox(items, part.Q1, capacity, prm.KnapsackEps); ok && w <= capacity {
+		} else if s2, w, ok := sc.ks.MinWeightApproxCols(wcol, pcol, part.Q1, capacity, prm.KnapsackEps); ok && w <= capacity {
 			sel, method = s2, "knapsack-dual"
 		}
 	}
@@ -181,11 +191,12 @@ func twoShelfFromAllotment(in *instance.Instance, a Allotment, prm Params, sc *S
 // all other tasks fit into the first shelf at canonical allotments (with TS
 // First-Fit packed under deadline λ) while τ alone runs in the second shelf
 // on d_τ ≤ m processors.
-func trivialSolution(in *instance.Instance, a Allotment, part *Partition, sc *Scratch) TwoShelfResult {
+func trivialSolution(v view, a Allotment, part *Partition, sc *Scratch) TwoShelfResult {
+	in := v.in
 	lambda := a.Lambda
 	sizes := sc.tsizes[:0]
 	for _, i := range part.TS {
-		sizes = append(sizes, in.Tasks[i].Time(a.Gamma[i]))
+		sizes = append(sizes, v.time(i, a.Gamma[i]))
 	}
 	sc.tsizes = sizes
 	qS1 := 0

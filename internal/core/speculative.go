@@ -56,7 +56,7 @@ func (s *search) runSpeculative(k int, sc *Scratch) error {
 		s.res.Probes += len(lambdas)
 		results := make([]StepResult, len(lambdas))
 		if len(lambdas) == 1 {
-			results[0] = s.prober.Probe(s.in, lambdas[0], s.p, scratches[0], s.interrupt)
+			results[0] = s.prober.Probe(s.in, s.c, lambdas[0], s.p, scratches[0], s.interrupt)
 			return results
 		}
 		var wg sync.WaitGroup
@@ -64,7 +64,7 @@ func (s *search) runSpeculative(k int, sc *Scratch) error {
 		for i := range lambdas {
 			go func(i int) {
 				defer wg.Done()
-				results[i] = s.prober.Probe(s.in, lambdas[i], s.p, scratches[i], s.interrupt)
+				results[i] = s.prober.Probe(s.in, s.c, lambdas[i], s.p, scratches[i], s.interrupt)
 			}(i)
 		}
 		wg.Wait()

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"malsched/internal/instance"
+)
+
+// The compiled-instance cache is keyed by the workload-only fingerprint:
+// re-solving the same shape under different options (a memo miss) must hit
+// the compiled cache, and a renamed copy of the workload must too.
+func TestCompiledCacheKeyedByWorkload(t *testing.T) {
+	e := New(Config{Workers: 1})
+	in := instance.Mixed(4, 20, 16)
+	if _, err := e.Schedule(in); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CompileMisses != 1 || st.CompileHits != 0 || st.CompiledEntries != 1 {
+		t.Fatalf("after first solve: %+v", st)
+	}
+
+	// Same workload, different options: memo miss, compiled hit.
+	if out := e.ScheduleWith(in, Options{Eps: 0.07}, 0); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	st = e.Stats()
+	if st.CompileMisses != 1 || st.CompileHits != 1 {
+		t.Fatalf("options change recompiled: %+v", st)
+	}
+
+	// Renamed copy: instance hash is name-independent — memo hit, and the
+	// memo hit path needs no tables at all.
+	renamed := instance.MustNew("renamed", in.M, in.Tasks)
+	if _, err := e.Schedule(renamed); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.MemoHits != 1 || st.CompileMisses != 1 || st.CompileHits != 1 {
+		t.Fatalf("renamed copy: %+v", st)
+	}
+
+	// Caller-compiled tables bypass the cache entirely.
+	c := e.CompiledFor(in) // one more hit
+	out := e.ScheduleCompiled(in, c, Options{Eps: 0.11}, 0, Fingerprint(in, Options{Eps: 0.11}))
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	st = e.Stats()
+	if st.CompileHits != 2 || st.CompileMisses != 1 {
+		t.Fatalf("ScheduleCompiled probed the cache: %+v", st)
+	}
+}
+
+// Solvers without a dual search never consume compiled tables, so the
+// engine must not compile for them — no wasted Compile, no cache pressure.
+func TestNoCompileForNonProbingSolvers(t *testing.T) {
+	e := New(Config{Workers: 1})
+	in := instance.Mixed(6, 12, 8)
+	for _, o := range []Options{{Solver: "seq-lpt"}, {Solver: "twy-ffdh"}} {
+		if out := e.ScheduleWith(in, o, 0); out.Err != nil {
+			t.Fatal(out.Err)
+		}
+	}
+	if st := e.Stats(); st.CompileMisses != 0 || st.CompileHits != 0 {
+		t.Fatalf("baseline solves compiled: %+v", st)
+	}
+	// The portfolio includes mrt, so it does compile.
+	if out := e.ScheduleWith(in, Options{Solver: "portfolio"}, 0); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if st := e.Stats(); st.CompileMisses != 1 {
+		t.Fatalf("portfolio solve did not compile once: %+v", st)
+	}
+}
+
+// With the memo disabled the compiled cache is disabled too: every solve
+// compiles fresh (counted as misses) and no entries are retained.
+func TestCompiledCacheDisabledWithMemo(t *testing.T) {
+	e := New(Config{Workers: 1, MemoCapacity: -1})
+	in := instance.Mixed(4, 15, 8)
+	for i := 0; i < 3; i++ {
+		if _, err := e.Schedule(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CompileMisses != 3 || st.CompileHits != 0 || st.CompiledEntries != 0 {
+		t.Fatalf("disabled cache: %+v", st)
+	}
+}
+
+// Options.Legacy must be output-invisible (the engine skips the compiled
+// cache, the search probes task structs) and must share memo entries with
+// the compiled path — the two are interchangeable by construction.
+func TestLegacyOptionBitIdentical(t *testing.T) {
+	for name, gen := range instance.Families() {
+		in := gen(9, 18, 12)
+		compiled, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		legacy, err := Solve(in, Options{Legacy: true})
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", name, err)
+		}
+		if compiled.Makespan != legacy.Makespan || compiled.LowerBound != legacy.LowerBound ||
+			compiled.Branch != legacy.Branch || compiled.Probes != legacy.Probes ||
+			!reflect.DeepEqual(compiled.Plan.Placements, legacy.Plan.Placements) {
+			t.Fatalf("%s: legacy diverged from compiled", name)
+		}
+		if Fingerprint(in, Options{}) != Fingerprint(in, Options{Legacy: true}) {
+			t.Fatalf("%s: Legacy leaked into the fingerprint", name)
+		}
+	}
+
+	// Through the engine, a legacy solve neither compiles nor caches.
+	e := New(Config{Workers: 1})
+	in := instance.Mixed(2, 15, 8)
+	if out := e.ScheduleWith(in, Options{Legacy: true}, 0); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if st := e.Stats(); st.CompileMisses != 0 || st.CompileHits != 0 || st.CompiledEntries != 0 {
+		t.Fatalf("legacy solve touched the compiled cache: %+v", st)
+	}
+}

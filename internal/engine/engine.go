@@ -46,15 +46,23 @@ type Config struct {
 type Engine struct {
 	cfg     Config
 	workers int
-	memo    *lru
-	scratch sync.Pool
+	memo    *lru[Solution]
+	// compiled caches instance.Compiled values keyed by the workload-only
+	// fingerprint (no options): batch siblings, memo-miss re-solves under
+	// different options and service requests of a repeated shape all reuse
+	// one set of λ-breakpoint tables. Sized with the memo and disabled
+	// along with it (negative MemoCapacity).
+	compiled *lru[*instance.Compiled]
+	scratch  sync.Pool
 
-	scheduled atomic.Uint64
-	errs      atomic.Uint64
-	panics    atomic.Uint64
-	timeouts  atomic.Uint64
-	hits      atomic.Uint64
-	misses    atomic.Uint64
+	scheduled     atomic.Uint64
+	errs          atomic.Uint64
+	panics        atomic.Uint64
+	timeouts      atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	compileHits   atomic.Uint64
+	compileMisses atomic.Uint64
 }
 
 // ErrTimeout wraps every per-instance timeout failure.
@@ -83,7 +91,8 @@ func New(cfg Config) *Engine {
 	}
 	e := &Engine{cfg: cfg, workers: workers}
 	if memoCap > 0 {
-		e.memo = newLRU(memoCap)
+		e.memo = newLRU[Solution](memoCap)
+		e.compiled = newLRU[*instance.Compiled](memoCap)
 	}
 	e.scratch.New = func() any { return core.NewScratch() }
 	return e
@@ -121,22 +130,61 @@ type Stats struct {
 	MemoHits    uint64
 	MemoMisses  uint64
 	MemoEntries int
+	// CompileHits/CompileMisses count compiled-instance cache probes (a
+	// miss is one instance.Compile). With the cache disabled (negative
+	// MemoCapacity) every non-legacy solve compiles fresh and counts as a
+	// miss, CompileHits stays 0 and CompiledEntries stays 0; otherwise
+	// CompiledEntries is the current resident count.
+	CompileHits     uint64
+	CompileMisses   uint64
+	CompiledEntries int
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Scheduled:  e.scheduled.Load(),
-		Errors:     e.errs.Load(),
-		Panics:     e.panics.Load(),
-		Timeouts:   e.timeouts.Load(),
-		MemoHits:   e.hits.Load(),
-		MemoMisses: e.misses.Load(),
+		Scheduled:     e.scheduled.Load(),
+		Errors:        e.errs.Load(),
+		Panics:        e.panics.Load(),
+		Timeouts:      e.timeouts.Load(),
+		MemoHits:      e.hits.Load(),
+		MemoMisses:    e.misses.Load(),
+		CompileHits:   e.compileHits.Load(),
+		CompileMisses: e.compileMisses.Load(),
 	}
 	if e.memo != nil {
 		s.MemoEntries = e.memo.len()
 	}
+	if e.compiled != nil {
+		s.CompiledEntries = e.compiled.len()
+	}
 	return s
+}
+
+// CompiledFor returns the compiled λ-breakpoint tables for the instance,
+// from the compiled cache when one is configured (counting hits and
+// misses; a miss compiles and caches). The returned tables may come from a
+// renamed copy of the same workload — they are name-independent. The
+// scheduling service calls this once at admission and hands the result to
+// ScheduleCompiled so every shard-mate of the request shares one
+// compilation.
+func (e *Engine) CompiledFor(in *instance.Instance) *instance.Compiled {
+	if in == nil {
+		return nil
+	}
+	if e.compiled == nil {
+		e.compileMisses.Add(1)
+		return instance.Compile(in)
+	}
+	k := instanceKey(in)
+	if c, ok := e.compiled.get(k); ok {
+		e.compileHits.Add(1)
+		return c
+	}
+	e.compileMisses.Add(1)
+	c := instance.Compile(in)
+	e.compiled.put(k, c)
+	return c
 }
 
 // solveFn is the pipeline the workers run; a package variable so tests can
@@ -157,7 +205,7 @@ func (e *Engine) Schedule(in *instance.Instance) (Solution, error) {
 // scheduling service maps per-request solver/parallelism/timeout selection
 // onto shared engines.
 func (e *Engine) ScheduleWith(in *instance.Instance, o Options, timeout time.Duration) Outcome {
-	return e.runWith(0, in, o, timeout, nil)
+	return e.runWith(0, in, o, timeout, nil, nil)
 }
 
 // ScheduleWithHash is ScheduleWith for callers that already computed
@@ -166,7 +214,16 @@ func (e *Engine) ScheduleWith(in *instance.Instance, o Options, timeout time.Dur
 // hash MUST equal Fingerprint(in, o) — a stale one would alias memo
 // entries.
 func (e *Engine) ScheduleWithHash(in *instance.Instance, o Options, timeout time.Duration, hash uint64) Outcome {
-	return e.runWith(0, in, o, timeout, &hash)
+	return e.runWith(0, in, o, timeout, &hash, nil)
+}
+
+// ScheduleCompiled is ScheduleWithHash for callers that additionally hold
+// the instance's compiled λ-breakpoint tables (typically from CompiledFor):
+// the solve consumes them directly instead of probing the compiled cache.
+// c must describe the same workload as in (same machine size and time
+// tables; names may differ) — CompiledFor guarantees that.
+func (e *Engine) ScheduleCompiled(in *instance.Instance, c *instance.Compiled, o Options, timeout time.Duration, hash uint64) Outcome {
+	return e.runWith(0, in, o, timeout, &hash, c)
 }
 
 // ScheduleBatch schedules every instance and returns one outcome per
@@ -240,13 +297,15 @@ func (e *Engine) ScheduleStream(jobs <-chan *instance.Instance) <-chan Outcome {
 
 // run executes one job under the engine's configured options and timeout.
 func (e *Engine) run(idx int, in *instance.Instance) Outcome {
-	return e.runWith(idx, in, e.cfg.Options, e.cfg.Timeout, nil)
+	return e.runWith(idx, in, e.cfg.Options, e.cfg.Timeout, nil, nil)
 }
 
-// runWith executes one job: admission check, memo probe, pooled-scratch
-// solve under the per-call deadline, panic recovery, memo fill. A non-nil
-// hash supplies the caller-precomputed Fingerprint(in, opts).
-func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout time.Duration, hash *uint64) Outcome {
+// runWith executes one job: admission check, memo probe, compiled-table
+// resolution, pooled-scratch solve under the per-call deadline, panic
+// recovery, memo fill. A non-nil hash supplies the caller-precomputed
+// Fingerprint(in, opts); a non-nil ci supplies caller-precompiled tables
+// (otherwise the compiled cache provides them after admission).
+func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout time.Duration, hash *uint64, ci *instance.Compiled) Outcome {
 	out := Outcome{Index: idx, In: in}
 	if in == nil {
 		out.Err = ErrNilInstance
@@ -282,6 +341,14 @@ func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout t
 	}
 	e.scheduled.Add(1)
 
+	// Resolve the compiled λ-breakpoint tables after admission (a poisoned
+	// instance never reaches Compile) and after the memo probe (a hit
+	// needs no tables at all). Legacy solves skip them by definition, and
+	// so do solvers without a dual search — nothing would read them.
+	if ci == nil && !opts.Legacy && WantsCompiled(opts) {
+		ci = e.CompiledFor(in)
+	}
+
 	sc := e.scratch.Get().(*core.Scratch)
 	defer e.scratch.Put(sc)
 
@@ -301,7 +368,7 @@ func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout t
 				out.Err = fmt.Errorf("engine: panic scheduling instance %q: %v", in.Name, r)
 			}
 		}()
-		out.Solution, out.Err = solveFn(in, opts, sc, interrupt)
+		out.Solution, out.Err = solveFn(in, opts, sc, interrupt, ci)
 	}()
 
 	if errors.Is(out.Err, core.ErrInterrupted) {

@@ -223,12 +223,12 @@ func TestMemoDisabled(t *testing.T) {
 // (core's own between-probe polling is covered by the core package tests).
 func TestTimeoutIsolatesInstance(t *testing.T) {
 	orig := solveFn
-	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}) (Solution, error) {
+	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled) (Solution, error) {
 		if in.Name == "slow" {
 			<-interrupt // simulate a search that outlives its deadline
 			return Solution{}, fmt.Errorf("%w (instance %q)", core.ErrInterrupted, in.Name)
 		}
-		return orig(in, o, sc, interrupt)
+		return orig(in, o, sc, interrupt, ci)
 	}
 	defer func() { solveFn = orig }()
 
@@ -259,12 +259,12 @@ func TestTimeoutIsolatesInstance(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	orig := solveFn
 	var calls atomic.Int32
-	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}) (Solution, error) {
+	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled) (Solution, error) {
 		calls.Add(1)
 		if in.Name == "boom" {
 			panic("injected fault")
 		}
-		return orig(in, o, sc, interrupt)
+		return orig(in, o, sc, interrupt, ci)
 	}
 	defer func() { solveFn = orig }()
 
@@ -345,7 +345,7 @@ func TestSolveUnknownBaseline(t *testing.T) {
 }
 
 func TestLRUUnit(t *testing.T) {
-	l := newLRU(2)
+	l := newLRU[Solution](2)
 	k := func(i int) memoKey { return memoKey{hash: uint64(i), m: i, n: i} }
 	v := func(i int) Solution { return Solution{Makespan: float64(i)} }
 	l.put(k(1), v(1))
@@ -538,12 +538,12 @@ func TestScheduleWith(t *testing.T) {
 	// no configured timeout (deterministic via the solveFn seam, same
 	// idiom as TestTimeoutIsolatesInstance).
 	orig := solveFn
-	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}) (Solution, error) {
+	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled) (Solution, error) {
 		if in.Name == "slow" {
 			<-interrupt
 			return Solution{}, fmt.Errorf("%w (instance %q)", core.ErrInterrupted, in.Name)
 		}
-		return orig(in, o, sc, interrupt)
+		return orig(in, o, sc, interrupt, ci)
 	}
 	defer func() { solveFn = orig }()
 	// Memo disabled: the slow instance shares in's name-independent

@@ -58,8 +58,12 @@ func Fingerprint(in *instance.Instance, o Options) uint64 {
 	return fingerprint(in, o).hash
 }
 
-// fingerprint computes the memo key of an instance under the given options.
-func fingerprint(in *instance.Instance, o Options) memoKey {
+// instanceHash is the workload-only prefix of the fingerprint: machine
+// size and every task's full time table, no options. The compiled-instance
+// cache keys on it alone, because compiled breakpoint tables depend only on
+// the workload — memo-miss re-solves of the same shape under different
+// options still skip recompilation.
+func instanceHash(in *instance.Instance) fnv64 {
 	h := fnv64(fnvOffset)
 	h.uint64(uint64(in.M))
 	h.uint64(uint64(in.N()))
@@ -69,6 +73,19 @@ func fingerprint(in *instance.Instance, o Options) memoKey {
 			h.float64(t.Time(p))
 		}
 	}
+	return h
+}
+
+// instanceKey is the compiled-cache key of a workload. Like the memo key it
+// accepts the residual 64-bit collision risk (the compiled cache is a
+// per-process cache, disabled along with the memo by a negative capacity).
+func instanceKey(in *instance.Instance) memoKey {
+	return memoKey{hash: uint64(instanceHash(in)), m: in.M, n: in.N()}
+}
+
+// fingerprint computes the memo key of an instance under the given options.
+func fingerprint(in *instance.Instance, o Options) memoKey {
+	h := instanceHash(in)
 	h.float64(o.Eps)
 	if o.Compact {
 		h.byte(1)
@@ -77,9 +94,11 @@ func fingerprint(in *instance.Instance, o Options) memoKey {
 	}
 	// The solver identity is hashed in resolved form, so the deprecated
 	// Baseline alias and an explicit Solver of the same name share memo
-	// entries. Parallelism is deliberately excluded: the speculative
-	// search is bit-identical to the sequential one (enforced by the
-	// golden and determinism tests), so its results are interchangeable.
+	// entries. Parallelism and Legacy are deliberately excluded: the
+	// speculative search is bit-identical to the sequential one and the
+	// compiled hot path to the legacy one (enforced by the golden,
+	// determinism and equivalence tests), so their results are
+	// interchangeable.
 	if len(o.Portfolio) > 0 {
 		h.string("portfolio")
 		h.uint64(uint64(len(o.Portfolio)))

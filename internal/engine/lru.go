@@ -2,43 +2,46 @@ package engine
 
 import "sync"
 
-// lru is a fixed-capacity least-recently-used map from memo keys to
-// solutions. It is safe for concurrent use; one mutex suffices because the
-// critical sections are pointer splices around a multi-millisecond solve.
-type lru struct {
+// lru is a fixed-capacity least-recently-used map from memo keys to values.
+// It is safe for concurrent use; one mutex suffices because the critical
+// sections are pointer splices around a multi-millisecond solve. The engine
+// keeps two: solutions keyed by the full (workload, options) fingerprint,
+// and compiled instances keyed by the workload-only fingerprint.
+type lru[V any] struct {
 	mu       sync.Mutex
 	capacity int
-	entries  map[memoKey]*lruNode
-	head     *lruNode // most recently used
-	tail     *lruNode // least recently used
+	entries  map[memoKey]*lruNode[V]
+	head     *lruNode[V] // most recently used
+	tail     *lruNode[V] // least recently used
 }
 
-type lruNode struct {
+type lruNode[V any] struct {
 	key        memoKey
-	value      Solution
-	prev, next *lruNode
+	value      V
+	prev, next *lruNode[V]
 }
 
-func newLRU(capacity int) *lru {
-	return &lru{capacity: capacity, entries: make(map[memoKey]*lruNode, capacity)}
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{capacity: capacity, entries: make(map[memoKey]*lruNode[V], capacity)}
 }
 
-// get returns the cached solution and promotes it to most recently used.
-func (l *lru) get(k memoKey) (Solution, bool) {
+// get returns the cached value and promotes it to most recently used.
+func (l *lru[V]) get(k memoKey) (V, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n, ok := l.entries[k]
 	if !ok {
-		return Solution{}, false
+		var zero V
+		return zero, false
 	}
 	l.unlink(n)
 	l.pushFront(n)
 	return n.value, true
 }
 
-// put inserts or refreshes a cached solution, evicting the least recently
+// put inserts or refreshes a cached value, evicting the least recently
 // used entry when full.
-func (l *lru) put(k memoKey, v Solution) {
+func (l *lru[V]) put(k memoKey, v V) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if n, ok := l.entries[k]; ok {
@@ -52,19 +55,19 @@ func (l *lru) put(k memoKey, v Solution) {
 		l.unlink(evict)
 		delete(l.entries, evict.key)
 	}
-	n := &lruNode{key: k, value: v}
+	n := &lruNode[V]{key: k, value: v}
 	l.entries[k] = n
 	l.pushFront(n)
 }
 
 // len returns the current entry count.
-func (l *lru) len() int {
+func (l *lru[V]) len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.entries)
 }
 
-func (l *lru) unlink(n *lruNode) {
+func (l *lru[V]) unlink(n *lruNode[V]) {
 	if n.prev != nil {
 		n.prev.next = n.next
 	} else if l.head == n {
@@ -78,7 +81,7 @@ func (l *lru) unlink(n *lruNode) {
 	n.prev, n.next = nil, nil
 }
 
-func (l *lru) pushFront(n *lruNode) {
+func (l *lru[V]) pushFront(n *lruNode[V]) {
 	n.next = l.head
 	if l.head != nil {
 		l.head.prev = n

@@ -36,6 +36,13 @@ type Options struct {
 	// Parallelism is the speculative width of the dual search; results
 	// are identical at every value (see core.Options.Parallelism).
 	Parallelism int
+	// Legacy disables the compiled-instance hot path: the dual search
+	// probes through the original task-struct lookups and the engine skips
+	// its compiled cache. Results are bit-identical either way (enforced
+	// by the equivalence and golden tests), so Legacy — like Parallelism —
+	// is excluded from the memo fingerprint; it exists as the benchmark
+	// reference for the compiled layer.
+	Legacy bool
 	// Baseline is a deprecated alias for Solver, kept for callers of the
 	// pre-registry API.
 	Baseline string
@@ -52,6 +59,27 @@ func (o Options) solverName() string {
 		return o.Baseline
 	}
 	return solver.PaperSolverName
+}
+
+// WantsCompiled reports whether the options resolve to a solver that can
+// consume compiled λ-breakpoint tables: the paper's dual search ("mrt"),
+// or a portfolio that includes it (the registered "portfolio" does). The
+// engine and the scheduling service gate compilation on it so baseline and
+// exact solves — which never probe — neither pay instance.Compile nor fill
+// the compiled cache. Custom registered solvers are conservatively treated
+// as non-consumers: one that runs the dual search internally still gets
+// compiled tables, built once per search by core.Approximate itself.
+func WantsCompiled(o Options) bool {
+	if len(o.Portfolio) > 0 {
+		for _, m := range o.Portfolio {
+			if m == solver.PaperSolverName {
+				return true
+			}
+		}
+		return false
+	}
+	name := o.solverName()
+	return name == solver.PaperSolverName || name == solver.PortfolioName
 }
 
 // resolveSolver maps the options to a registered solver (or an ad-hoc
@@ -112,14 +140,15 @@ func (s Solution) clone() Solution {
 // validated solution. It is the single implementation behind both
 // malsched.Schedule and the engine's workers.
 func Solve(in *instance.Instance, o Options) (Solution, error) {
-	return solve(in, o, nil, nil)
+	return solve(in, o, nil, nil, nil)
 }
 
 // solve is Solve with the engine-only hooks: sc supplies reusable probe
-// buffers (nil allocates per call) and interrupt aborts the dual search
-// early (nil never fires). Plan validation lives inside each registered
-// solver, so portfolio members are checked individually.
-func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}) (Solution, error) {
+// buffers (nil allocates per call), interrupt aborts the dual search early
+// (nil never fires), and ci supplies precompiled λ-breakpoint tables (nil
+// lets the search compile its own). Plan validation lives inside each
+// registered solver, so portfolio members are checked individually.
+func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled) (Solution, error) {
 	sv, err := resolveSolver(o)
 	if err != nil {
 		return Solution{}, err
@@ -128,6 +157,8 @@ func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan 
 		Eps:         o.Eps,
 		Compact:     o.Compact,
 		Parallelism: o.Parallelism,
+		Legacy:      o.Legacy,
+		Compiled:    ci,
 		Scratch:     sc,
 		Interrupt:   interrupt,
 	})

@@ -1,0 +1,205 @@
+package instance
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"malsched/internal/task"
+)
+
+// compiledTestInstances is a spread of generator-family workloads plus a
+// breakpoint-dense one (harmonic profiles: every t(p) = T/p is distinct, so
+// every profile entry is its own breakpoint).
+func compiledTestInstances() []*Instance {
+	var ins []*Instance
+	for name, gen := range Families() {
+		_ = name
+		for seed := int64(1); seed <= 3; seed++ {
+			ins = append(ins, gen(seed, 20, 12))
+		}
+	}
+	ins = append(ins, breakpointDense(7, 24, 16))
+	return ins
+}
+
+// breakpointDense builds an instance whose profiles have all-distinct
+// execution times (near-linear speedup with an irrational-ish skew), the
+// worst case for the breakpoint tables: n·m distinct thresholds.
+func breakpointDense(seed int64, n, m int) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	tasks := make([]task.Task, n)
+	for i := range tasks {
+		w := 1 + 20*rng.Float64()
+		times := make([]float64, m)
+		for p := 1; p <= m; p++ {
+			times[p-1] = w / (float64(p) * (1 + 0.001*float64(i+p)))
+		}
+		tasks[i] = task.MustNew("dense", task.Monotonize(times))
+	}
+	return MustNew("breakpoint-dense", m, tasks)
+}
+
+// Every threshold must be float-exact against the predicate it compiles:
+// Leq(t, b) holds and Leq(t, prevfloat(b)) does not (unless b = 0).
+func TestCompiledThresholdsExact(t *testing.T) {
+	for _, in := range compiledTestInstances() {
+		c := Compile(in)
+		for i := range in.Tasks {
+			row := c.Breakpoints(i)
+			for p := 1; p <= c.MaxProcs(i); p++ {
+				tv := c.Time(i, p)
+				b := row[p-1]
+				if !task.Leq(tv, b) {
+					t.Fatalf("%s: task %d p=%d: predicate false at its own threshold %v (t=%v)", in.Name, i, p, b, tv)
+				}
+				if b > 0 {
+					if prev := math.Nextafter(b, math.Inf(-1)); task.Leq(tv, prev) {
+						t.Fatalf("%s: task %d p=%d: threshold %v not minimal (still true at %v)", in.Name, i, p, b, prev)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Gamma must agree with task.Canonical everywhere — random deadlines plus
+// the adversarial ones: each breakpoint and its float neighbours, where an
+// inexact threshold would first diverge.
+func TestCompiledGammaMatchesCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, in := range compiledTestInstances() {
+		c := Compile(in)
+		var lambdas []float64
+		for _, b := range c.GlobalBreakpoints() {
+			lambdas = append(lambdas, b, math.Nextafter(b, math.Inf(1)))
+			if b > 0 {
+				lambdas = append(lambdas, math.Nextafter(b, math.Inf(-1)))
+			}
+		}
+		for k := 0; k < 100; k++ {
+			lambdas = append(lambdas, 50*rng.Float64())
+		}
+		for _, l := range lambdas {
+			for i, tk := range in.Tasks {
+				wantG, wantOK := tk.Canonical(l)
+				gotG, gotOK := c.Gamma(i, l)
+				if wantG != gotG || wantOK != gotOK {
+					t.Fatalf("%s: task %d λ=%v: Gamma=(%d,%v), Canonical=(%d,%v)",
+						in.Name, i, l, gotG, gotOK, wantG, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// The canonical allotment vector must be constant between consecutive
+// global breakpoints and change at each one: sampling a segment at its left
+// edge, just inside, in the middle and just before the right edge yields
+// one vector, and crossing into the next segment changes it.
+func TestCompiledPiecewiseConstantAllotment(t *testing.T) {
+	gammaVec := func(c *Compiled, l float64) []int {
+		v := make([]int, c.N())
+		for i := range v {
+			g, ok := c.Gamma(i, l)
+			if !ok {
+				g = -1
+			}
+			v[i] = g
+		}
+		return v
+	}
+	for _, in := range compiledTestInstances() {
+		c := Compile(in)
+		bks := c.GlobalBreakpoints()
+		limit := len(bks)
+		if limit > 200 {
+			limit = 200 // the dense instance has thousands of segments
+		}
+		for k := 0; k < limit; k++ {
+			lo := bks[k]
+			hi := math.Inf(1)
+			if k+1 < len(bks) {
+				hi = bks[k+1]
+			}
+			ref := gammaVec(c, lo)
+			samples := []float64{math.Nextafter(lo, math.Inf(1))}
+			if !math.IsInf(hi, 1) {
+				samples = append(samples, lo+(hi-lo)/2, math.Nextafter(hi, math.Inf(-1)))
+			}
+			for _, l := range samples {
+				if l < lo || l >= hi {
+					continue // degenerate one-ulp segment
+				}
+				if got := gammaVec(c, l); !reflect.DeepEqual(got, ref) {
+					t.Fatalf("%s: allotment not constant on segment [%v,%v): %v at λ=%v vs %v",
+						in.Name, lo, hi, got, l, ref)
+				}
+				if c.Segment(l) != c.Segment(lo) {
+					t.Fatalf("%s: λ=%v and %v disagree on segment index within [%v,%v)", in.Name, l, lo, lo, hi)
+				}
+			}
+			if lo > 0 {
+				below := gammaVec(c, math.Nextafter(lo, math.Inf(-1)))
+				if reflect.DeepEqual(below, ref) {
+					t.Fatalf("%s: allotment did not change at breakpoint %v", in.Name, lo)
+				}
+			}
+		}
+	}
+}
+
+// The flattened matrices and the precompiled sequential order must mirror
+// the task structs exactly.
+func TestCompiledTablesMatchTasks(t *testing.T) {
+	for _, in := range compiledTestInstances() {
+		c := Compile(in)
+		for i, tk := range in.Tasks {
+			if c.MaxProcs(i) != tk.MaxProcs() {
+				t.Fatalf("%s: task %d width %d != %d", in.Name, i, c.MaxProcs(i), tk.MaxProcs())
+			}
+			for p := 1; p <= tk.MaxProcs(); p++ {
+				if c.Time(i, p) != tk.Time(p) || c.Work(i, p) != tk.Work(p) {
+					t.Fatalf("%s: task %d p=%d matrix mismatch", in.Name, i, p)
+				}
+			}
+			if c.SeqTime(i) != tk.SeqTime() {
+				t.Fatalf("%s: task %d SeqTime mismatch", in.Name, i)
+			}
+		}
+		want := make([]int, in.N())
+		for i := range want {
+			want[i] = i
+		}
+		sort.SliceStable(want, func(a, b int) bool {
+			return in.Tasks[want[a]].SeqTime() > in.Tasks[want[b]].SeqTime()
+		})
+		if !reflect.DeepEqual(c.SeqOrder(), want) {
+			t.Fatalf("%s: SeqOrder %v != legacy stable sort %v", in.Name, c.SeqOrder(), want)
+		}
+	}
+}
+
+// Compile must be safe on malformed instances built around validation —
+// the service compiles at admission, before instance.Check runs.
+func TestCompileDefensive(t *testing.T) {
+	if Compile(nil) != nil {
+		t.Fatal("Compile(nil) != nil")
+	}
+	for _, in := range []*Instance{
+		{Name: "no-tasks", M: 4},
+		{Name: "zero-task", M: 2, Tasks: make([]task.Task, 3)}, // empty profiles
+	} {
+		c := Compile(in)
+		if c == nil {
+			t.Fatalf("%s: Compile returned nil", in.Name)
+		}
+		for i := 0; i < c.N(); i++ {
+			if g, ok := c.Gamma(i, 1); ok {
+				t.Fatalf("%s: empty profile reported γ=%d", in.Name, g)
+			}
+		}
+	}
+}

@@ -6,17 +6,27 @@ package knapsack
 // backtracking bitsets, the dominant allocation of the hot path) across
 // calls instead of re-allocating them per probe.
 //
+// Every solver exists in two input forms: the []Item API and the columnar
+// *Cols API taking separate weight/profit slices. The columnar form is the
+// primary implementation — the compiled-instance hot path of internal/core
+// assembles weight/profit columns directly from precompiled tables without
+// materialising Items — and the Item methods are adapters that split into
+// reused column buffers, so both forms run the exact same DP and return
+// identical results.
+//
 // The zero value is ready to use. A Solver is not safe for concurrent use;
 // pool one per worker (the engine does). The package-level functions remain
 // allocation-per-call conveniences delegating to a fresh Solver, so both
 // entry points run the exact same algorithm and return identical results.
 type Solver struct {
-	dp     []int      // MaxProfit profit table
-	dp64   []int64    // MinWeight / FPTAS weight tables
-	flat   []uint64   // backing array for the take bitsets
-	take   [][]uint64 // per-item rows sliced out of flat
-	scaled []int      // FPTAS scaled profits
-	ditems []Item     // MinWeightApprox scaled item copies
+	dp      []int      // MaxProfit profit table
+	dp64    []int64    // MinWeight / FPTAS weight tables
+	flat    []uint64   // backing array for the take bitsets
+	take    [][]uint64 // per-item rows sliced out of flat
+	scaled  []int      // FPTAS scaled profits
+	wscaled []int      // MinWeightApprox scaled weights
+	wsplit  []int      // Item-adapter weight column
+	psplit  []int      // Item-adapter profit column
 }
 
 // NewSolver returns an empty Solver; buffers grow on demand.
@@ -65,23 +75,46 @@ func (s *Solver) bitRows(n, words int) [][]uint64 {
 	return s.take
 }
 
+// split copies items into the Solver's reused weight/profit columns.
+func (s *Solver) split(items []Item) (weights, profits []int) {
+	n := len(items)
+	if cap(s.wsplit) < n {
+		s.wsplit = make([]int, n)
+	}
+	if cap(s.psplit) < n {
+		s.psplit = make([]int, n)
+	}
+	weights, profits = s.wsplit[:n], s.psplit[:n]
+	for i, it := range items {
+		weights[i], profits[i] = it.Weight, it.Profit
+	}
+	return weights, profits
+}
+
 // MaxProfit solves problem (KS) exactly on reused buffers; see the
 // package-level MaxProfit for the contract.
 func (s *Solver) MaxProfit(items []Item, capacity int) (sel []int, profit int) {
+	w, p := s.split(items)
+	return s.MaxProfitCols(w, p, capacity)
+}
+
+// MaxProfitCols is MaxProfit on weight/profit columns (weights[i] and
+// profits[i] describe item i; both slices must have equal length).
+func (s *Solver) MaxProfitCols(weights, profits []int, capacity int) (sel []int, profit int) {
 	if capacity < 0 {
 		return nil, 0
 	}
-	n := len(items)
+	n := len(weights)
 	dp := s.ints(capacity + 1)
 	// take[i] is a bitset over capacities: whether item i is taken at that
 	// residual capacity in the optimal table.
 	words := (capacity + 64) / 64
 	take := s.bitRows(n, words)
-	for i, it := range items {
-		if it.Weight <= capacity && it.Profit > 0 {
+	for i := 0; i < n; i++ {
+		if wt, pf := weights[i], profits[i]; wt <= capacity && pf > 0 {
 			row := take[i]
-			for c := capacity; c >= it.Weight; c-- {
-				if v := dp[c-it.Weight] + it.Profit; v > dp[c] {
+			for c := capacity; c >= wt; c-- {
+				if v := dp[c-wt] + pf; v > dp[c] {
 					dp[c] = v
 					row[c/64] |= 1 << (c % 64)
 				}
@@ -93,7 +126,7 @@ func (s *Solver) MaxProfit(items []Item, capacity int) (sel []int, profit int) {
 	for i := n - 1; i >= 0; i-- {
 		if take[i][c/64]&(1<<(c%64)) != 0 {
 			sel = append(sel, i)
-			c -= items[i].Weight
+			c -= weights[i]
 		}
 	}
 	reverse(sel)
@@ -103,6 +136,12 @@ func (s *Solver) MaxProfit(items []Item, capacity int) (sel []int, profit int) {
 // MinWeight solves problem (KS') exactly on reused buffers; see the
 // package-level MinWeight for the contract.
 func (s *Solver) MinWeight(items []Item, target int) (sel []int, weight int, ok bool) {
+	w, p := s.split(items)
+	return s.MinWeightCols(w, p, target)
+}
+
+// MinWeightCols is MinWeight on weight/profit columns.
+func (s *Solver) MinWeightCols(weights, profits []int, target int) (sel []int, weight int, ok bool) {
 	if target <= 0 {
 		return nil, 0, true
 	}
@@ -113,19 +152,19 @@ func (s *Solver) MinWeight(items []Item, target int) (sel []int, weight int, ok 
 	for q := 1; q <= target; q++ {
 		dp[q] = inf
 	}
-	n := len(items)
+	n := len(weights)
 	words := (target + 64) / 64
 	take := s.bitRows(n, words)
-	for i, it := range items {
-		if it.Profit > 0 {
+	for i := 0; i < n; i++ {
+		if pf := profits[i]; pf > 0 {
 			row := take[i]
 			for q := target; q >= 1; q-- {
-				prev := q - it.Profit
+				prev := q - pf
 				if prev < 0 {
 					prev = 0
 				}
 				if dp[prev] < inf {
-					if v := dp[prev] + int64(it.Weight); v < dp[q] {
+					if v := dp[prev] + int64(weights[i]); v < dp[q] {
 						dp[q] = v
 						row[q/64] |= 1 << (q % 64)
 					}
@@ -140,7 +179,7 @@ func (s *Solver) MinWeight(items []Item, target int) (sel []int, weight int, ok 
 	for i := n - 1; i >= 0; i-- {
 		if q > 0 && take[i][q/64]&(1<<(q%64)) != 0 {
 			sel = append(sel, i)
-			q -= items[i].Profit
+			q -= profits[i]
 			if q < 0 {
 				q = 0
 			}
@@ -154,16 +193,22 @@ func (s *Solver) MinWeight(items []Item, target int) (sel []int, weight int, ok 
 // MaxProfitFPTAS is the (KS) approximation scheme on reused buffers; see the
 // package-level MaxProfitFPTAS for the contract.
 func (s *Solver) MaxProfitFPTAS(items []Item, capacity int, eps float64) (sel []int, profit int) {
+	w, p := s.split(items)
+	return s.MaxProfitFPTASCols(w, p, capacity, eps)
+}
+
+// MaxProfitFPTASCols is MaxProfitFPTAS on weight/profit columns.
+func (s *Solver) MaxProfitFPTASCols(weights, profits []int, capacity int, eps float64) (sel []int, profit int) {
 	pmax := 0
-	for _, it := range items {
-		if it.Weight <= capacity && it.Profit > pmax {
-			pmax = it.Profit
+	n := len(weights)
+	for i := 0; i < n; i++ {
+		if weights[i] <= capacity && profits[i] > pmax {
+			pmax = profits[i]
 		}
 	}
 	if pmax == 0 {
 		return nil, 0
 	}
-	n := len(items)
 	k := eps * float64(pmax) / float64(n)
 	if k < 1 {
 		k = 1 // profits already small: the DP below is exact
@@ -173,8 +218,8 @@ func (s *Solver) MaxProfitFPTAS(items []Item, capacity int, eps float64) (sel []
 	}
 	scaled := s.scaled[:n]
 	total := 0
-	for i, it := range items {
-		scaled[i] = int(float64(it.Profit) / k)
+	for i := 0; i < n; i++ {
+		scaled[i] = int(float64(profits[i]) / k)
 		total += scaled[i]
 	}
 	// dp[q] = min weight achieving scaled profit exactly q.
@@ -186,12 +231,12 @@ func (s *Solver) MaxProfitFPTAS(items []Item, capacity int, eps float64) (sel []
 	}
 	words := (total + 64) / 64
 	take := s.bitRows(n, words)
-	for i := range items {
-		if scaled[i] > 0 || items[i].Weight == 0 {
+	for i := 0; i < n; i++ {
+		if scaled[i] > 0 || weights[i] == 0 {
 			row := take[i]
 			for q := total; q >= scaled[i]; q-- {
 				if dp[q-scaled[i]] < inf {
-					if v := dp[q-scaled[i]] + int64(items[i].Weight); v < dp[q] {
+					if v := dp[q-scaled[i]] + int64(weights[i]); v < dp[q] {
 						dp[q] = v
 						row[q/64] |= 1 << (q % 64)
 					}
@@ -215,7 +260,7 @@ func (s *Solver) MaxProfitFPTAS(items []Item, capacity int, eps float64) (sel []
 	}
 	reverse(sel)
 	for _, i := range sel {
-		profit += items[i].Profit
+		profit += profits[i]
 	}
 	return sel, profit
 }
@@ -223,29 +268,34 @@ func (s *Solver) MaxProfitFPTAS(items []Item, capacity int, eps float64) (sel []
 // MinWeightApprox approximately solves (KS') on reused buffers; see the
 // package-level MinWeightApprox for the contract.
 func (s *Solver) MinWeightApprox(items []Item, target, weightCap int, eps float64) (sel []int, weight int, ok bool) {
+	w, p := s.split(items)
+	return s.MinWeightApproxCols(w, p, target, weightCap, eps)
+}
+
+// MinWeightApproxCols is MinWeightApprox on weight/profit columns.
+func (s *Solver) MinWeightApproxCols(weights, profits []int, target, weightCap int, eps float64) (sel []int, weight int, ok bool) {
 	if target <= 0 {
 		return nil, 0, true
 	}
-	n := len(items)
+	n := len(weights)
 	k := eps * float64(weightCap) / float64(n)
 	if k < 1 {
 		// Grid finer than integers: the exact DP by weight is cheaper.
-		// dp over scaled==actual weights via MinWeight.
-		return s.MinWeight(items, target)
+		return s.MinWeightCols(weights, profits, target)
 	}
-	if cap(s.ditems) < n {
-		s.ditems = make([]Item, n)
+	if cap(s.wscaled) < n {
+		s.wscaled = make([]int, n)
 	}
-	scaled := s.ditems[:n]
-	for i, it := range items {
-		scaled[i] = Item{Weight: int(float64(it.Weight) / k), Profit: it.Profit}
+	scaled := s.wscaled[:n]
+	for i := 0; i < n; i++ {
+		scaled[i] = int(float64(weights[i]) / k)
 	}
-	sel, _, ok = s.MinWeight(scaled, target)
+	sel, _, ok = s.MinWeightCols(scaled, profits, target)
 	if !ok {
 		return nil, 0, false
 	}
 	for _, i := range sel {
-		weight += items[i].Weight
+		weight += weights[i]
 	}
 	return sel, weight, true
 }

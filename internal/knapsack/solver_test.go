@@ -49,6 +49,49 @@ func TestSolverReuseMatchesFreeFunctions(t *testing.T) {
 	}
 }
 
+// The columnar API must return exactly what the Item API returns — the
+// Item methods are adapters over the columnar cores, and the compiled
+// hot path of internal/core relies on the two being interchangeable.
+func TestSolverColumnsMatchItems(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	items2 := NewSolver() // separate solvers: shared buffers would alias
+	cols := NewSolver()
+	for iter := 0; iter < 300; iter++ {
+		n := rng.Intn(15)
+		items := make([]Item, n)
+		weights := make([]int, n)
+		profits := make([]int, n)
+		for i := range items {
+			items[i] = Item{Weight: rng.Intn(30), Profit: rng.Intn(30)}
+			weights[i], profits[i] = items[i].Weight, items[i].Profit
+		}
+		capacity := rng.Intn(60)
+		target := rng.Intn(60)
+		eps := 0.01 + rng.Float64()*0.3
+
+		selA, profA := items2.MaxProfit(items, capacity)
+		selB, profB := cols.MaxProfitCols(weights, profits, capacity)
+		if profA != profB || !reflect.DeepEqual(selA, selB) {
+			t.Fatalf("iter %d: MaxProfitCols diverged", iter)
+		}
+		selA, wA, okA := items2.MinWeight(items, target)
+		selB, wB, okB := cols.MinWeightCols(weights, profits, target)
+		if okA != okB || wA != wB || !reflect.DeepEqual(selA, selB) {
+			t.Fatalf("iter %d: MinWeightCols diverged", iter)
+		}
+		selA, profA = items2.MaxProfitFPTAS(items, capacity, eps)
+		selB, profB = cols.MaxProfitFPTASCols(weights, profits, capacity, eps)
+		if profA != profB || !reflect.DeepEqual(selA, selB) {
+			t.Fatalf("iter %d: MaxProfitFPTASCols diverged", iter)
+		}
+		selA, wA, okA = items2.MinWeightApprox(items, target, capacity, eps)
+		selB, wB, okB = cols.MinWeightApproxCols(weights, profits, target, capacity, eps)
+		if okA != okB || wA != wB || !reflect.DeepEqual(selA, selB) {
+			t.Fatalf("iter %d: MinWeightApproxCols diverged", iter)
+		}
+	}
+}
+
 // Degenerate shapes must not corrupt the reused buffers for later calls.
 func TestSolverDegenerateShapes(t *testing.T) {
 	s := NewSolver()

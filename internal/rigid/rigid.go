@@ -152,12 +152,13 @@ func ContiguousList(m int, jobs []Job, order []int) []Placement {
 	}
 	front := make([]float64, m)
 	pls := make([]Placement, len(jobs))
+	var wd Windower // one deque for the whole pass
 	for _, i := range order {
 		j := jobs[i]
 		if j.Width < 1 || j.Width > m {
 			panic(fmt.Sprintf("rigid: job %d width %d outside machine of %d", i, j.Width, m))
 		}
-		x, start := BestWindow(front, j.Width)
+		x, start := wd.Best(front, j.Width)
 		pls[i] = Placement{Start: start, First: x}
 		for k := x; k < x+j.Width; k++ {
 			front[k] = start + j.Time
@@ -172,23 +173,39 @@ func ContiguousList(m int, jobs []Job, order []int) []Placement {
 // the canonical list algorithm in package core, whose reallocation rule
 // needs window search interleaved with custom placements.
 func BestWindow(front []float64, w int) (x int, start float64) {
+	var wd Windower
+	return wd.Best(front, w)
+}
+
+type idxVal struct {
+	i int
+	v float64
+}
+
+// Windower is BestWindow with a reusable deque: the canonical list
+// construction runs one window search per task per probe, and the deque was
+// the hot path's dominant allocation. The zero value is ready to use; not
+// safe for concurrent use (core's Scratch carries one per worker).
+type Windower struct {
+	deque []idxVal
+}
+
+// Best is BestWindow on the reused deque.
+func (wd *Windower) Best(front []float64, w int) (x int, start float64) {
 	m := len(front)
-	type idxVal struct {
-		i int
-		v float64
-	}
-	var deque []idxVal
+	deque := wd.deque[:0]
+	head := 0 // deque[head:] is the live monotonic window
 	bestX, bestV := -1, 0.0
 	for i := 0; i < m; i++ {
-		for len(deque) > 0 && deque[len(deque)-1].v <= front[i] {
+		for len(deque) > head && deque[len(deque)-1].v <= front[i] {
 			deque = deque[:len(deque)-1]
 		}
 		deque = append(deque, idxVal{i, front[i]})
-		if deque[0].i <= i-w {
-			deque = deque[1:]
+		if deque[head].i <= i-w {
+			head++
 		}
 		if i >= w-1 {
-			v := deque[0].v
+			v := deque[head].v
 			switch {
 			case bestX < 0 || v < bestV:
 				bestX, bestV = i-w+1, v
@@ -198,6 +215,7 @@ func BestWindow(front []float64, w int) (x int, start float64) {
 			// v == bestV && bestV == 0: keep leftmost.
 		}
 	}
+	wd.deque = deque[:0] // keep the grown backing array
 	return bestX, bestV
 }
 

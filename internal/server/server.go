@@ -184,14 +184,17 @@ func (s *Server) Stats() StatsResponse {
 	for i, sh := range s.shards {
 		st := sh.Stats()
 		resp.Shards = append(resp.Shards, ShardStats{
-			Shard:       i,
-			Scheduled:   st.Scheduled,
-			Errors:      st.Errors,
-			Panics:      st.Panics,
-			Timeouts:    st.Timeouts,
-			MemoHits:    st.MemoHits,
-			MemoMisses:  st.MemoMisses,
-			MemoEntries: st.MemoEntries,
+			Shard:           i,
+			Scheduled:       st.Scheduled,
+			Errors:          st.Errors,
+			Panics:          st.Panics,
+			Timeouts:        st.Timeouts,
+			MemoHits:        st.MemoHits,
+			MemoMisses:      st.MemoMisses,
+			MemoEntries:     st.MemoEntries,
+			CompileHits:     st.CompileHits,
+			CompileMisses:   st.CompileMisses,
+			CompiledEntries: st.CompiledEntries,
 		})
 	}
 	return resp
@@ -291,13 +294,23 @@ func (s *Server) resolveOptions(ro *RequestOptions) (engine.Options, time.Durati
 // Routing is by workload fingerprint — the memo key hash — so renamed
 // copies of the same workload under the same options land on the same
 // shard and hit its memo; the hash is computed once and handed to the
-// engine, which reuses it for the memo probe. The shard's solve slots
-// bound concurrency to Config.Workers across all requests.
+// engine, which reuses it for the memo probe. The instance is compiled
+// once at admission through the shard's compiled-instance cache
+// (instances arriving here passed the JSON codec's full validation), so
+// /v1/batch items of a repeated shape — and memo-miss re-solves under
+// different options — share one set of λ-breakpoint tables per shard.
+// The shard's solve slots bound concurrency to Config.Workers across all
+// requests, compilation included.
 func (s *Server) solveVerified(in *instance.Instance, o engine.Options, timeout time.Duration) (*ScheduleResponse, *ErrorInfo, int) {
 	hash := engine.Fingerprint(in, o)
 	shard := int(hash % uint64(len(s.shards)))
 	s.slots[shard] <- struct{}{}
-	out := s.shards[shard].ScheduleWithHash(in, o, timeout, hash)
+	eng := s.shards[shard]
+	var ci *instance.Compiled
+	if engine.WantsCompiled(o) {
+		ci = eng.CompiledFor(in)
+	}
+	out := eng.ScheduleCompiled(in, ci, o, timeout, hash)
 	<-s.slots[shard]
 	if out.Err != nil {
 		return nil, errInfoOf(out.Err), statusOf(out.Err)

@@ -402,12 +402,53 @@ func TestStatsz(t *testing.T) {
 	if len(st.Shards) != 2 {
 		t.Fatalf("%d shard entries, want 2", len(st.Shards))
 	}
-	var scheduled uint64
+	var scheduled, compileMisses uint64
 	for _, sh := range st.Shards {
 		scheduled += sh.Scheduled
+		compileMisses += sh.CompileMisses
 	}
 	if scheduled != 4 {
 		t.Fatalf("shards scheduled %d total, want 4", scheduled)
+	}
+	// Four distinct workloads: each compiled exactly once at admission.
+	if compileMisses != 4 {
+		t.Fatalf("compile_misses %d total, want 4: %+v", compileMisses, st.Shards)
+	}
+}
+
+// The compiled-instance cache behind /statsz's compile_hits/compile_misses:
+// repeats of one workload — even under different options, which miss the
+// memo — compile once per shard and hit the cache afterwards.
+func TestStatszCompileCounters(t *testing.T) {
+	s := New(Config{Shards: 1, Workers: 1, QueueDepth: 5})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	raw := mustRaw(t, instance.Mixed(77, 8, 4))
+	for _, opts := range []*RequestOptions{
+		nil,              // compile miss, memo miss
+		nil,              // compile hit, memo hit
+		{Eps: 0.05},      // compile hit, memo miss (options differ)
+		{Parallelism: 2}, // compile hit, memo hit (parallelism excluded)
+	} {
+		if status, body := post(t, ts, "/v1/schedule", ScheduleRequest{Instance: raw, Options: opts}); status != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", status, body)
+		}
+	}
+	status, body := get(t, ts, "/statsz")
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d", status)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	sh := st.Shards[0]
+	if sh.CompileMisses != 1 || sh.CompileHits != 3 || sh.CompiledEntries != 1 {
+		t.Fatalf("compile counters off: %+v", sh)
+	}
+	if sh.MemoHits != 2 || sh.MemoMisses != 2 {
+		t.Fatalf("memo counters off: %+v", sh)
 	}
 }
 

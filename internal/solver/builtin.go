@@ -39,6 +39,8 @@ func (paperSolver) Solve(in *instance.Instance, o Options) (Solution, error) {
 		Eps:         o.Eps,
 		Compact:     o.Compact,
 		Parallelism: o.Parallelism,
+		Compiled:    o.Compiled,
+		Legacy:      o.Legacy,
 		Scratch:     o.Scratch,
 		Interrupt:   o.Interrupt,
 	})

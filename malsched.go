@@ -123,6 +123,13 @@ type Options struct {
 	// sequential search — parallelism only trades spare cores for search
 	// latency. Ignored by solvers without a dual search.
 	Parallelism int
+	// Legacy disables the compiled-instance hot path: deadline probes
+	// resolve canonical allotments from the task structs instead of the
+	// precompiled λ-breakpoint tables, and the engine skips its compiled
+	// cache. Every output is bit-identical either way; the option exists
+	// as the benchmark reference for the compiled layer (cmd/msbench's
+	// compiled dimension) and is ignored by solvers without a dual search.
+	Legacy bool
 	// Baseline is a deprecated alias for Solver, kept for pre-registry
 	// callers; Solver wins when both are set.
 	Baseline string
@@ -192,6 +199,7 @@ func engineOptions(o Options) engine.Options {
 		Solver:      o.Solver,
 		Portfolio:   o.Portfolio,
 		Parallelism: o.Parallelism,
+		Legacy:      o.Legacy,
 		Baseline:    o.Baseline,
 	}
 }
