@@ -1,12 +1,21 @@
-// Command msgen generates malleable workload instances as JSON on stdout.
+// Command msgen generates malleable workload instances — or, with -trace,
+// online arrival traces — as JSON on stdout.
 //
 // Usage:
 //
 //	msgen [-family mixed] [-n 50] [-m 32] [-seed 1]
+//	msgen -trace [-arrival poisson] [-rate 2] [-family mixed] [-n 50] [-m 32] [-seed 1]
+//	msgen -trace -arrival burst [-bursts 3] [-gap 5] ...
 //
 // Families: mixed, random-monotone, comm-heavy, wide-parallel,
 // powerlaw-0.7, known-opt (exact optimum 1), ocean (adaptive-mesh motif),
 // lpt-adversarial (ignores -n and -seed).
+//
+// -trace emits the trace/v1 arrival-trace format consumed by cmd/mssim
+// (schema "malsched/trace/v1": jobs with profiles and arrival times on an
+// m-processor cluster, seeded and exactly reproducible). Trace mode
+// supports the families of instance.Families (the seeded parametric ones);
+// arrivals come from a Poisson process (-rate) or bursts (-bursts, -gap).
 package main
 
 import (
@@ -19,6 +28,7 @@ import (
 
 	"malsched/internal/analysis"
 	"malsched/internal/instance"
+	"malsched/internal/workload"
 )
 
 func main() {
@@ -28,7 +38,17 @@ func main() {
 	n := flag.Int("n", 50, "number of tasks")
 	m := flag.Int("m", 32, "number of processors")
 	seed := flag.Int64("seed", 1, "random seed")
+	trace := flag.Bool("trace", false, "emit an online arrival trace (trace/v1) instead of a static instance")
+	arrival := flag.String("arrival", "poisson", "trace mode: arrival process (poisson or burst)")
+	rate := flag.Float64("rate", 2.0, "trace mode: poisson arrival rate (jobs per time unit)")
+	bursts := flag.Int("bursts", 3, "trace mode: number of bursts")
+	gap := flag.Float64("gap", 5.0, "trace mode: time between bursts")
 	flag.Parse()
+
+	if *trace {
+		emitTrace(*family, *n, *m, *seed, *arrival, *rate, *bursts, *gap)
+		return
+	}
 
 	var in *instance.Instance
 	switch *family {
@@ -55,4 +75,28 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "msgen: %s with %d tasks on %d processors\n", in.Name, in.N(), in.M)
+}
+
+// emitTrace writes a trace/v1 document for the selected arrival process.
+func emitTrace(family string, n, m int, seed int64, arrival string, rate float64, bursts int, gap float64) {
+	var (
+		tr  *workload.Trace
+		err error
+	)
+	switch arrival {
+	case "poisson":
+		tr, err = workload.Poisson(seed, n, m, rate, family)
+	case "burst":
+		tr, err = workload.Burst(seed, n, m, bursts, gap, family)
+	default:
+		log.Fatalf("unknown arrival process %q (have: poisson, burst)", arrival)
+	}
+	if err != nil {
+		log.Fatalf("generating trace (families: %s): %v", strings.Join(workload.Families(), ", "), err)
+	}
+	if err := tr.WriteJSON(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "msgen: %s with %d jobs on %d processors, horizon %g\n",
+		tr.Name, tr.N(), tr.M, tr.Horizon())
 }

@@ -1,0 +1,95 @@
+package instance
+
+import (
+	"errors"
+	"testing"
+
+	"malsched/internal/task"
+)
+
+func TestResidualScalesAndTruncates(t *testing.T) {
+	in := Mixed(3, 6, 8)
+	c := Compile(in)
+
+	ids := []int{4, 1}
+	rem := []float64{0.25, 1}
+	res, err := Residual(c, "res", 4, ids, rem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.M != 4 || res.N() != 2 {
+		t.Fatalf("shape: m=%d n=%d", res.M, res.N())
+	}
+	for k, id := range ids {
+		got := res.Tasks[k]
+		if got.Name != in.Tasks[id].Name {
+			t.Fatalf("task %d name %q", k, got.Name)
+		}
+		if got.MaxProcs() != 4 {
+			t.Fatalf("task %d not truncated: %d", k, got.MaxProcs())
+		}
+		for p := 1; p <= got.MaxProcs(); p++ {
+			want := rem[k] * in.Tasks[id].Time(p)
+			if got.Time(p) != want {
+				t.Fatalf("task %d t(%d)=%g want %g", k, p, got.Time(p), want)
+			}
+		}
+	}
+	if err := Check(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualFullFractionsMatchOriginal(t *testing.T) {
+	in := RandomMonotone(11, 5, 6)
+	c := Compile(in)
+	ids := make([]int, in.N())
+	rem := make([]float64, in.N())
+	for i := range ids {
+		ids[i], rem[i] = i, 1
+	}
+	res, err := Residual(c, in.Name, in.M, ids, rem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		a, b := res.Tasks[i].Times(), in.Tasks[i].Times()
+		if len(a) != len(b) {
+			t.Fatalf("task %d width %d vs %d", i, len(a), len(b))
+		}
+		for p := range a {
+			if a[p] != b[p] {
+				t.Fatalf("task %d t(%d): %g vs %g", i, p+1, a[p], b[p])
+			}
+		}
+	}
+}
+
+func TestResidualRejects(t *testing.T) {
+	in := MustNew("x", 4, []task.Task{task.MustNew("a", []float64{2, 1.2})})
+	c := Compile(in)
+	cases := []struct {
+		name string
+		err  error
+		call func() (*Instance, error)
+	}{
+		{"nil compiled", ErrNilCompiled, func() (*Instance, error) { return Residual(nil, "r", 2, []int{0}, []float64{1}) }},
+		{"len mismatch", nil, func() (*Instance, error) { return Residual(c, "r", 2, []int{0}, []float64{1, 1}) }},
+		{"zero m", ErrNoProcs, func() (*Instance, error) { return Residual(c, "r", 0, []int{0}, []float64{1}) }},
+		{"empty ids", ErrNoTasks, func() (*Instance, error) { return Residual(c, "r", 2, nil, nil) }},
+		{"bad id", ErrBadTaskID, func() (*Instance, error) { return Residual(c, "r", 2, []int{7}, []float64{1}) }},
+		{"neg id", ErrBadTaskID, func() (*Instance, error) { return Residual(c, "r", 2, []int{-1}, []float64{1}) }},
+		{"zero fraction", ErrBadRemaining, func() (*Instance, error) { return Residual(c, "r", 2, []int{0}, []float64{0}) }},
+		{"over fraction", ErrBadRemaining, func() (*Instance, error) { return Residual(c, "r", 2, []int{0}, []float64{1.5}) }},
+	}
+	for _, tc := range cases {
+		_, err := tc.call()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if tc.err != nil && !errors.Is(err, tc.err) {
+			t.Errorf("%s: got %v", tc.name, err)
+		}
+	}
+}

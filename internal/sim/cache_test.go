@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"malsched/internal/engine"
+	"malsched/internal/workload"
+)
+
+func newTestEngine() *engine.Engine {
+	return engine.New(engine.Config{Workers: 1, MemoCapacity: 64})
+}
+
+// TestEngineCachesAcrossEpochReSolves pins the reuse story of the shared
+// planning engine: repeated simulations of a recurring workload answer
+// their epoch re-solves from the memo, the trace is compiled once and then
+// served from the compiled cache, and both caches stay within their
+// configured bounds.
+func TestEngineCachesAcrossEpochReSolves(t *testing.T) {
+	tr, err := workload.Burst(4, 15, 8, 3, 6.0, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newTestEngine()
+	cfg := Config{Policy: "epoch-batch", Epoch: 2, Engine: eng}
+
+	if _, err := Run(tr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s1 := eng.Stats()
+	if s1.MemoMisses == 0 {
+		t.Fatalf("cold run hit the memo only: %+v", s1)
+	}
+	// The cold run compiles the full trace plus each distinct residual
+	// workload — once apiece, never more.
+	if s1.CompileMisses == 0 || s1.CompileMisses > 1+s1.MemoMisses {
+		t.Fatalf("cold compile count out of range: %+v", s1)
+	}
+
+	// Same trace, same config: every epoch re-solve is a repeated workload.
+	if _, err := Run(tr, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s2 := eng.Stats()
+	if s2.MemoHits <= s1.MemoHits {
+		t.Fatalf("memo hits did not climb across identical runs: %d -> %d", s1.MemoHits, s2.MemoHits)
+	}
+	if s2.MemoMisses != s1.MemoMisses {
+		t.Fatalf("warm run re-solved: misses %d -> %d", s1.MemoMisses, s2.MemoMisses)
+	}
+	// Memo hits return before any table lookup, so the only compiled-cache
+	// probe of the warm run is the trace compilation at simulation start —
+	// a hit now.
+	if s2.CompileHits != s1.CompileHits+1 {
+		t.Fatalf("warm run should reuse the compiled trace: hits %d -> %d", s1.CompileHits, s2.CompileHits)
+	}
+	if s2.CompileMisses != s1.CompileMisses {
+		t.Fatalf("warm run recompiled: misses %d -> %d", s1.CompileMisses, s2.CompileMisses)
+	}
+
+	// Different search tolerance: new memo keys (options are part of the
+	// fingerprint), but the compiled tables are workload-keyed and reused.
+	retuned := cfg
+	retuned.Eps = 1e-2
+	if _, err := Run(tr, retuned); err != nil {
+		t.Fatal(err)
+	}
+	s3 := eng.Stats()
+	if s3.MemoMisses <= s2.MemoMisses {
+		t.Fatalf("retuned run should miss the memo: %d -> %d", s2.MemoMisses, s3.MemoMisses)
+	}
+	// The compiled cache is keyed by workload only, so the retuned epochs
+	// re-solve on cached tables without a single new compilation.
+	if s3.CompileMisses != s2.CompileMisses {
+		t.Fatalf("retuned run recompiled: misses %d -> %d", s2.CompileMisses, s3.CompileMisses)
+	}
+	if s3.CompileHits <= s2.CompileHits {
+		t.Fatalf("retuned run should hit the compiled cache: %d -> %d", s2.CompileHits, s3.CompileHits)
+	}
+
+	// Bounded residency: entries never exceed the configured capacity.
+	if s3.MemoEntries > 64 || s3.CompiledEntries > 64 {
+		t.Fatalf("cache residency exceeds capacity: memo=%d compiled=%d", s3.MemoEntries, s3.CompiledEntries)
+	}
+	if s3.Errors != 0 {
+		t.Fatalf("engine errors during simulation: %+v", s3)
+	}
+}
+
+// TestEngineCacheBoundedUnderChurn drives many distinct workloads through
+// one small engine and asserts the caches evict rather than grow.
+func TestEngineCacheBoundedUnderChurn(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 1, MemoCapacity: 8})
+	cfg := Config{Policy: "replan-on-arrival", Engine: eng}
+	for seed := int64(1); seed <= 6; seed++ {
+		tr, err := workload.Poisson(seed, 8, 6, 1.0, "random-monotone")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(tr, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.MemoEntries > 8 || st.CompiledEntries > 8 {
+		t.Fatalf("entries exceed capacity 8: memo=%d compiled=%d", st.MemoEntries, st.CompiledEntries)
+	}
+	if st.MemoMisses == 0 || st.Scheduled == 0 {
+		t.Fatalf("nothing scheduled: %+v", st)
+	}
+}

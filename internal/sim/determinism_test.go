@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"malsched/internal/workload"
+)
+
+// TestRunDeterministic asserts the acceptance bar of the subsystem: a
+// simulation is a pure function of (trace, Config) — bit-identical across
+// repeated runs at planning parallelism 1 and 8, and identical *between*
+// the two parallelisms up to Metrics.Probes (the probe count includes the
+// speculation the parallel search launches and discards, so it is the one
+// field that scales with the configured width; every scheduling decision,
+// span and derived metric is width-independent).
+func TestRunDeterministic(t *testing.T) {
+	tr, err := workload.Poisson(9, 16, 8, 1.2, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range Policies() {
+		cfg := Config{Policy: policy, Epoch: 1.5, Noise: 0.15, Seed: 4, Preempt: PreemptRepartition}
+		if policy != "replan-on-arrival" {
+			cfg.Preempt = ""
+		}
+		var baseline *Result
+		for _, par := range []int{1, 8} {
+			c := cfg
+			c.Parallelism = par
+			a, err := Run(tr, c)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", policy, par, err)
+			}
+			b, err := Run(tr, c)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", policy, par, err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s p=%d: two runs differ:\n%+v\nvs\n%+v", policy, par, a.Metrics, b.Metrics)
+			}
+			if baseline == nil {
+				baseline = a
+			} else {
+				norm := *a
+				norm.Metrics.Probes = baseline.Metrics.Probes
+				if !reflect.DeepEqual(baseline, &norm) {
+					t.Fatalf("%s: parallelism changed the result beyond probe counts:\n%+v\nvs\n%+v",
+						policy, baseline.Metrics, a.Metrics)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedEngineDeterministic asserts that a warm shared engine (memo
+// and compiled caches full from a previous run) changes latency only: the
+// replayed simulation is bit-identical to the cold one.
+func TestSharedEngineDeterministic(t *testing.T) {
+	tr, err := workload.Burst(2, 12, 6, 3, 5.0, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Policy: "epoch-batch", Epoch: 2, Noise: 0.1, Seed: 7}
+	cold, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := cfg
+	shared.Engine = newTestEngine()
+	first, err := Run(tr, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(tr, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, first) || !reflect.DeepEqual(first, warm) {
+		t.Fatal("shared/warm engine changed simulation results")
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// policy is an online scheduling strategy. The simulator calls back on
+// every arrival, every completion and (for tick-driven policies) every
+// period; the policy reacts by committing placements (state.commit /
+// state.commitPlan), revoking or preempting earlier decisions, and running
+// the planning kernel on residual instances (state.solve). Callbacks must
+// be deterministic functions of the observable state.
+type policy interface {
+	name() string
+	// planner reports whether the policy runs the planning kernel — the
+	// simulator then compiles the trace once for residual construction.
+	planner() bool
+	// period is the tick interval; only consulted when init pushed a tick.
+	period() float64
+	init(s *state)
+	onArrival(s *state, job int) error
+	onCompletion(s *state, job int) error
+	onTick(s *state) error
+}
+
+// Preemption models of the replan-on-arrival policy.
+const (
+	// PreemptNone replans only work that has not started executing.
+	PreemptNone = "none"
+	// PreemptRepartition additionally preempts running jobs at replan
+	// boundaries and re-allots their remaining work malleably.
+	PreemptRepartition = "repartition"
+)
+
+// newPolicy resolves a Config to a policy instance.
+func newPolicy(cfg Config) (policy, error) {
+	switch cfg.Policy {
+	case "epoch-batch":
+		ep := cfg.Epoch
+		if ep == 0 {
+			ep = 1
+		}
+		if !(ep > 0) || math.IsInf(ep, 0) {
+			return nil, fmt.Errorf("sim: epoch must be positive and finite, got %v", cfg.Epoch)
+		}
+		return &epochBatch{epoch: ep}, nil
+	case "greedy-rigid":
+		return &greedyRigid{}, nil
+	case "replan-on-arrival":
+		switch cfg.Preempt {
+		case "", PreemptNone:
+			return &replanOnArrival{}, nil
+		case PreemptRepartition:
+			return &replanOnArrival{repartition: true}, nil
+		default:
+			return nil, fmt.Errorf("sim: unknown preemption model %q (want %q or %q)",
+				cfg.Preempt, PreemptNone, PreemptRepartition)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownPolicy, cfg.Policy, Policies())
+	}
+}
+
+// epochBatch accumulates arrivals and, every epoch, solves the queued jobs
+// as one static instance on the currently free processors with the
+// configured solver (the paper's √3-approximation by default). Between
+// ticks nothing is touched — the policy trades queueing delay for
+// certified batch plans, the regime the engine's memo and compiled caches
+// are built for.
+type epochBatch struct {
+	epoch float64
+	ticks int
+}
+
+func (p *epochBatch) name() string    { return "epoch-batch" }
+func (p *epochBatch) planner() bool   { return true }
+func (p *epochBatch) period() float64 { return p.epoch }
+func (p *epochBatch) init(s *state)   { s.push(0, evTick, 0) }
+
+func (p *epochBatch) onArrival(*state, int) error    { return nil }
+func (p *epochBatch) onCompletion(*state, int) error { return nil }
+
+func (p *epochBatch) onTick(s *state) error {
+	defer func() { p.ticks++ }()
+	jobs := s.queued()
+	if len(jobs) == 0 {
+		return nil
+	}
+	procs := s.freeProcs()
+	if len(procs) == 0 {
+		return nil
+	}
+	in, err := s.residual(fmt.Sprintf("%s/epoch-%d", s.tr.Name, p.ticks), len(procs), jobs)
+	if err != nil {
+		return err
+	}
+	sol, err := s.solve(in)
+	if err != nil {
+		return err
+	}
+	s.commitPlan(sol, jobs, procs)
+	return nil
+}
+
+// greedyRigid is the per-arrival baseline: each job, the moment it
+// arrives, picks the allotment minimising its own completion time against
+// the planned availability frontier (the canonical greedy choice — with an
+// idle machine that is simply its fastest width) and is committed rigidly
+// to the earliest-free processors at that width. No replanning, no view of
+// the queue — the classical two-phase mindset applied online.
+type greedyRigid struct {
+	frontier []float64 // planned free time per processor (nominal durations)
+}
+
+func (p *greedyRigid) name() string    { return "greedy-rigid" }
+func (p *greedyRigid) planner() bool   { return false }
+func (p *greedyRigid) period() float64 { return 0 }
+func (p *greedyRigid) init(s *state)   { p.frontier = make([]float64, s.tr.M) }
+
+func (p *greedyRigid) onCompletion(*state, int) error { return nil }
+func (p *greedyRigid) onTick(*state) error            { return nil }
+
+func (p *greedyRigid) onArrival(s *state, j int) error {
+	t := s.tr.Jobs[j].Task
+	// Processors by planned availability, index-ordered within ties.
+	order := make([]int, len(p.frontier))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return p.frontier[order[a]] < p.frontier[order[b]] })
+	maxw := t.MaxProcs()
+	if maxw > len(order) {
+		maxw = len(order)
+	}
+	bestW, bestStart, bestFin := 0, 0.0, math.Inf(1)
+	for w := 1; w <= maxw; w++ {
+		start := p.frontier[order[w-1]]
+		if start < s.now {
+			start = s.now
+		}
+		if fin := start + t.Time(w); fin < bestFin {
+			bestW, bestStart, bestFin = w, start, fin
+		}
+	}
+	procs := make([]int, bestW)
+	copy(procs, order[:bestW])
+	sort.Ints(procs)
+	for _, pr := range procs {
+		p.frontier[pr] = bestFin
+	}
+	s.commit(j, bestW, procs, bestStart)
+	return nil
+}
+
+// replanOnArrival re-solves the residual workload at every arrival (and at
+// completions that leave jobs waiting): commitments that have not started
+// are revoked, running jobs are optionally preempted with their remaining
+// work re-allotted (the malleable repartition model), and the planning
+// kernel produces a fresh certified plan for everything outstanding on the
+// processors that are free at the boundary.
+type replanOnArrival struct {
+	repartition bool
+	replans     int
+}
+
+func (p *replanOnArrival) name() string    { return "replan-on-arrival" }
+func (p *replanOnArrival) planner() bool   { return true }
+func (p *replanOnArrival) period() float64 { return 0 }
+func (p *replanOnArrival) init(*state)     {}
+
+func (p *replanOnArrival) onArrival(s *state, _ int) error {
+	// Coalesce a burst: co-arrivals at this instant are already visible in
+	// the queue, so one planning round at the last of them sees the full
+	// burst instead of solving (and revoking) once per job.
+	if s.moreArrivalsNow() {
+		return nil
+	}
+	return p.replan(s)
+}
+
+func (p *replanOnArrival) onCompletion(s *state, _ int) error {
+	if len(s.queued()) == 0 {
+		return nil
+	}
+	return p.replan(s)
+}
+
+func (p *replanOnArrival) onTick(*state) error { return nil }
+
+func (p *replanOnArrival) replan(s *state) error {
+	defer func() { p.replans++ }()
+	s.revokeUnstarted()
+	if p.repartition {
+		s.preemptRunning()
+	}
+	jobs := s.queued()
+	if len(jobs) == 0 {
+		return nil
+	}
+	procs := s.freeProcs()
+	if len(procs) == 0 {
+		return nil
+	}
+	in, err := s.residual(fmt.Sprintf("%s/replan-%d", s.tr.Name, p.replans), len(procs), jobs)
+	if err != nil {
+		return err
+	}
+	sol, err := s.solve(in)
+	if err != nil {
+		return err
+	}
+	s.commitPlan(sol, jobs, procs)
+	return nil
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"os"
+	"testing"
+
+	"malsched/internal/task"
+	"malsched/internal/verify"
+	"malsched/internal/workload"
+)
+
+// traces returns the small workloads the correctness tests sweep.
+func traces(t *testing.T) map[string]*workload.Trace {
+	t.Helper()
+	out := map[string]*workload.Trace{}
+	var err error
+	if out["poisson-mixed"], err = workload.Poisson(3, 14, 8, 1.5, "mixed"); err != nil {
+		t.Fatal(err)
+	}
+	if out["burst-comm"], err = workload.Burst(5, 12, 6, 3, 4.0, "comm-heavy"); err != nil {
+		t.Fatal(err)
+	}
+	if out["poisson-wide"], err = workload.Poisson(7, 8, 6, 0.8, "wide-parallel"); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func configs(policy string) []Config {
+	base := Config{Policy: policy, Epoch: 1.5, Seed: 11}
+	noisy := base
+	noisy.Noise = 0.2
+	out := []Config{base, noisy}
+	if policy == "replan-on-arrival" {
+		rep := base
+		rep.Preempt = PreemptRepartition
+		repNoisy := noisy
+		repNoisy.Preempt = PreemptRepartition
+		out = append(out, rep, repNoisy)
+	}
+	return out
+}
+
+func TestPoliciesExecuteAndVerify(t *testing.T) {
+	for tname, tr := range traces(t) {
+		for _, policy := range Policies() {
+			for ci, cfg := range configs(policy) {
+				res, err := Run(tr, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s[%d]: %v", tname, policy, ci, err)
+				}
+				label := tname + "/" + policy
+				if err := verify.Timeline(tr.M, TimelineJobs(tr), res.Timeline); err != nil {
+					t.Fatalf("%s[%d]: timeline: %v", label, ci, err)
+				}
+				m := res.Metrics
+				if m.Spans != len(res.Timeline) || m.Spans < tr.N() {
+					t.Errorf("%s[%d]: spans %d (timeline %d, jobs %d)", label, ci, m.Spans, len(res.Timeline), tr.N())
+				}
+				for j, c := range res.Completions {
+					if c < tr.Jobs[j].Arrival {
+						t.Errorf("%s[%d]: job %d completes at %g before arrival %g", label, ci, j, c, tr.Jobs[j].Arrival)
+					}
+					if c > m.Makespan {
+						t.Errorf("%s[%d]: completion %g beyond makespan %g", label, ci, c, m.Makespan)
+					}
+				}
+				if !(m.Makespan > 0) || math.IsInf(m.Makespan, 0) {
+					t.Errorf("%s[%d]: makespan %v", label, ci, m.Makespan)
+				}
+				if m.MeanFlow <= 0 || m.MaxFlow < m.MeanFlow {
+					t.Errorf("%s[%d]: flow mean %v max %v", label, ci, m.MeanFlow, m.MaxFlow)
+				}
+				if m.Utilization <= 0 || m.Utilization > 1+1e-9 {
+					t.Errorf("%s[%d]: utilization %v", label, ci, m.Utilization)
+				}
+				if m.QueueMean < 0 || float64(m.QueueMax) < m.QueueMean {
+					t.Errorf("%s[%d]: queue mean %v max %d", label, ci, m.QueueMean, m.QueueMax)
+				}
+				if !(m.LowerBound > 0) {
+					t.Errorf("%s[%d]: lower bound %v", label, ci, m.LowerBound)
+				}
+				// With unperturbed runtimes the executed timeline is a valid
+				// schedule of the offline relaxation, so the certified bound
+				// must hold.
+				if cfg.Noise == 0 && !task.Leq(m.LowerBound, m.Makespan) {
+					t.Errorf("%s[%d]: makespan %v below certified bound %v", label, ci, m.Makespan, m.LowerBound)
+				}
+				planner := policy != "greedy-rigid"
+				if planner && m.Plans == 0 {
+					t.Errorf("%s[%d]: planning policy never planned", label, ci)
+				}
+				if !planner && (m.Plans != 0 || m.Probes != 0) {
+					t.Errorf("%s[%d]: baseline ran the kernel (%d plans)", label, ci, m.Plans)
+				}
+			}
+		}
+	}
+}
+
+func TestRepartitionPreempts(t *testing.T) {
+	// One long sequential-ish job arriving first, then a burst: the replan
+	// at the burst boundary must cut the running span and conserve work.
+	long := task.MustNew("long", []float64{40, 22, 16})
+	short := task.MustNew("short", []float64{2, 1.2})
+	jobs := []workload.Job{{Task: long, Arrival: 0}}
+	for i := 0; i < 4; i++ {
+		s := short
+		s.Name = "s"
+		jobs = append(jobs, workload.Job{Task: s, Arrival: 5})
+	}
+	tr, err := workload.New("preempt", 3, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(tr, Config{Policy: "replan-on-arrival", Preempt: PreemptRepartition})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Timeline(tr.M, TimelineJobs(tr), res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Preemptions == 0 {
+		t.Fatalf("no preemptions recorded: %+v", res.Metrics)
+	}
+	if res.Metrics.Spans <= tr.N() {
+		t.Fatalf("preempted run should have more spans than jobs: %d", res.Metrics.Spans)
+	}
+}
+
+func TestVerifyCatchesCorruptedTimeline(t *testing.T) {
+	tr := traces(t)["burst-comm"]
+	res, err := Run(tr, Config{Policy: "epoch-batch", Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := TimelineJobs(tr)
+	if err := verify.Timeline(tr.M, jobs, res.Timeline); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := make([]verify.Span, len(res.Timeline))
+	copy(corrupt, res.Timeline)
+	corrupt[0].Duration *= 2
+	if err := verify.Timeline(tr.M, jobs, corrupt); err == nil {
+		t.Fatal("doubled span duration passed verification")
+	}
+	copy(corrupt, res.Timeline)
+	corrupt[1].Start = 0
+	corrupt[1].Procs = append([]int(nil), corrupt[0].Procs...)
+	corrupt[1].Width = len(corrupt[1].Procs)
+	if err := verify.Timeline(tr.M, jobs, corrupt); err == nil {
+		t.Fatal("overlapping spans passed verification")
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	tr := traces(t)["poisson-mixed"]
+	if _, err := Run(nil, Config{Policy: "epoch-batch"}); !errors.Is(err, ErrNilTrace) {
+		t.Errorf("nil trace: %v", err)
+	}
+	if _, err := Run(tr, Config{Policy: "nope"}); !errors.Is(err, ErrUnknownPolicy) {
+		t.Errorf("unknown policy: %v", err)
+	}
+	if _, err := Run(tr, Config{Policy: "epoch-batch", Noise: 1}); !errors.Is(err, ErrBadNoise) {
+		t.Errorf("noise 1: %v", err)
+	}
+	if _, err := Run(tr, Config{Policy: "epoch-batch", Noise: -0.1}); !errors.Is(err, ErrBadNoise) {
+		t.Errorf("negative noise: %v", err)
+	}
+	if _, err := Run(tr, Config{Policy: "replan-on-arrival", Preempt: "sometimes"}); err == nil {
+		t.Error("bad preempt accepted")
+	}
+	if _, err := Run(tr, Config{Policy: "epoch-batch", Epoch: math.Inf(1)}); err == nil {
+		t.Error("infinite epoch accepted")
+	}
+}
+
+// TestEpochBatchBeatsGreedyOnBurst pins the headline comparison of the
+// committed BENCH_sim.json: on a bursty communication-heavy workload the
+// batch policy's certified plans beat the per-arrival greedy baseline on
+// mean flow time (the greedy picks each job's selfishly fastest width,
+// over-parallelising exactly where profiles flatten).
+func TestEpochBatchBeatsGreedyOnBurst(t *testing.T) {
+	tr, err := workload.Burst(1, 24, 12, 2, 30.0, "comm-heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := Run(tr, Config{Policy: "epoch-batch", Epoch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Run(tr, Config{Policy: "greedy-rigid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch.Metrics.MeanFlow >= greedy.Metrics.MeanFlow {
+		t.Fatalf("epoch-batch mean flow %v not below greedy-rigid %v",
+			epoch.Metrics.MeanFlow, greedy.Metrics.MeanFlow)
+	}
+}
+
+// TestReplayCommittedTrace replays the committed testdata trace (the same
+// file cmd/mssim -trace accepts) through every policy, pinning the trace
+// codec and the simulator together against format drift.
+func TestReplayCommittedTrace(t *testing.T) {
+	f, err := os.Open("../../testdata/trace_tiny.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 6 || tr.M != 8 {
+		t.Fatalf("committed trace shape changed: n=%d m=%d", tr.N(), tr.M)
+	}
+	for _, policy := range Policies() {
+		res, err := Run(tr, Config{Policy: policy, Epoch: 1, Noise: 0.1, Seed: 2, Preempt: PreemptRepartition})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if err := verify.Timeline(tr.M, TimelineJobs(tr), res.Timeline); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+	}
+}

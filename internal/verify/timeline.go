@@ -1,0 +1,197 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"malsched/internal/task"
+)
+
+// Timeline is the executed-schedule counterpart of Plan: where Plan checks
+// the *promise* a static solver makes, Timeline checks what a simulated (or
+// recorded) cluster actually *did* with an online workload. The simulator
+// (internal/sim) produces one Span per uninterrupted run of a job; a
+// preempted-and-repartitioned job contributes several spans, each covering
+// a fraction of the job's work.
+
+// TimelineJob describes one job of an online workload: its malleable
+// profile and its release time. It mirrors workload.Job without importing
+// it, so the facade can re-export the checker with public types only.
+type TimelineJob struct {
+	// Task is the job's (monotone) profile.
+	Task task.Task
+	// Arrival is the release time; no span of the job may start earlier.
+	Arrival float64
+}
+
+// Span is one uninterrupted executed run of a job on a fixed processor
+// set. Duration is wall-clock time actually executed — under runtime noise
+// it is Noise × the nominal time of the work fraction the span covers, and
+// the work-conservation check inverts exactly that relation.
+type Span struct {
+	// Job indexes the workload's job list.
+	Job int
+	// Width is the number of processors the span ran on.
+	Width int
+	// Procs lists the processor indices (len == Width, distinct, in-machine).
+	Procs []int
+	// Start is the time the span began executing.
+	Start float64
+	// Duration is the executed wall-clock length of the span (> 0).
+	Duration float64
+	// Noise is the multiplicative runtime perturbation the executor applied
+	// to the job's nominal times (1 when the run is noise-free; always > 0).
+	Noise float64
+}
+
+// fracTol bounds the deviation of a job's summed span work fractions from
+// 1. It is looser than task.Eps: every span contributes one rounding, and
+// the simulator retires jobs whose remaining fraction drops below its
+// completion threshold, so the slack scales with the span count.
+const fracTol = 1e-6
+
+// Timeline verification errors.
+var (
+	ErrNoJobs = fmt.Errorf("verify: timeline for empty workload")
+	// ErrSpanJob reports a span referencing no job of the workload.
+	ErrSpanJob = fmt.Errorf("verify: span references unknown job")
+	// ErrSpanWidth reports a span width outside the job's profile (or the
+	// machine).
+	ErrSpanWidth = fmt.Errorf("verify: span width outside the job's profile")
+	// ErrSpanProcs reports a malformed processor set: wrong length, repeated
+	// or out-of-machine indices.
+	ErrSpanProcs = fmt.Errorf("verify: malformed span processor set")
+	// ErrSpanTime reports a non-finite, negative-length or negative-start
+	// span.
+	ErrSpanTime = fmt.Errorf("verify: span times are not positive and finite")
+	// ErrSpanNoise reports a span whose noise factor is not positive and
+	// finite.
+	ErrSpanNoise = fmt.Errorf("verify: span noise factor is not positive and finite")
+	// ErrEarlyStart reports a span starting before its job arrived.
+	ErrEarlyStart = fmt.Errorf("verify: span starts before the job's arrival")
+	// ErrProcOversubscribed reports two spans overlapping on one processor.
+	ErrProcOversubscribed = fmt.Errorf("verify: two spans overlap on a processor")
+	// ErrJobOverlap reports one job executing two of its spans at once.
+	ErrJobOverlap = fmt.Errorf("verify: job runs two spans concurrently")
+	// ErrJobUnfinished reports a job whose spans do not cover its work —
+	// either no spans at all or fractions summing below 1.
+	ErrJobUnfinished = fmt.Errorf("verify: job's spans do not cover its work")
+	// ErrJobOverdone reports a job executing more than its work.
+	ErrJobOverdone = fmt.Errorf("verify: job's spans exceed its work")
+)
+
+// Timeline checks an executed timeline of an online workload on an
+// m-processor cluster and returns nil only when every invariant holds:
+//
+//  1. every span is well-formed: a known job, a width within the job's
+//     profile and the machine, Width distinct in-machine processors,
+//     positive finite times and noise;
+//  2. starts respect arrivals: no span of a job begins before the job's
+//     release time (up to the module tolerance);
+//  3. no processor is oversubscribed: spans touching a common processor
+//     never overlap in time, and no job runs two of its own spans
+//     concurrently;
+//  4. work is conserved: each span of job j at width p covers work
+//     fraction Duration/(Noise·t_j(p)), and each job's fractions sum to
+//     exactly 1 (± fracTol) — jobs neither vanish half-done nor execute
+//     more than their profile demands.
+//
+// It is the invariant suite cmd/mssim self-applies to every simulated run
+// (a violation is a simulator bug, never a report), exposed through the
+// facade as malsched.VerifyTimeline for external harnesses.
+func Timeline(m int, jobs []TimelineJob, spans []Span) error {
+	if len(jobs) == 0 {
+		return ErrNoJobs
+	}
+	if m < 1 {
+		return fmt.Errorf("verify: timeline on %d processors", m)
+	}
+	perProc := make([][]iv, m)
+	perJob := make([][]iv, len(jobs))
+	frac := make([]float64, len(jobs))
+	for si, s := range spans {
+		if s.Job < 0 || s.Job >= len(jobs) {
+			return fmt.Errorf("%w: span %d references job %d of %d", ErrSpanJob, si, s.Job, len(jobs))
+		}
+		j := jobs[s.Job]
+		name := j.Task.Name
+		if s.Width < 1 || s.Width > j.Task.MaxProcs() || s.Width > m {
+			return fmt.Errorf("%w: span %d of %s on %d procs (profile max %d, machine %d)",
+				ErrSpanWidth, si, name, s.Width, j.Task.MaxProcs(), m)
+		}
+		if len(s.Procs) != s.Width {
+			return fmt.Errorf("%w: span %d of %s lists %d procs for width %d", ErrSpanProcs, si, name, len(s.Procs), s.Width)
+		}
+		seen := make(map[int]bool, len(s.Procs))
+		for _, p := range s.Procs {
+			if p < 0 || p >= m {
+				return fmt.Errorf("%w: span %d of %s on processor %d of %d", ErrSpanProcs, si, name, p, m)
+			}
+			if seen[p] {
+				return fmt.Errorf("%w: span %d of %s uses processor %d twice", ErrSpanProcs, si, name, p)
+			}
+			seen[p] = true
+		}
+		if !(s.Start >= 0) || math.IsInf(s.Start, 0) || !(s.Duration > 0) || math.IsInf(s.Duration, 0) {
+			return fmt.Errorf("%w: span %d of %s at %v for %v", ErrSpanTime, si, name, s.Start, s.Duration)
+		}
+		if !(s.Noise > 0) || math.IsInf(s.Noise, 0) {
+			return fmt.Errorf("%w: span %d of %s noise %v", ErrSpanNoise, si, name, s.Noise)
+		}
+		if !task.Geq(s.Start, j.Arrival) {
+			return fmt.Errorf("%w: span %d of %s starts at %v, arrival %v", ErrEarlyStart, si, name, s.Start, j.Arrival)
+		}
+		span := iv{s.Start, s.Start + s.Duration, s.Job}
+		for _, p := range s.Procs {
+			perProc[p] = append(perProc[p], span)
+		}
+		perJob[s.Job] = append(perJob[s.Job], span)
+		frac[s.Job] += s.Duration / (s.Noise * j.Task.Time(s.Width))
+	}
+	for p, ivs := range perProc {
+		if err := disjoint(ivs, func(a, b iv) error {
+			return fmt.Errorf("%w: %s and %s on processor %d ([%g,%g] vs [%g,%g])",
+				ErrProcOversubscribed, jobs[a.job].Task.Name, jobs[b.job].Task.Name, p, a.start, a.end, b.start, b.end)
+		}); err != nil {
+			return err
+		}
+	}
+	for ji, ivs := range perJob {
+		if err := disjoint(ivs, func(a, b iv) error {
+			return fmt.Errorf("%w: %s ([%g,%g] vs [%g,%g])",
+				ErrJobOverlap, jobs[ji].Task.Name, a.start, a.end, b.start, b.end)
+		}); err != nil {
+			return err
+		}
+	}
+	for ji, f := range frac {
+		name := jobs[ji].Task.Name
+		if f < 1-fracTol {
+			return fmt.Errorf("%w: %s covers fraction %v", ErrJobUnfinished, name, f)
+		}
+		if f > 1+fracTol {
+			return fmt.Errorf("%w: %s covers fraction %v", ErrJobOverdone, name, f)
+		}
+	}
+	return nil
+}
+
+// iv is a half-open execution interval of one job, for the overlap checks.
+type iv struct {
+	start, end float64
+	job        int
+}
+
+// disjoint sorts the intervals by start and reports the first overlapping
+// pair through mk. Touching intervals are allowed up to the module
+// tolerance.
+func disjoint(ivs []iv, mk func(a, b iv) error) error {
+	sort.Slice(ivs, func(a, b int) bool { return ivs[a].start < ivs[b].start })
+	for k := 1; k < len(ivs); k++ {
+		if !task.Leq(ivs[k-1].end, ivs[k].start) {
+			return mk(ivs[k-1], ivs[k])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package verify
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"malsched/internal/task"
+)
+
+// tlJobs is a two-job workload on m=4: j0 (seq time 4, halves nicely) and
+// j1 arriving at 1.
+func tlJobs() []TimelineJob {
+	return []TimelineJob{
+		{Task: task.MustNew("j0", []float64{4, 2}), Arrival: 0},
+		{Task: task.MustNew("j1", []float64{3, 1.6}), Arrival: 1},
+	}
+}
+
+// tlOK is a valid executed timeline for tlJobs: j0 split across a
+// preemption (two spans of half the work each), j1 in one noisy span.
+func tlOK() []Span {
+	return []Span{
+		{Job: 0, Width: 2, Procs: []int{0, 1}, Start: 0, Duration: 1, Noise: 1},
+		{Job: 1, Width: 1, Procs: []int{2}, Start: 1, Duration: 3.3, Noise: 1.1},
+		{Job: 0, Width: 1, Procs: []int{0}, Start: 1, Duration: 2, Noise: 1},
+	}
+}
+
+func TestTimelineAcceptsValid(t *testing.T) {
+	if err := Timeline(4, tlJobs(), tlOK()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		mutate func(s []Span) []Span
+	}{
+		{"unknown job", ErrSpanJob, func(s []Span) []Span { s[0].Job = 5; return s }},
+		{"negative job", ErrSpanJob, func(s []Span) []Span { s[1].Job = -1; return s }},
+		{"width beyond profile", ErrSpanWidth, func(s []Span) []Span { s[0].Width = 3; return s }},
+		{"zero width", ErrSpanWidth, func(s []Span) []Span { s[0].Width = 0; return s }},
+		{"procs length", ErrSpanProcs, func(s []Span) []Span { s[0].Procs = []int{0}; return s }},
+		{"proc out of machine", ErrSpanProcs, func(s []Span) []Span { s[0].Procs = []int{0, 9}; return s }},
+		{"repeated proc", ErrSpanProcs, func(s []Span) []Span { s[0].Procs = []int{1, 1}; return s }},
+		{"negative start", ErrSpanTime, func(s []Span) []Span { s[0].Start = -0.5; return s }},
+		{"zero duration", ErrSpanTime, func(s []Span) []Span { s[0].Duration = 0; return s }},
+		{"nan duration", ErrSpanTime, func(s []Span) []Span { s[0].Duration = math.NaN(); return s }},
+		{"zero noise", ErrSpanNoise, func(s []Span) []Span { s[0].Noise = 0; return s }},
+		{"early start", ErrEarlyStart, func(s []Span) []Span { s[1].Start = 0.5; return s }},
+		{"oversubscribed processor", ErrProcOversubscribed, func(s []Span) []Span { s[1].Procs = []int{0}; return s }},
+		{"job self-overlap", ErrJobOverlap, func(s []Span) []Span { s[2].Procs = []int{3}; s[2].Start = 0.5; return s }},
+		{"unfinished job", ErrJobUnfinished, func(s []Span) []Span { return s[:2] }},
+		{"short span", ErrJobUnfinished, func(s []Span) []Span { s[2].Duration = 1.5; return s }},
+		{"overdone job", ErrJobOverdone, func(s []Span) []Span { s[2].Duration = 3.5; return s }},
+		{"wrong noise accounting", ErrJobOverdone, func(s []Span) []Span { s[1].Noise = 0.9; return s }},
+	}
+	for _, tc := range cases {
+		err := Timeline(4, tlJobs(), tc.mutate(tlOK()))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !errors.Is(err, tc.err) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.err)
+		}
+	}
+}
+
+func TestTimelineEmptyAndBadMachine(t *testing.T) {
+	if err := Timeline(4, nil, nil); !errors.Is(err, ErrNoJobs) {
+		t.Fatalf("empty workload: %v", err)
+	}
+	if err := Timeline(0, tlJobs(), tlOK()); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	// A workload with jobs but no spans at all: every job unfinished.
+	if err := Timeline(4, tlJobs(), nil); !errors.Is(err, ErrJobUnfinished) {
+		t.Fatalf("no spans: %v", err)
+	}
+}
+
+func TestTimelineTouchingSpansAllowed(t *testing.T) {
+	jobs := []TimelineJob{
+		{Task: task.MustNew("a", []float64{2}), Arrival: 0},
+		{Task: task.MustNew("b", []float64{2}), Arrival: 0},
+	}
+	spans := []Span{
+		{Job: 0, Width: 1, Procs: []int{0}, Start: 0, Duration: 2, Noise: 1},
+		{Job: 1, Width: 1, Procs: []int{0}, Start: 2, Duration: 2, Noise: 1},
+	}
+	if err := Timeline(1, jobs, spans); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseTrace fuzzes the trace/v1 codec shared by cmd/msgen -trace and
+// cmd/mssim -trace. Invariants: ReadJSON never panics; anything it accepts
+// is a canonical trace (sorted arrivals, truncated monotone profiles) that
+// survives a WriteJSON/ReadJSON round trip bit-exactly — so a replayed
+// trace simulates identically to the generated one it was saved from.
+func FuzzParseTrace(f *testing.F) {
+	// Valid seeds straight from the production generators.
+	for _, tr := range []*Trace{
+		mustGen(f, func() (*Trace, error) { return Poisson(7, 6, 8, 1.5, "mixed") }),
+		mustGen(f, func() (*Trace, error) { return Burst(3, 6, 4, 2, 5, "comm-heavy") }),
+	} {
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// Hand-written seeds covering the rejection classes.
+	for _, s := range []string{
+		`{"schema":"malsched/trace/v1","name":"tiny","m":1,"jobs":[{"name":"a","arrival":0,"times":[1]}]}`,
+		`{"schema":"malsched/trace/v1","name":"wide","m":2,"jobs":[{"name":"a","arrival":0.5,"times":[4,2.2,1.6]},{"name":"b","arrival":0,"times":[1]}]}`,
+		`{"schema":"malsched/trace/v1","name":"late","m":2,"jobs":[{"name":"a","arrival":1e12,"times":[3,2]}]}`,
+		`{"schema":"nope","name":"x","m":1,"jobs":[{"name":"a","arrival":0,"times":[1]}]}`,
+		`{"schema":"malsched/trace/v1","name":"neg","m":1,"jobs":[{"name":"a","arrival":-1,"times":[1]}]}`,
+		`{"schema":"malsched/trace/v1","name":"nm","m":2,"jobs":[{"name":"a","arrival":0,"times":[1,2]}]}`,
+		`{"schema":"malsched/trace/v1","name":"empty","m":2,"jobs":[]}`,
+		`{"schema":"malsched/trace/v1","name":"inf","m":1,"jobs":[{"name":"a","arrival":1e999,"times":[1]}]}`,
+		`{"schema":"malsched/trace/v1","name":"two","m":1,"jobs":[{"name":"a","arrival":0,"times":[1]}]}{"schema":"malsched/trace/v1"}`,
+		`not json`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		for i, j := range tr.Jobs {
+			if i > 0 && j.Arrival < tr.Jobs[i-1].Arrival {
+				t.Fatalf("accepted trace not sorted at job %d", i)
+			}
+			if j.Task.MaxProcs() > tr.M {
+				t.Fatalf("accepted profile wider than machine: %d > %d", j.Task.MaxProcs(), tr.M)
+			}
+			if err := j.Task.Check(); err != nil {
+				t.Fatalf("accepted non-monotone profile: %v", err)
+			}
+		}
+		var out bytes.Buffer
+		if err := tr.WriteJSON(&out); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		back, err := ReadJSON(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("round trip changed trace:\n%+v\nvs\n%+v", tr, back)
+		}
+	})
+}
+
+func mustGen(f *testing.F, gen func() (*Trace, error)) *Trace {
+	f.Helper()
+	tr, err := gen()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return tr
+}

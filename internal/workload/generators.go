@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"malsched/internal/instance"
+)
+
+// Arrival-process generators. Profiles come from the experiment suite's
+// instance families (instance.Families), so the online workloads stress the
+// same speedup regimes as the static evaluation; arrivals are drawn from a
+// separate stream of the same seed, so a trace is a pure function of
+// (family, n, m, seed, process parameters).
+
+// Families returns the profile-family names the generators accept, sorted.
+func Families() []string {
+	var names []string
+	for k := range instance.Families() {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// familyTasks draws the n profiles of the named family. The shape checks
+// run first: the instance generators MustNew their output, so handing them
+// an empty or machineless workload would panic instead of erroring.
+func familyTasks(family string, seed int64, n, m int) (*instance.Instance, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w: m=%d", instance.ErrNoProcs, m)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrNoJobs, n)
+	}
+	gen := instance.Families()[family]
+	if gen == nil {
+		return nil, fmt.Errorf("workload: unknown profile family %q", family)
+	}
+	return gen(seed, n, m), nil
+}
+
+// Poisson builds a trace of n jobs whose interarrival times are
+// exponential with the given rate (mean 1/rate jobs per time unit) and
+// whose profiles are drawn from the named instance family.
+func Poisson(seed int64, n, m int, rate float64, family string) (*Trace, error) {
+	if !(rate > 0) {
+		return nil, fmt.Errorf("workload: poisson rate must be > 0, got %v", rate)
+	}
+	in, err := familyTasks(family, seed, n, m)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x1e3779b97f4a7c15))
+	jobs := make([]Job, len(in.Tasks))
+	t := 0.0
+	for i, tk := range in.Tasks {
+		jobs[i] = Job{Task: tk, Arrival: t}
+		t += rng.ExpFloat64() / rate
+	}
+	name := fmt.Sprintf("poisson(family=%s,n=%d,m=%d,rate=%g,seed=%d)", family, n, m, rate, seed)
+	return New(name, m, jobs)
+}
+
+// Burst builds a trace whose jobs arrive in bursts: `bursts` groups of
+// ⌈n/bursts⌉ jobs released simultaneously every `gap` time units — the
+// adversarial regime for per-arrival greedy policies (a burst is exactly a
+// static instance, so batching policies can plan it as one).
+func Burst(seed int64, n, m, bursts int, gap float64, family string) (*Trace, error) {
+	if bursts < 1 {
+		return nil, fmt.Errorf("workload: bursts must be ≥ 1, got %d", bursts)
+	}
+	if !(gap >= 0) {
+		return nil, fmt.Errorf("workload: burst gap must be ≥ 0, got %v", gap)
+	}
+	in, err := familyTasks(family, seed, n, m)
+	if err != nil {
+		return nil, err
+	}
+	per := (len(in.Tasks) + bursts - 1) / bursts
+	jobs := make([]Job, len(in.Tasks))
+	for i, tk := range in.Tasks {
+		jobs[i] = Job{Task: tk, Arrival: float64(i/per) * gap}
+	}
+	name := fmt.Sprintf("burst(family=%s,n=%d,m=%d,bursts=%d,gap=%g,seed=%d)", family, n, m, bursts, gap, seed)
+	return New(name, m, jobs)
+}

@@ -1,0 +1,157 @@
+// Package workload models streams of malleable jobs arriving over time —
+// the online regime the simulation layer (internal/sim) evaluates the
+// paper's algorithm in. A Trace is an ordered sequence of jobs, each a
+// malleable task profile plus an arrival time, on a fixed machine; traces
+// are either generated from a seeded arrival process (Poisson, Burst) over
+// the experiment suite's profile families, or replayed from the trace/v1
+// JSON format cmd/msgen emits.
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"malsched/internal/instance"
+	"malsched/internal/task"
+)
+
+// SchemaV1 identifies the on-disk trace layout; ReadJSON rejects any other
+// value so format drift fails loudly instead of mis-parsing.
+const SchemaV1 = "malsched/trace/v1"
+
+// Job is one unit of an online workload: a malleable task that becomes
+// available for scheduling at its arrival time.
+type Job struct {
+	// Task is the malleable profile (validated, monotone).
+	Task task.Task
+	// Arrival is the release time; no schedule may start the job earlier.
+	Arrival float64
+}
+
+// Trace is a finite stream of jobs on an m-processor machine, sorted by
+// non-decreasing arrival (ties keep construction order).
+type Trace struct {
+	// Name labels the trace in reports and artifacts.
+	Name string
+	// M is the number of identical processors of the simulated cluster.
+	M int
+	// Jobs is sorted by Arrival; profiles are truncated to M processors.
+	Jobs []Job
+}
+
+// Validation errors.
+var (
+	ErrNoJobs     = errors.New("workload: no jobs")
+	ErrBadArrival = errors.New("workload: arrival must be finite and ≥ 0")
+	ErrBadSchema  = errors.New("workload: unknown trace schema")
+)
+
+// New builds and validates a trace: m ≥ 1, at least one job, finite
+// non-negative arrivals, monotone profiles (task.Check). Profiles wider
+// than m are truncated and jobs are stably sorted by arrival, so the
+// result is canonical regardless of input order.
+func New(name string, m int, jobs []Job) (*Trace, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w: m=%d (trace %q)", instance.ErrNoProcs, m, name)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("%w (trace %q)", ErrNoJobs, name)
+	}
+	js := make([]Job, len(jobs))
+	for i, j := range jobs {
+		if math.IsNaN(j.Arrival) || math.IsInf(j.Arrival, 0) || j.Arrival < 0 {
+			return nil, fmt.Errorf("%w: job %d arrives at %v (trace %q)", ErrBadArrival, i, j.Arrival, name)
+		}
+		if err := j.Task.Check(); err != nil {
+			return nil, fmt.Errorf("workload: trace %q job %d: %w", name, i, err)
+		}
+		js[i] = Job{Task: j.Task.Truncate(m), Arrival: j.Arrival}
+	}
+	sort.SliceStable(js, func(a, b int) bool { return js[a].Arrival < js[b].Arrival })
+	return &Trace{Name: name, M: m, Jobs: js}, nil
+}
+
+// N returns the number of jobs.
+func (tr *Trace) N() int { return len(tr.Jobs) }
+
+// Horizon returns the last arrival time.
+func (tr *Trace) Horizon() float64 { return tr.Jobs[len(tr.Jobs)-1].Arrival }
+
+// Instance projects the trace onto a static instance — the whole job set
+// with arrivals dropped, task i being job i. It is the offline relaxation
+// the simulator compiles once per run (via the engine's compiled cache,
+// so repeated runs share the work) as the source view residual instances
+// are carved from, and the instance whose squashed-area bound certifies
+// the executed makespan.
+func (tr *Trace) Instance() (*instance.Instance, error) {
+	tasks := make([]task.Task, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		tasks[i] = j.Task
+	}
+	return instance.New(tr.Name, tr.M, tasks)
+}
+
+// jsonTrace is the trace/v1 on-disk representation.
+type jsonTrace struct {
+	Schema string    `json:"schema"`
+	Name   string    `json:"name"`
+	M      int       `json:"m"`
+	Jobs   []jsonJob `json:"jobs"`
+}
+
+type jsonJob struct {
+	Name    string    `json:"name"`
+	Arrival float64   `json:"arrival"`
+	Times   []float64 `json:"times"`
+}
+
+// WriteJSON encodes the trace in the trace/v1 format.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	jt := jsonTrace{Schema: SchemaV1, Name: tr.Name, M: tr.M, Jobs: make([]jsonJob, len(tr.Jobs))}
+	for i, j := range tr.Jobs {
+		jt.Jobs[i] = jsonJob{Name: j.Task.Name, Arrival: j.Arrival, Times: j.Task.Times()}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// ErrTrailingData reports bytes after the trace document — a truncated
+// rewrite or concatenated traces, either of which would otherwise be
+// silently mis-read as the first document alone.
+var ErrTrailingData = errors.New("workload: trailing data after trace document")
+
+// ReadJSON decodes and validates a trace/v1 document: schema match, no
+// unknown fields (a typo'd key must fail, not silently zero a value),
+// monotone profiles, finite non-negative arrivals, nothing after the
+// document. Accepted traces survive a WriteJSON/ReadJSON round trip
+// unchanged (FuzzParseTrace asserts it).
+func ReadJSON(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var jt jsonTrace
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace JSON: %w", err)
+	}
+	// More() alone misses trailing '}'/']' bytes; only a clean io.EOF from
+	// the tokenizer proves the document was the whole input.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, ErrTrailingData
+	}
+	if jt.Schema != SchemaV1 {
+		return nil, fmt.Errorf("%w: %q (want %q)", ErrBadSchema, jt.Schema, SchemaV1)
+	}
+	jobs := make([]Job, len(jt.Jobs))
+	for i, jj := range jt.Jobs {
+		t, err := task.New(jj.Name, jj.Times)
+		if err != nil {
+			return nil, fmt.Errorf("workload: job %d: %w", i, err)
+		}
+		jobs[i] = Job{Task: t, Arrival: jj.Arrival}
+	}
+	return New(jt.Name, jt.M, jobs)
+}

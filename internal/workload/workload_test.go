@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"malsched/internal/instance"
+	"malsched/internal/task"
+)
+
+func TestNewValidatesAndCanonicalizes(t *testing.T) {
+	a := task.MustNew("a", []float64{4, 2.2, 1.6})
+	b := task.MustNew("b", []float64{1})
+	tr, err := New("t", 2, []Job{{Task: a, Arrival: 3}, {Task: b, Arrival: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 2 || tr.M != 2 {
+		t.Fatalf("shape: n=%d m=%d", tr.N(), tr.M)
+	}
+	// Sorted by arrival, profile truncated to m.
+	if tr.Jobs[0].Task.Name != "b" || tr.Jobs[1].Task.Name != "a" {
+		t.Fatalf("not sorted by arrival: %v", tr.Jobs)
+	}
+	if tr.Jobs[1].Task.MaxProcs() != 2 {
+		t.Fatalf("profile not truncated: MaxProcs=%d", tr.Jobs[1].Task.MaxProcs())
+	}
+	if tr.Horizon() != 3 {
+		t.Fatalf("horizon: %v", tr.Horizon())
+	}
+
+	if _, err := New("t", 0, []Job{{Task: b}}); !errors.Is(err, instance.ErrNoProcs) {
+		t.Fatalf("m=0: %v", err)
+	}
+	if _, err := New("t", 2, nil); !errors.Is(err, ErrNoJobs) {
+		t.Fatalf("no jobs: %v", err)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := New("t", 2, []Job{{Task: b, Arrival: bad}}); !errors.Is(err, ErrBadArrival) {
+			t.Fatalf("arrival %v: %v", bad, err)
+		}
+	}
+	if _, err := New("t", 2, []Job{{Arrival: 1}}); err == nil {
+		t.Fatal("zero task accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr, err := Poisson(7, 9, 6, 1.5, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatalf("round trip changed trace:\n%+v\nvs\n%+v", tr, back)
+	}
+}
+
+func TestReadJSONRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"bad schema":     `{"schema":"nope","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]}]}`,
+		"no schema":      `{"name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]}]}`,
+		"not json":       `not json`,
+		"non-monotone":   `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1,2]}]}`,
+		"neg arrival":    `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arrival":-1,"times":[1]}]}`,
+		"zero machine":   `{"schema":"malsched/trace/v1","name":"x","m":0,"jobs":[{"name":"a","arrival":0,"times":[1]}]}`,
+		"empty jobs":     `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[]}`,
+		"empty profile":  `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[]}]}`,
+		"trailing data":  `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]}]}{"x":1}`,
+		"trailing brace": `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]}]}}}`,
+		"unknown field":  `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arival":5,"times":[1]}]}`,
+	} {
+		if _, err := ReadJSON(bytes.NewReader([]byte(doc))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministicAndSorted(t *testing.T) {
+	for name, gen := range map[string]func() (*Trace, error){
+		"poisson": func() (*Trace, error) { return Poisson(3, 20, 8, 2.0, "mixed") },
+		"burst":   func() (*Trace, error) { return Burst(3, 20, 8, 4, 5.0, "comm-heavy") },
+	} {
+		a, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: not deterministic", name)
+		}
+		if !sort.SliceIsSorted(a.Jobs, func(i, j int) bool { return a.Jobs[i].Arrival < a.Jobs[j].Arrival }) {
+			t.Errorf("%s: arrivals not sorted", name)
+		}
+		if a.N() != 20 {
+			t.Errorf("%s: n=%d", name, a.N())
+		}
+	}
+}
+
+func TestBurstShape(t *testing.T) {
+	tr, err := Burst(1, 12, 4, 3, 7.0, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[float64]int{}
+	for _, j := range tr.Jobs {
+		counts[j.Arrival]++
+	}
+	want := map[float64]int{0: 4, 7: 4, 14: 4}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("burst arrivals: %v", counts)
+	}
+}
+
+func TestGeneratorsRejectBadParams(t *testing.T) {
+	if _, err := Poisson(1, 5, 4, 0, "mixed"); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := Poisson(1, 5, 4, 1, "no-such-family"); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := Burst(1, 5, 4, 0, 1, "mixed"); err == nil {
+		t.Error("bursts 0 accepted")
+	}
+	if _, err := Burst(1, 5, 4, 2, -1, "mixed"); err == nil {
+		t.Error("negative gap accepted")
+	}
+	// Shape errors must come back as errors, not generator panics.
+	if _, err := Poisson(1, 3, 0, 1, "mixed"); !errors.Is(err, instance.ErrNoProcs) {
+		t.Errorf("m=0: %v", err)
+	}
+	if _, err := Poisson(1, 0, 4, 1, "mixed"); !errors.Is(err, ErrNoJobs) {
+		t.Errorf("n=0: %v", err)
+	}
+	if _, err := Burst(1, 0, 4, 2, 1, "mixed"); !errors.Is(err, ErrNoJobs) {
+		t.Errorf("burst n=0: %v", err)
+	}
+}
+
+func TestInstanceProjection(t *testing.T) {
+	tr, err := Poisson(5, 8, 6, 1.0, "random-monotone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := tr.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != tr.N() || in.M != tr.M {
+		t.Fatalf("projection shape: n=%d m=%d", in.N(), in.M)
+	}
+	for i := range tr.Jobs {
+		if !reflect.DeepEqual(in.Tasks[i].Times(), tr.Jobs[i].Task.Times()) {
+			t.Fatalf("task %d profile differs", i)
+		}
+	}
+	if err := instance.Check(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFamiliesListsKnownNames(t *testing.T) {
+	fams := Families()
+	if len(fams) == 0 || !sort.StringsAreSorted(fams) {
+		t.Fatalf("families: %v", fams)
+	}
+	found := false
+	for _, f := range fams {
+		if f == "mixed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mixed missing from %v", fams)
+	}
+}

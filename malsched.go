@@ -45,6 +45,12 @@
 // HTTP/JSON with admission control and per-response verification (Verify
 // is the same invariant suite, exposed here); see docs/SERVICE.md.
 //
+// For the online regime — jobs arriving over time on a live cluster —
+// cmd/mssim simulates arrival traces (cmd/msgen -trace) under pluggable
+// policies built on this pipeline and certifies every executed timeline
+// with VerifyTimeline, the executed-schedule counterpart of Verify; see
+// docs/ARCHITECTURE.md ("The simulation layer").
+//
 // The subpackages under internal implement the paper's machinery (dual
 // approximation, canonical allotments, knapsack-based shelf selection) and
 // the substrates the evaluation needs (two-phase baselines, strip packers,
@@ -266,4 +272,28 @@ func Verify(in *Instance, r Result, requireContiguous bool) error {
 		Makespan:   r.Makespan,
 		LowerBound: r.LowerBound,
 	}, requireContiguous)
+}
+
+// TimelineJob and TimelineSpan describe an executed online workload for
+// VerifyTimeline: jobs are malleable profiles with release times, spans
+// are the uninterrupted runs an executor (cmd/mssim's simulator, or any
+// external cluster harness) actually performed — a preempted job
+// contributes several spans, each covering part of its work.
+type (
+	// TimelineJob is a job of the workload: profile plus arrival time.
+	TimelineJob = verify.TimelineJob
+	// TimelineSpan is one executed run of a job on a fixed processor set.
+	TimelineSpan = verify.Span
+)
+
+// VerifyTimeline checks an executed timeline of an online workload on an
+// m-processor cluster: every span well-formed and within its job's
+// profile, no processor oversubscribed, no span starting before its job's
+// arrival, and per-job work conservation — each job's spans cover exactly
+// its whole work, with each span's wall-clock duration consistent with the
+// declared runtime-noise factor. It is the invariant suite cmd/mssim
+// self-applies to every simulated run; exposed for external executors and
+// harnesses the same way Verify is for static plans.
+func VerifyTimeline(m int, jobs []TimelineJob, spans []TimelineSpan) error {
+	return verify.Timeline(m, jobs, spans)
 }

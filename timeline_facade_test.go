@@ -1,0 +1,48 @@
+package malsched_test
+
+import (
+	"errors"
+	"testing"
+
+	"malsched"
+	"malsched/internal/sim"
+	"malsched/internal/verify"
+	"malsched/internal/workload"
+)
+
+// TestVerifyTimelineFacade drives the simulator through each policy and
+// certifies the executed timelines through the public facade, then checks
+// the facade rejects a corrupted timeline — the same self-application
+// cmd/mssim performs on every run.
+func TestVerifyTimelineFacade(t *testing.T) {
+	tr, err := workload.Burst(6, 10, 6, 2, 4.0, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]malsched.TimelineJob, len(tr.Jobs))
+	for i, j := range tr.Jobs {
+		jobs[i] = malsched.TimelineJob{Task: j.Task, Arrival: j.Arrival}
+	}
+	var timeline []malsched.TimelineSpan
+	for _, policy := range sim.Policies() {
+		res, err := sim.Run(tr, sim.Config{Policy: policy, Epoch: 1.5, Noise: 0.1, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if err := malsched.VerifyTimeline(tr.M, jobs, res.Timeline); err != nil {
+			t.Fatalf("%s: facade verification failed: %v", policy, err)
+		}
+		timeline = res.Timeline
+	}
+
+	corrupt := make([]malsched.TimelineSpan, len(timeline))
+	copy(corrupt, timeline)
+	corrupt[0].Start = -1
+	err = malsched.VerifyTimeline(tr.M, jobs, corrupt)
+	if err == nil {
+		t.Fatal("facade accepted a corrupted timeline")
+	}
+	if !errors.Is(err, verify.ErrSpanTime) {
+		t.Fatalf("unexpected corruption error: %v", err)
+	}
+}
