@@ -7,7 +7,10 @@
 // dual search ("mrt" at parallelism 8, single engine worker so the probe
 // throughput compares per-search) and the default solver portfolio. Future
 // PRs regenerate the artifact and compare ns/op, allocs/op, probe
-// throughput and achieved ratios against the committed trajectory.
+// throughput and achieved ratios against the committed trajectory. A
+// replan_churn section plays online arrival traces through the simulator's
+// replan-on-arrival policy warm (lineage-threaded replanning) and cold,
+// reporting probes and ns per replan — the warm-start dimension's artifact.
 //
 // Usage:
 //
@@ -24,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -32,14 +36,18 @@ import (
 	"malsched/internal/analysis"
 	"malsched/internal/core"
 	"malsched/internal/instance"
+	"malsched/internal/sim"
+	"malsched/internal/workload"
 )
 
 // Schema identifies the BENCH_engine.json layout; bump on breaking change.
 // v2 added the solver dimension (solver, parallelism, workers per row) and
 // probe-throughput fields. v3 added the compiled dimension (compiled per
 // row, plus compile_ns and probe_ns_hot) tracking the compiled-instance
-// hot path against the legacy probe path.
-const Schema = "malsched/bench-engine/v3"
+// hot path against the legacy probe path. v4 added the replan_churn
+// section: warm-start vs cold replanning cost (probes and ns per replan)
+// over online replan-on-arrival workloads.
+const Schema = "malsched/bench-engine/v4"
 
 // scenario is one cell of the declarative grid: a workload (family, n, m)
 // under one solver configuration.
@@ -119,6 +127,45 @@ type scenarioResult struct {
 	Errors          int     `json:"errors"`
 }
 
+// churnCell is one replan-churn workload: a Poisson arrival trace played
+// through the replan-on-arrival policy under one preemption model, once
+// warm (the default lineage-threaded replanning) and once cold
+// (Config.ColdReplan). The traces are chosen contended enough that every
+// replan is a multi-probe dual search — a lone accepting probe has
+// nothing for the warm path to synthesize.
+type churnCell struct {
+	Seed    int64
+	N, M    int
+	Rate    float64
+	Preempt string
+}
+
+func (c churnCell) name() string { return fmt.Sprintf("poisson-mixed-%d", c.N) }
+
+// churnResult is one replan_churn row; schedules are bit-identical across
+// the two modes (the simulator guarantees it), so the row reports only
+// the cost columns. Probe counts are deterministic; the ns columns take
+// the per-replan minimum over the passes.
+type churnResult struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Preempt  string `json:"preempt"`
+	// Replans counts planning-kernel invocations (identical warm vs cold).
+	Replans int `json:"replans"`
+	// ProbesWarm/ProbesCold are the total dual-search probes each mode
+	// paid across the run's replans; Synthesized is the probe outcomes the
+	// warm mode resolved from carried state without a dual step.
+	ProbesWarm  int `json:"probes_warm"`
+	ProbesCold  int `json:"probes_cold"`
+	Synthesized int `json:"synthesized"`
+	// NsPerReplanWarm/NsPerReplanCold are min-over-passes wall time per
+	// planning invocation (the whole simulation divided by Replans, so
+	// executor overhead is a common additive term of both columns).
+	NsPerReplanWarm int64 `json:"ns_per_replan_warm"`
+	NsPerReplanCold int64 `json:"ns_per_replan_cold"`
+}
+
 // report is the full BENCH_engine.json document.
 type report struct {
 	Schema           string           `json:"schema"`
@@ -130,6 +177,9 @@ type report struct {
 	SeedsPerScenario int              `json:"seeds_per_scenario"`
 	Repeats          int              `json:"repeats"`
 	Scenarios        []scenarioResult `json:"scenarios"`
+	// ReplanChurn compares warm-start vs cold replanning on online
+	// replan-on-arrival workloads (added in bench-engine/v4).
+	ReplanChurn []churnResult `json:"replan_churn"`
 }
 
 func main() {
@@ -271,6 +321,8 @@ func runEngineGrid(quick bool, seed int64, out string, seeds, repeats, workers i
 			r.ProbesPerSecCold, r.ProbeNsHot, r.RatioMax, 100*r.MemoHitRateWarm)
 	}
 
+	rep.ReplanChurn = runChurn(quick, seed, repeats)
+
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -364,6 +416,117 @@ func benchScenario(sc scenario, ins []*malsched.Instance, repeats int) scenarioR
 		r.MemoHitRateWarm = float64(after.MemoHits-before.MemoHits) / float64(r.OpsWarm)
 	}
 	return r
+}
+
+// churnCells returns the replan-churn grid: Poisson arrival traces at
+// m = 8 crossed with both preemption models. Pure functions of the base
+// seed, so the artifact's churn rows are exactly regenerable.
+func churnCells(quick bool, seed int64) []churnCell {
+	specs := []struct {
+		off  int64
+		n    int
+		rate float64
+	}{
+		{4, 18, 1.1},
+		{8, 30, 1.1},
+	}
+	if quick {
+		specs = specs[:1]
+	}
+	var cells []churnCell
+	for _, sp := range specs {
+		for _, pre := range []string{"none", "repartition"} {
+			cells = append(cells, churnCell{
+				Seed: seed + sp.off, N: sp.n, M: 8, Rate: sp.rate, Preempt: pre,
+			})
+		}
+	}
+	return cells
+}
+
+// runChurn measures the replan_churn section: every cell's trace is
+// simulated warm and cold, each on fresh private engines so no memo or
+// lineage state crosses modes or passes. Probe counts are checked for the
+// warm-start contract on the spot — a warm run that pays more probes than
+// its cold reference is a regression the artifact must not paper over.
+func runChurn(quick bool, seed int64, repeats int) []churnResult {
+	cells := churnCells(quick, seed)
+	fmt.Fprintf(os.Stderr, "msbench: replan churn: %d cells × %d passes per mode\n", len(cells), repeats)
+	fmt.Fprintf(os.Stderr, "%-18s %-12s %8s %10s %10s %8s %14s %14s\n",
+		"workload", "preempt", "replans", "warm prb", "cold prb", "synth", "warm ns/rpl", "cold ns/rpl")
+	out := make([]churnResult, 0, len(cells))
+	for _, cell := range cells {
+		tr, err := workload.Poisson(cell.Seed, cell.N, cell.M, cell.Rate, "mixed")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msbench: churn trace: %v\n", err)
+			os.Exit(1)
+		}
+		warm, warmNs := churnRun(tr, cell.Preempt, false, repeats)
+		cold, coldNs := churnRun(tr, cell.Preempt, true, repeats)
+		if warm.Plans != cold.Plans {
+			fmt.Fprintf(os.Stderr, "msbench: churn %s/%s: replan count diverged warm=%d cold=%d\n",
+				cell.name(), cell.Preempt, warm.Plans, cold.Plans)
+			os.Exit(1)
+		}
+		if warm.Probes >= cold.Probes {
+			fmt.Fprintf(os.Stderr, "msbench: churn %s/%s: warm probes %d not below cold %d\n",
+				cell.name(), cell.Preempt, warm.Probes, cold.Probes)
+			os.Exit(1)
+		}
+		r := churnResult{
+			Workload:        cell.name(),
+			N:               cell.N,
+			M:               cell.M,
+			Preempt:         cell.Preempt,
+			Replans:         warm.Plans,
+			ProbesWarm:      warm.Probes,
+			ProbesCold:      cold.Probes,
+			Synthesized:     warm.Synthesized,
+			NsPerReplanWarm: warmNs,
+			NsPerReplanCold: coldNs,
+		}
+		out = append(out, r)
+		fmt.Fprintf(os.Stderr, "%-18s %-12s %8d %10d %10d %8d %14d %14d\n",
+			r.Workload, r.Preempt, r.Replans, r.ProbesWarm, r.ProbesCold, r.Synthesized,
+			r.NsPerReplanWarm, r.NsPerReplanCold)
+	}
+	return out
+}
+
+// churnRun plays one trace through replan-on-arrival in one mode, repeats
+// times, returning the (pass-invariant) metrics and the minimum observed
+// ns per replan. Config.Engine stays nil on purpose: each pass builds a
+// private engine, so the timing is a cache-cold replanning sequence in
+// both modes and the warm column's advantage is the lineage alone.
+func churnRun(tr *workload.Trace, preempt string, cold bool, repeats int) (sim.Metrics, int64) {
+	cfg := sim.Config{
+		Policy:     "replan-on-arrival",
+		Preempt:    preempt,
+		Noise:      0.1,
+		Seed:       3,
+		ColdReplan: cold,
+	}
+	var m sim.Metrics
+	best := int64(math.MaxInt64)
+	for p := 0; p < repeats; p++ {
+		t0 := time.Now()
+		res, err := sim.Run(tr, cfg)
+		dt := time.Since(t0).Nanoseconds()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "msbench: churn run: %v\n", err)
+			os.Exit(1)
+		}
+		m = res.Metrics
+		if m.Plans > 0 {
+			if per := dt / int64(m.Plans); per < best {
+				best = per
+			}
+		}
+	}
+	if best == math.MaxInt64 {
+		best = 0
+	}
+	return m, best
 }
 
 // measureHot times the compiled dimension's two columns. compile_ns is the

@@ -1,7 +1,7 @@
 // Command mssim evaluates the scheduling stack *online*: it plays arrival
 // traces through the discrete-event cluster simulator (internal/sim) under
 // every selected policy and emits BENCH_sim.json — the reproducible
-// simulation artifact whose schema (bench-sim/v1) is documented in
+// simulation artifact whose schema (bench-sim/v2) is documented in
 // docs/BENCHMARKS.md. Every executed timeline is certified with
 // malsched.VerifyTimeline before it is reported; a violation is a
 // simulator bug and exits non-zero.
@@ -37,7 +37,10 @@ import (
 )
 
 // Schema identifies the BENCH_sim.json layout; bump on breaking change.
-const Schema = "malsched/bench-sim/v1"
+// v2: replan-on-arrival rows replan warm by default (lineage-threaded
+// warm starts — schedules unchanged, probes lower) and carry the new
+// synthesized column counting probe outcomes resolved without a dual step.
+const Schema = "malsched/bench-sim/v2"
 
 // scenario is one workload of the grid; each runs under every policy at
 // every noise level.

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"malsched/internal/instance"
+)
+
+// FuzzWarmStart throws adversarial warm seeds at the dual search and holds
+// it to the warm-start contract: whatever the seed claims — a stale λ*
+// from a different instance, a breakpoint segment that does not exist, a
+// fabricated or inverted probe history, NaN/Inf/negative floats — the warm
+// solve must return a result bit-identical to the cold solve of the same
+// instance at the same width. Garbage seeds may cost probes; they can
+// never change an answer (synthesis only certifies outcomes the compiled
+// tables prove, and prediction only reorders speculation).
+func FuzzWarmStart(f *testing.F) {
+	// Committed seeds (testdata/fuzz/FuzzWarmStart) cover the named attack
+	// classes; these inline ones keep `go test` meaningful without the
+	// corpus.
+	f.Add(uint8(0), uint8(1), 0.0, 0.0, 0.0, 0, uint64(0))
+	f.Add(uint8(1), uint8(8), 123.456, 1e-9, 7.5, 9999, uint64(0xA5))
+	f.Add(uint8(2), uint8(2), math.Inf(1), math.Inf(-1), math.NaN(), -3, uint64(0xFF))
+
+	names := make([]string, 0)
+	for name := range instance.Families() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type compiledCase struct {
+		in *instance.Instance
+		c  *instance.Compiled
+	}
+	cases := make([]compiledCase, len(names))
+	for i, name := range names {
+		in := instance.Families()[name](3, 12, 8)
+		cases[i] = compiledCase{in: in, c: instance.Compile(in)}
+	}
+
+	f.Fuzz(func(t *testing.T, famIdx, par uint8, lam, floor, histLam float64, seg int, histBits uint64) {
+		cc := cases[int(famIdx)%len(cases)]
+		parallelism := 1 + int(par%8)
+
+		cold, err := Approximate(cc.in, Options{Compiled: cc.c, Parallelism: parallelism})
+		if err != nil {
+			t.Fatalf("cold solve failed: %v", err)
+		}
+
+		// Fabricate a history from the fuzzed bits: eight probes whose
+		// lambdas fan out from histLam and whose accept verdicts are the
+		// bits of histBits — including self-contradictory sequences.
+		hist := make([]WarmProbe, 0, 8)
+		for k := 0; k < 8; k++ {
+			hist = append(hist, WarmProbe{
+				Lambda:   histLam * (1 + float64(k)/4),
+				Accepted: histBits&(1<<k) != 0,
+			})
+		}
+		warmSeed := &WarmStart{
+			AcceptedLambda: lam,
+			Floor:          floor,
+			Segment:        seg,
+			History:        hist,
+		}
+		warm, err := Approximate(cc.in, Options{
+			Compiled:    cc.c,
+			Parallelism: parallelism,
+			WarmStart:   warmSeed,
+		})
+		if err != nil {
+			t.Fatalf("warm solve failed: %v", err)
+		}
+		assertWarmColdIdentical(t, "fuzz", warm, cold)
+
+		// The seed must come out usable: a second warm solve from the
+		// updated state has to stay bit-identical too (the in-place update
+		// is the lineage handoff, so a corrupted update would poison every
+		// later replan).
+		again, err := Approximate(cc.in, Options{
+			Compiled:    cc.c,
+			Parallelism: parallelism,
+			WarmStart:   warmSeed,
+		})
+		if err != nil {
+			t.Fatalf("re-warmed solve failed: %v", err)
+		}
+		assertWarmColdIdentical(t, "fuzz-rewarm", again, cold)
+	})
+}

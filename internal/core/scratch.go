@@ -30,19 +30,17 @@ import (
 //
 // The zero value is ready to use.
 type Scratch struct {
-	gamma     []int     // canonical allotment γ_i(λ) (legacy path)
-	order     []int     // by-decreasing-time sort order (legacy path)
-	alloc     []int     // malleable-list allotments (legacy path)
-	morder    []int     // malleable-list sequential order (legacy path)
-	seq       []int     // malleable-list sequential tail
-	release   []float64 // malleable-list per-processor release times
-	durations []float64 // malleable-list LPT durations
-	front     []float64 // canonical-list frontier
-	sizes     []float64 // partition TS sizes
-	tsizes    []float64 // trivial-solution TS sizes
-	wcol      []int     // knapsack weight column (d_i)
-	pcol      []int     // knapsack profit column (γ_i)
-	backing   []int
+	gamma     []int          // canonical allotment γ_i(λ) (legacy path)
+	order     []int          // by-decreasing-time sort order (legacy path)
+	alloc     []int          // malleable-list allotments (legacy path)
+	morder    []int          // malleable-list sequential order (legacy path)
+	seq       []int          // malleable-list sequential tail
+	release   []float64      // malleable-list per-processor release times
+	durations []float64      // malleable-list LPT durations
+	front     []float64      // canonical-list frontier
+	sizes     []float64      // partition TS sizes
+	tsizes    []float64      // trivial-solution TS sizes
+	kcols     knapsack.Cols  // knapsack columns (d_i, γ_i, task id), delta-synced across probes
 	win       rigid.Windower // canonical-list window search deque
 	part      Partition
 	ks        knapsack.Solver

@@ -66,6 +66,15 @@ type Options struct {
 	// worse units of work), which is how the engine implements
 	// per-instance timeouts without leaking goroutines.
 	Interrupt <-chan struct{}
+	// WarmStart, when non-nil, switches the search to warm mode: probe
+	// outcomes decided by the compiled segment tables alone are
+	// synthesized without running the dual step, the speculative budget
+	// follows the path the seed predicts, and on success the WarmStart is
+	// updated in place with this search's outcome for the next solve of
+	// the lineage. The result is bit-identical to a cold solve at every
+	// Parallelism — only Probes, Speculated and Synthesized change. A
+	// zero-valued (but non-nil) seed enables warm mode with no prior.
+	WarmStart *WarmStart
 }
 
 // Result is the outcome of Approximate.
@@ -85,8 +94,13 @@ type Result struct {
 	// Speculated counts probes that were executed speculatively and then
 	// discarded because the search path never reached their guess (always
 	// 0 when Parallelism ≤ 1). Probes includes them; Probes − Speculated
-	// is the sequential search's probe count.
+	// is the sequential search's probe count of the real dual steps.
 	Speculated int
+	// Synthesized counts consumed probe outcomes that a warm search
+	// resolved from the compiled segment tables without running the dual
+	// step (always 0 without Options.WarmStart). The cold sequential
+	// search's probe count is (Probes − Speculated) + Synthesized.
+	Synthesized int
 	// UnprovenRejects counts RejectUnproven outcomes. The paper's theorems
 	// imply 0 for every monotone instance; the experiment suite reports it
 	// as the reproduction's health metric (a non-zero value would also void
@@ -148,6 +162,14 @@ type search struct {
 	best   *schedule.Schedule
 	bestMk float64
 
+	// warm is the seed of a warm-mode search (nil on cold solves), hist
+	// the consumed-outcome history recorded for the next solve of the
+	// lineage, and synthOK whether outcomes may be synthesized from the
+	// segment tables (warm mode, compiled path, default prober).
+	warm    *WarmStart
+	hist    []WarmProbe
+	synthOK bool
+
 	// lo is the largest rejected guess (search floor, starts at the
 	// trivial lower bound); hi the smallest accepted one.
 	lo, hi float64
@@ -199,6 +221,15 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 		eps:       eps,
 		prober:    prober,
 		interrupt: opts.Interrupt,
+		warm:      opts.WarmStart,
+	}
+	if s.warm != nil {
+		// Synthesis replays dualStep's certified pre-construction exits,
+		// so it needs the compiled tables and the real dual step behind
+		// the probes; an instrumented prober's outcomes must keep
+		// deciding the search alone.
+		s.synthOK = c != nil && opts.Prober == nil
+		s.hist = make([]WarmProbe, 0, 2*maxDoubling)
 	}
 	s.res.LowerBound = lowerbound.Trivial(in)
 	if !(s.res.LowerBound > 0) {
@@ -210,15 +241,19 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 	s.lo = s.res.LowerBound // invariant: OPT ≥ certified LB; lo tracks search floor
 
 	var err error
-	if opts.Parallelism >= 2 {
+	switch {
+	case opts.Parallelism >= 2 && s.warm != nil:
+		err = s.runSpeculativeWarm(opts.Parallelism, sc)
+	case opts.Parallelism >= 2:
 		err = s.runSpeculative(opts.Parallelism, sc)
-	} else {
+	default:
 		err = s.runSequential(sc)
 	}
 	if err != nil {
 		return Result{}, err
 	}
-	s.res.Speculated = s.res.Probes - s.consumed
+	s.res.Speculated = s.res.Probes - (s.consumed - s.res.Synthesized)
+	s.updateWarm()
 
 	if opts.Compact {
 		s.consider(schedule.Compact(in, s.best))
@@ -246,6 +281,9 @@ func (s *search) consider(sch *schedule.Schedule) {
 // guess the path never reaches are never merged.
 func (s *search) merge(lambda float64, r StepResult) {
 	s.consumed++
+	if s.warm != nil {
+		s.hist = append(s.hist, WarmProbe{Lambda: lambda, Accepted: r.Schedule != nil})
+	}
 	if r.Schedule != nil {
 		s.consider(r.Schedule)
 	} else if r.Certified {
@@ -285,6 +323,11 @@ const maxDoubling = 64
 // reproduce.
 func (s *search) runSequential(sc *Scratch) error {
 	step := func(l float64) StepResult {
+		if r, ok := s.synthesize(l, sc); ok {
+			s.res.Synthesized++
+			s.merge(l, r)
+			return r
+		}
 		s.res.Probes++
 		r := s.prober.Probe(s.in, s.c, l, s.p, sc, s.interrupt)
 		if r.Interrupted {

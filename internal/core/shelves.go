@@ -145,20 +145,24 @@ func twoShelfFromAllotment(v view, a Allotment, prm Params, sc *Scratch) TwoShel
 		return r
 	}
 
-	// Knapsack (KS) over the movable T1 tasks, assembled as weight/profit
-	// columns (weight d_i, profit γ_i) straight into scratch — the columnar
-	// Solver API consumes them without materialising items.
-	wcol := sc.wcol[:0]
-	pcol := sc.pcol[:0]
-	backing := sc.backing[:0]
+	// Knapsack (KS) over the movable T1 tasks, as weight/profit columns
+	// (weight d_i, profit γ_i, tag the task id) delta-synced against the
+	// previous probe's columns in scratch — between consecutive probes of a
+	// search, and across the residual re-solves of a warm replanning
+	// lineage sharing this Scratch, the movable set barely moves, so
+	// arrivals are appended, re-scaled entries patched in place and only a
+	// diverged suffix is rebuilt. The synced slices equal a from-scratch
+	// assembly element for element, so the columnar Solver sees identical
+	// inputs in identical order.
+	cols := &sc.kcols
+	cur := 0
 	for _, i := range part.T1 {
 		if d, ok := part.D[i]; ok && d <= capacity {
-			wcol = append(wcol, d)
-			pcol = append(pcol, a.Gamma[i])
-			backing = append(backing, i)
+			cur = cols.Sync(cur, i, d, a.Gamma[i])
 		}
 	}
-	sc.wcol, sc.pcol, sc.backing = wcol, pcol, backing
+	cols.Truncate(cur)
+	wcol, pcol, backing := cols.Weights(), cols.Profits(), cols.Tags()
 	useDP := len(wcol)*(capacity+1) <= prm.MaxDPCells
 	var sel []int
 	var method string

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"malsched/internal/instance"
+)
+
+// assertWarmColdIdentical compares a warm result against its cold reference
+// bit by bit: makespan, λ*, certified lower bound, branch, unproven-reject
+// count and the full placement vector. Probes/Speculated/Synthesized are
+// the only fields allowed to differ — they report how the identical answer
+// was paid for.
+func assertWarmColdIdentical(t *testing.T, ctx string, warm, cold Result) {
+	t.Helper()
+	if math.Float64bits(warm.Makespan) != math.Float64bits(cold.Makespan) ||
+		math.Float64bits(warm.LowerBound) != math.Float64bits(cold.LowerBound) ||
+		math.Float64bits(warm.AcceptedLambda) != math.Float64bits(cold.AcceptedLambda) ||
+		warm.Branch != cold.Branch ||
+		warm.UnprovenRejects != cold.UnprovenRejects {
+		t.Errorf("%s: warm diverged: got %+v, want %+v", ctx, warm, cold)
+	}
+	if !reflect.DeepEqual(warm.Schedule.Placements, cold.Schedule.Placements) {
+		t.Errorf("%s: warm produced a different plan", ctx)
+	}
+}
+
+// residualStream builds a deterministic arrival stream over a compiled
+// workload: step k carves a pseudo-random subset of the tasks (the "queue"
+// after the k-th burst), some with partial remaining work (the repartition
+// model), onto a machine that shrinks and grows with the load.
+func residualStream(t *testing.T, c *instance.Compiled, seed int64, steps int) []*instance.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := c.N()
+	var out []*instance.Instance
+	for k := 0; k < steps; k++ {
+		var ids []int
+		var rem []float64
+		for id := 0; id < n; id++ {
+			if rng.Float64() < 0.6 {
+				continue
+			}
+			ids = append(ids, id)
+			if rng.Float64() < 0.3 {
+				rem = append(rem, 0.1+0.9*rng.Float64())
+			} else {
+				rem = append(rem, 1.0)
+			}
+		}
+		if len(ids) == 0 {
+			ids = append(ids, rng.Intn(n))
+			rem = append(rem, 1.0)
+		}
+		m := 1 + rng.Intn(c.M())
+		in, err := instance.Residual(c, "stream", m, ids, rem)
+		if err != nil {
+			t.Fatalf("residual step %d: %v", k, err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// Warm-vs-cold equivalence over every instance family and a seeded arrival
+// stream: at each replanning point the warm search (threading one WarmStart
+// through the whole stream, exactly as the engine's warm state does) must
+// return bit-identical results to a cold solve of the same residual
+// instance, at parallelism 1 and 8. The warm run must also never execute
+// more dual steps than the cold one.
+func TestWarmColdEquivalenceStream(t *testing.T) {
+	for fam, gen := range instance.Families() {
+		for _, par := range []int{1, 8} {
+			full := gen(7, 24, 16)
+			c := instance.Compile(full)
+			stream := residualStream(t, c, 11, 8)
+			ws := &WarmStart{}
+			sc := NewScratch()
+			totalSynth, totalWarmProbes, totalColdProbes := 0, 0, 0
+			for k, in := range stream {
+				rc := instance.Compile(in)
+				cold, err := Approximate(in, Options{Parallelism: par, Compiled: rc})
+				if err != nil {
+					t.Fatalf("%s[%d] par %d: cold: %v", fam, k, par, err)
+				}
+				warm, err := Approximate(in, Options{Parallelism: par, Compiled: rc, Scratch: sc, WarmStart: ws})
+				if err != nil {
+					t.Fatalf("%s[%d] par %d: warm: %v", fam, k, par, err)
+				}
+				assertWarmColdIdentical(t, fam, warm, cold)
+				if seqWarm, seqCold := warm.Probes-warm.Speculated, cold.Probes-cold.Speculated; seqWarm > seqCold {
+					t.Errorf("%s[%d] par %d: warm consumed %d real probes, cold %d", fam, k, par, seqWarm, seqCold)
+				}
+				if bits := math.Float64bits(ws.AcceptedLambda); bits != math.Float64bits(warm.AcceptedLambda) {
+					t.Errorf("%s[%d] par %d: seed not updated: λ*=%v, result %v", fam, k, par, ws.AcceptedLambda, warm.AcceptedLambda)
+				}
+				if len(ws.History) == 0 {
+					t.Errorf("%s[%d] par %d: seed history not recorded", fam, k, par)
+				}
+				totalSynth += warm.Synthesized
+				totalWarmProbes += warm.Probes - warm.Speculated
+				totalColdProbes += cold.Probes - cold.Speculated
+				sc.DropCompiled(rc)
+			}
+			if totalSynth == 0 {
+				t.Errorf("%s par %d: warm stream never synthesized a probe", fam, par)
+			}
+			if totalWarmProbes >= totalColdProbes {
+				t.Errorf("%s par %d: warm stream used %d real probes, cold %d — no saving", fam, par, totalWarmProbes, totalColdProbes)
+			}
+		}
+	}
+}
+
+// A corrupt or stale warm seed may cost probes but must never change the
+// answer: the seed only decides what is synthesized (outcome-exact by
+// construction) and where speculation is spent (discarded unless on-path).
+func TestWarmGarbageSeedsHarmless(t *testing.T) {
+	gen := instance.Families()["mixed"]
+	in := gen(3, 20, 12)
+	c := instance.Compile(in)
+	cold, err := Approximate(in, Options{Compiled: c})
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	seeds := map[string]*WarmStart{
+		"zero":          {},
+		"nan":           {AcceptedLambda: math.NaN(), Floor: math.NaN()},
+		"inf":           {AcceptedLambda: math.Inf(1), Floor: math.Inf(-1)},
+		"negative":      {AcceptedLambda: -5, Floor: -10, Segment: -3},
+		"huge-segment":  {AcceptedLambda: cold.AcceptedLambda, Segment: 1 << 30},
+		"stale-lambda":  {AcceptedLambda: cold.AcceptedLambda * 1e6, Floor: cold.AcceptedLambda * 1e5},
+		"tiny-lambda":   {AcceptedLambda: cold.AcceptedLambda * 1e-9},
+		"fake-history":  {History: []WarmProbe{{math.NaN(), true}, {math.Inf(1), false}, {0, true}}},
+		"inverted-hist": {AcceptedLambda: cold.AcceptedLambda, History: []WarmProbe{{cold.AcceptedLambda * 2, false}, {cold.AcceptedLambda / 2, true}}},
+	}
+	for name, ws := range seeds {
+		for _, par := range []int{1, 2, 8} {
+			seed := *ws
+			if ws.History != nil {
+				seed.History = append([]WarmProbe(nil), ws.History...)
+			}
+			warm, err := Approximate(in, Options{Compiled: c, Parallelism: par, WarmStart: &seed})
+			if err != nil {
+				t.Fatalf("seed %q par %d: %v", name, par, err)
+			}
+			assertWarmColdIdentical(t, "seed "+name, warm, cold)
+		}
+	}
+}
+
+// Warm mode on the legacy (uncompiled) path must degrade to the cold search
+// gracefully — no synthesis is possible without segment tables, but the
+// result and the in-place seed update still hold.
+func TestWarmLegacyPath(t *testing.T) {
+	gen := instance.Families()["comm-heavy"]
+	in := gen(5, 16, 8)
+	cold, err := Approximate(in, Options{Legacy: true})
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	ws := &WarmStart{}
+	warm, err := Approximate(in, Options{Legacy: true, WarmStart: ws})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	assertWarmColdIdentical(t, "legacy", warm, cold)
+	if warm.Synthesized != 0 {
+		t.Errorf("legacy path synthesized %d probes without segment tables", warm.Synthesized)
+	}
+	if warm.Probes != cold.Probes {
+		t.Errorf("legacy warm probes %d, cold %d", warm.Probes, cold.Probes)
+	}
+}
+
+// An instrumented prober must keep deciding the search alone: warm mode
+// with a custom Prober disables synthesis, so the prober sees every guess
+// exactly as in a cold run.
+func TestWarmCustomProberSeesEveryGuess(t *testing.T) {
+	gen := instance.Families()["wide-parallel"]
+	in := gen(9, 18, 16)
+	c := instance.Compile(in)
+	coldRec := &recordingProber{}
+	cold, err := Approximate(in, Options{Compiled: c, Prober: coldRec})
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	warmRec := &recordingProber{}
+	ws := &WarmStart{AcceptedLambda: cold.AcceptedLambda, History: append([]WarmProbe(nil), ws0(cold)...)}
+	warm, err := Approximate(in, Options{Compiled: c, Prober: warmRec, WarmStart: ws})
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	assertWarmColdIdentical(t, "custom-prober", warm, cold)
+	if warm.Synthesized != 0 {
+		t.Errorf("synthesis ran behind an instrumented prober (%d probes)", warm.Synthesized)
+	}
+	if !reflect.DeepEqual(warmRec.lambdas, coldRec.lambdas) {
+		t.Errorf("instrumented prober saw %v warm, %v cold", warmRec.lambdas, coldRec.lambdas)
+	}
+}
+
+// ws0 fabricates a history from a result's accepted guess, for seeding.
+func ws0(r Result) []WarmProbe {
+	return []WarmProbe{{r.AcceptedLambda, true}}
+}

@@ -55,6 +55,12 @@ type Engine struct {
 	compiled *lru[*instance.Compiled]
 	scratch  sync.Pool
 
+	// warm is the bounded registry of replanning lineages (WarmFor);
+	// warmMu makes get-or-create atomic. Sized with the memo and disabled
+	// along with it.
+	warm   *lru[*WarmState]
+	warmMu sync.Mutex
+
 	scheduled     atomic.Uint64
 	errs          atomic.Uint64
 	panics        atomic.Uint64
@@ -63,6 +69,8 @@ type Engine struct {
 	misses        atomic.Uint64
 	compileHits   atomic.Uint64
 	compileMisses atomic.Uint64
+	warmSolves    atomic.Uint64
+	synthesized   atomic.Uint64
 }
 
 // ErrTimeout wraps every per-instance timeout failure.
@@ -93,6 +101,7 @@ func New(cfg Config) *Engine {
 	if memoCap > 0 {
 		e.memo = newLRU[Solution](memoCap)
 		e.compiled = newLRU[*instance.Compiled](memoCap)
+		e.warm = newLRU[*WarmState](memoCap)
 	}
 	e.scratch.New = func() any { return core.NewScratch() }
 	return e
@@ -138,6 +147,13 @@ type Stats struct {
 	CompileHits     uint64
 	CompileMisses   uint64
 	CompiledEntries int
+	// WarmSolves counts solves executed in warm mode (memo hits excluded);
+	// Synthesized sums the probe outcomes those solves resolved from the
+	// segment tables without running a dual step. WarmEntries is the
+	// resident lineage count of the WarmFor registry.
+	WarmSolves  uint64
+	Synthesized uint64
+	WarmEntries int
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -151,12 +167,17 @@ func (e *Engine) Stats() Stats {
 		MemoMisses:    e.misses.Load(),
 		CompileHits:   e.compileHits.Load(),
 		CompileMisses: e.compileMisses.Load(),
+		WarmSolves:    e.warmSolves.Load(),
+		Synthesized:   e.synthesized.Load(),
 	}
 	if e.memo != nil {
 		s.MemoEntries = e.memo.len()
 	}
 	if e.compiled != nil {
 		s.CompiledEntries = e.compiled.len()
+	}
+	if e.warm != nil {
+		s.WarmEntries = e.warm.len()
 	}
 	return s
 }
@@ -205,7 +226,7 @@ func (e *Engine) Schedule(in *instance.Instance) (Solution, error) {
 // scheduling service maps per-request solver/parallelism/timeout selection
 // onto shared engines.
 func (e *Engine) ScheduleWith(in *instance.Instance, o Options, timeout time.Duration) Outcome {
-	return e.runWith(0, in, o, timeout, nil, nil)
+	return e.runWith(0, in, o, timeout, nil, nil, nil)
 }
 
 // ScheduleWithHash is ScheduleWith for callers that already computed
@@ -214,7 +235,7 @@ func (e *Engine) ScheduleWith(in *instance.Instance, o Options, timeout time.Dur
 // hash MUST equal Fingerprint(in, o) — a stale one would alias memo
 // entries.
 func (e *Engine) ScheduleWithHash(in *instance.Instance, o Options, timeout time.Duration, hash uint64) Outcome {
-	return e.runWith(0, in, o, timeout, &hash, nil)
+	return e.runWith(0, in, o, timeout, &hash, nil, nil)
 }
 
 // ScheduleCompiled is ScheduleWithHash for callers that additionally hold
@@ -223,7 +244,7 @@ func (e *Engine) ScheduleWithHash(in *instance.Instance, o Options, timeout time
 // c must describe the same workload as in (same machine size and time
 // tables; names may differ) — CompiledFor guarantees that.
 func (e *Engine) ScheduleCompiled(in *instance.Instance, c *instance.Compiled, o Options, timeout time.Duration, hash uint64) Outcome {
-	return e.runWith(0, in, o, timeout, &hash, c)
+	return e.runWith(0, in, o, timeout, &hash, c, nil)
 }
 
 // ScheduleBatch schedules every instance and returns one outcome per
@@ -297,15 +318,17 @@ func (e *Engine) ScheduleStream(jobs <-chan *instance.Instance) <-chan Outcome {
 
 // run executes one job under the engine's configured options and timeout.
 func (e *Engine) run(idx int, in *instance.Instance) Outcome {
-	return e.runWith(idx, in, e.cfg.Options, e.cfg.Timeout, nil, nil)
+	return e.runWith(idx, in, e.cfg.Options, e.cfg.Timeout, nil, nil, nil)
 }
 
 // runWith executes one job: admission check, memo probe, compiled-table
 // resolution, pooled-scratch solve under the per-call deadline, panic
 // recovery, memo fill. A non-nil hash supplies the caller-precomputed
 // Fingerprint(in, opts); a non-nil ci supplies caller-precompiled tables
-// (otherwise the compiled cache provides them after admission).
-func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout time.Duration, hash *uint64, ci *instance.Compiled) Outcome {
+// (otherwise the compiled cache provides them after admission). A non-nil
+// ws runs the solve in warm mode on the lineage's pinned scratch and seed
+// (the caller must hold ws.mu; ScheduleWarm does).
+func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout time.Duration, hash *uint64, ci *instance.Compiled, ws *WarmState) Outcome {
 	out := Outcome{Index: idx, In: in}
 	if in == nil {
 		out.Err = ErrNilInstance
@@ -349,8 +372,24 @@ func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout t
 		ci = e.CompiledFor(in)
 	}
 
-	sc := e.scratch.Get().(*core.Scratch)
-	defer e.scratch.Put(sc)
+	var sc *core.Scratch
+	var warm *core.WarmStart
+	if ws != nil {
+		// The lineage's pinned scratch carries the λ-segment caches and
+		// delta-synced knapsack columns across residual re-solves; retire
+		// the previous residual's cache entries when the tables moved on.
+		sc = ws.sc
+		warm = &ws.seed
+		if ci != ws.prev {
+			if ws.prev != nil {
+				sc.DropCompiled(ws.prev)
+			}
+			ws.prev = ci
+		}
+	} else {
+		sc = e.scratch.Get().(*core.Scratch)
+		defer e.scratch.Put(sc)
+	}
 
 	var interrupt <-chan struct{}
 	if timeout > 0 {
@@ -368,7 +407,7 @@ func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout t
 				out.Err = fmt.Errorf("engine: panic scheduling instance %q: %v", in.Name, r)
 			}
 		}()
-		out.Solution, out.Err = solveFn(in, opts, sc, interrupt, ci)
+		out.Solution, out.Err = solveFn(in, opts, sc, interrupt, ci, warm)
 	}()
 
 	if errors.Is(out.Err, core.ErrInterrupted) {
@@ -378,6 +417,10 @@ func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout t
 	if out.Err != nil {
 		e.errs.Add(1)
 		return out
+	}
+	if ws != nil {
+		e.warmSolves.Add(1)
+		e.synthesized.Add(uint64(out.Solution.Synthesized))
 	}
 	if e.memo != nil {
 		e.memo.put(k, out.Solution.clone())

@@ -223,12 +223,12 @@ func TestMemoDisabled(t *testing.T) {
 // (core's own between-probe polling is covered by the core package tests).
 func TestTimeoutIsolatesInstance(t *testing.T) {
 	orig := solveFn
-	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled) (Solution, error) {
+	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled, warm *core.WarmStart) (Solution, error) {
 		if in.Name == "slow" {
 			<-interrupt // simulate a search that outlives its deadline
 			return Solution{}, fmt.Errorf("%w (instance %q)", core.ErrInterrupted, in.Name)
 		}
-		return orig(in, o, sc, interrupt, ci)
+		return orig(in, o, sc, interrupt, ci, warm)
 	}
 	defer func() { solveFn = orig }()
 
@@ -259,12 +259,12 @@ func TestTimeoutIsolatesInstance(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	orig := solveFn
 	var calls atomic.Int32
-	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled) (Solution, error) {
+	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled, warm *core.WarmStart) (Solution, error) {
 		calls.Add(1)
 		if in.Name == "boom" {
 			panic("injected fault")
 		}
-		return orig(in, o, sc, interrupt, ci)
+		return orig(in, o, sc, interrupt, ci, warm)
 	}
 	defer func() { solveFn = orig }()
 
@@ -538,12 +538,12 @@ func TestScheduleWith(t *testing.T) {
 	// no configured timeout (deterministic via the solveFn seam, same
 	// idiom as TestTimeoutIsolatesInstance).
 	orig := solveFn
-	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled) (Solution, error) {
+	solveFn = func(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled, warm *core.WarmStart) (Solution, error) {
 		if in.Name == "slow" {
 			<-interrupt
 			return Solution{}, fmt.Errorf("%w (instance %q)", core.ErrInterrupted, in.Name)
 		}
-		return orig(in, o, sc, interrupt, ci)
+		return orig(in, o, sc, interrupt, ci, warm)
 	}
 	defer func() { solveFn = orig }()
 	// Memo disabled: the slow instance shares in's name-independent

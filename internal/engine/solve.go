@@ -114,6 +114,14 @@ type Solution struct {
 	// Probes counts dual-approximation steps performed, speculative ones
 	// included (0 for solvers without a dual search).
 	Probes int
+	// Speculated counts the probes executed speculatively beyond the
+	// sequential decision path; Probes − Speculated is the consumed path
+	// length, the replanning benchmarks' cost metric.
+	Speculated int
+	// Synthesized counts probe outcomes a warm-mode dual search resolved
+	// from the compiled segment tables without a dual step (0 for cold
+	// solves; see Engine.ScheduleWarm).
+	Synthesized int
 }
 
 // clone returns a Solution whose plan shares no memory with the receiver's,
@@ -140,15 +148,17 @@ func (s Solution) clone() Solution {
 // validated solution. It is the single implementation behind both
 // malsched.Schedule and the engine's workers.
 func Solve(in *instance.Instance, o Options) (Solution, error) {
-	return solve(in, o, nil, nil, nil)
+	return solve(in, o, nil, nil, nil, nil)
 }
 
 // solve is Solve with the engine-only hooks: sc supplies reusable probe
 // buffers (nil allocates per call), interrupt aborts the dual search early
-// (nil never fires), and ci supplies precompiled λ-breakpoint tables (nil
-// lets the search compile its own). Plan validation lives inside each
-// registered solver, so portfolio members are checked individually.
-func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled) (Solution, error) {
+// (nil never fires), ci supplies precompiled λ-breakpoint tables (nil
+// lets the search compile its own), and warm runs the dual search in warm
+// mode against the lineage seed (nil solves cold). Plan validation lives
+// inside each registered solver, so portfolio members are checked
+// individually.
+func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan struct{}, ci *instance.Compiled, warm *core.WarmStart) (Solution, error) {
 	sv, err := resolveSolver(o)
 	if err != nil {
 		return Solution{}, err
@@ -161,16 +171,19 @@ func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan 
 		Compiled:    ci,
 		Scratch:     sc,
 		Interrupt:   interrupt,
+		WarmStart:   warm,
 	})
 	if err != nil {
 		return Solution{}, err
 	}
 	return Solution{
-		Plan:       sol.Plan,
-		Makespan:   sol.Makespan,
-		LowerBound: sol.LowerBound,
-		Branch:     sol.Branch,
-		Solver:     sol.Solver,
-		Probes:     sol.Probes,
+		Plan:        sol.Plan,
+		Makespan:    sol.Makespan,
+		LowerBound:  sol.LowerBound,
+		Branch:      sol.Branch,
+		Solver:      sol.Solver,
+		Probes:      sol.Probes,
+		Speculated:  sol.Speculated,
+		Synthesized: sol.Synthesized,
 	}, nil
 }

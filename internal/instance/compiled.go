@@ -90,6 +90,17 @@ func Compile(in *Instance) *Compiled {
 		}
 	}
 
+	c.finishTables()
+	return c
+}
+
+// finishTables derives the merged global breakpoint axis and the sequential
+// order from the already-filled per-task tables — the shared tail of
+// Compile and ResidualCompiled, so both produce the segment axis through
+// the identical code.
+func (c *Compiled) finishTables() {
+	n := len(c.off) - 1
+	total := c.off[n]
 	c.global = make([]float64, total)
 	copy(c.global, c.thr)
 	sort.Float64s(c.global)
@@ -108,7 +119,6 @@ func Compile(in *Instance) *Compiled {
 	sort.SliceStable(c.seqOrder, func(a, b int) bool {
 		return c.seqTimeOrZero(c.seqOrder[a]) > c.seqTimeOrZero(c.seqOrder[b])
 	})
-	return c
 }
 
 // seqTimeOrZero is t_i(1), or 0 for a (malformed) empty profile.

@@ -2,6 +2,9 @@ package instance
 
 import (
 	"errors"
+	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"malsched/internal/task"
@@ -91,5 +94,107 @@ func TestResidualRejects(t *testing.T) {
 		if tc.err != nil && !errors.Is(err, tc.err) {
 			t.Errorf("%s: got %v", tc.name, err)
 		}
+	}
+}
+
+// compiledEqual compares every table of two compiled views bit for bit.
+func compiledEqual(t *testing.T, ctx string, got, want *Compiled) {
+	t.Helper()
+	if !reflect.DeepEqual(got.off, want.off) {
+		t.Fatalf("%s: off diverged: %v vs %v", ctx, got.off, want.off)
+	}
+	for name, pair := range map[string][2][]float64{
+		"times":  {got.times, want.times},
+		"works":  {got.works, want.works},
+		"thr":    {got.thr, want.thr},
+		"global": {got.global, want.global},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			t.Fatalf("%s: %s length %d vs %d", ctx, name, len(pair[0]), len(pair[1]))
+		}
+		for i := range pair[0] {
+			if math.Float64bits(pair[0][i]) != math.Float64bits(pair[1][i]) {
+				t.Fatalf("%s: %s[%d] = %v vs %v", ctx, name, i, pair[0][i], pair[1][i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(got.seqOrder, want.seqOrder) {
+		t.Fatalf("%s: seqOrder diverged: %v vs %v", ctx, got.seqOrder, want.seqOrder)
+	}
+}
+
+// ResidualCompiled's parent-row reuse must be invisible: across random
+// carve-outs — full and partial remaining fractions, truncated profiles on
+// smaller machines — every compiled table must equal a from-scratch
+// Compile(Residual(...)) bit for bit, including the merged segment axis.
+func TestResidualCompiledMatchesCompile(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for fam, gen := range Families() {
+		parent := gen(5, 18, 12)
+		c := Compile(parent)
+		for trial := 0; trial < 30; trial++ {
+			var ids []int
+			var rem []float64
+			for id := 0; id < parent.N(); id++ {
+				if rng.Float64() < 0.5 {
+					continue
+				}
+				ids = append(ids, id)
+				if rng.Float64() < 0.4 {
+					rem = append(rem, 0.05+0.95*rng.Float64())
+				} else {
+					rem = append(rem, 1.0)
+				}
+			}
+			if len(ids) == 0 {
+				ids, rem = []int{trial % parent.N()}, []float64{1}
+			}
+			m := 1 + rng.Intn(parent.M)
+			in, rc, err := ResidualCompiled(c, "rc", m, ids, rem)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", fam, trial, err)
+			}
+			want, err := Residual(c, "rc", m, ids, rem)
+			if err != nil {
+				t.Fatalf("%s trial %d: reference: %v", fam, trial, err)
+			}
+			if !reflect.DeepEqual(in, want) {
+				t.Fatalf("%s trial %d: residual instance diverged", fam, trial)
+			}
+			compiledEqual(t, fam, rc, Compile(in))
+			if rc.Instance() != in {
+				t.Fatalf("%s trial %d: compiled not anchored to its instance", fam, trial)
+			}
+		}
+	}
+}
+
+// ResidualCompiled must agree with Residual on every rejection.
+func TestResidualCompiledRejects(t *testing.T) {
+	in := Mixed(3, 6, 8)
+	c := Compile(in)
+	cases := []struct {
+		m   int
+		ids []int
+		rem []float64
+	}{
+		{4, []int{0}, []float64{0}},
+		{4, []int{0}, []float64{1.5}},
+		{4, []int{99}, []float64{1}},
+		{0, []int{0}, []float64{1}},
+		{4, nil, nil},
+		{4, []int{0, 1}, []float64{1}},
+	}
+	for i, tc := range cases {
+		_, _, err := ResidualCompiled(c, "bad", tc.m, tc.ids, tc.rem)
+		if err == nil {
+			t.Fatalf("case %d: accepted", i)
+		}
+		if _, wantErr := Residual(c, "bad", tc.m, tc.ids, tc.rem); wantErr == nil || err.Error() != wantErr.Error() {
+			t.Fatalf("case %d: error diverged: %v vs %v", i, err, wantErr)
+		}
+	}
+	if _, _, err := ResidualCompiled(nil, "nil", 4, []int{0}, []float64{1}); !errors.Is(err, ErrNilCompiled) {
+		t.Fatalf("nil compiled: %v", err)
 	}
 }

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"malsched/internal/instance"
+)
+
+// lineageChain encodes a parent instance and a sequence of residual
+// carve-outs — the workload a replanning client re-submits under one
+// lineage key.
+func lineageChain(t *testing.T, seed int64) []json.RawMessage {
+	t.Helper()
+	parent := instance.Mixed(seed, 20, 8)
+	pc := instance.Compile(parent)
+	chain := []json.RawMessage{mustRaw(t, parent)}
+	n := len(parent.Tasks)
+	for step := 1; step <= 3; step++ {
+		ids := make([]int, 0, n)
+		rem := make([]float64, 0, n)
+		for i := step * 3; i < n; i++ {
+			ids = append(ids, i)
+			rem = append(rem, 1)
+		}
+		rin, err := instance.Residual(pc, "resid", 8, ids, rem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain = append(chain, mustRaw(t, rin))
+	}
+	return chain
+}
+
+// A lineage key must not change any answer: every response of a
+// same-lineage request sequence is bit-identical to the same requests
+// without the key, the sequence lands on one shard, and the shard's warm
+// counters record the solves.
+func TestLineageRequestsWarmAndIdentical(t *testing.T) {
+	s := New(Config{Shards: 4, Workers: 2, MemoCapacity: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	chain := lineageChain(t, 6)
+	opts := &RequestOptions{Lineage: "client-7/queue-a"}
+	shard := -1
+	var warmSynth int
+	for i, raw := range chain {
+		status, body := post(t, ts, "/v1/schedule", ScheduleRequest{Instance: raw, Options: opts})
+		if status != http.StatusOK {
+			t.Fatalf("step %d: status %d: %s", i, status, body)
+		}
+		var warm ScheduleResponse
+		if err := json.Unmarshal(body, &warm); err != nil {
+			t.Fatal(err)
+		}
+		if shard == -1 {
+			shard = warm.Shard
+		} else if warm.Shard != shard {
+			t.Fatalf("step %d routed to shard %d, lineage lives on %d", i, warm.Shard, shard)
+		}
+		warmSynth += warm.Synthesized
+
+		status, body = post(t, ts, "/v1/schedule", ScheduleRequest{Instance: raw})
+		if status != http.StatusOK {
+			t.Fatalf("step %d cold: status %d: %s", i, status, body)
+		}
+		var cold ScheduleResponse
+		if err := json.Unmarshal(body, &cold); err != nil {
+			t.Fatal(err)
+		}
+		// Everything but routing and probe accounting must match bitwise.
+		warm.Shard, cold.Shard = 0, 0
+		warm.Probes, cold.Probes = 0, 0
+		warm.Synthesized, cold.Synthesized = 0, 0
+		if !reflect.DeepEqual(warm, cold) {
+			t.Fatalf("step %d: lineage changed the response:\nwarm: %+v\ncold: %+v", i, warm, cold)
+		}
+	}
+	if warmSynth == 0 {
+		t.Fatal("lineage chain synthesized no probe outcomes")
+	}
+
+	_, body := get(t, ts, "/statsz")
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	var solves, synth uint64
+	entries := 0
+	for _, sh := range stats.Shards {
+		solves += sh.WarmSolves
+		synth += sh.Synthesized
+		entries += sh.WarmEntries
+		if sh.WarmSolves > 0 && sh.Shard != shard {
+			t.Fatalf("warm solves recorded on shard %d, lineage routed to %d", sh.Shard, shard)
+		}
+	}
+	if solves != uint64(len(chain)) {
+		t.Fatalf("warm_solves = %d, want %d", solves, len(chain))
+	}
+	if synth != uint64(warmSynth) || synth == 0 {
+		t.Fatalf("synthesized = %d, want %d (> 0)", synth, warmSynth)
+	}
+	// The registry is LRU-backed; with the memo disabled states are
+	// per-call, so no entries are resident.
+	if entries != 0 {
+		t.Fatalf("memo-disabled shards report %d warm entries", entries)
+	}
+}
+
+// With the registry enabled, one lineage key occupies one entry and the
+// carried state survives across requests.
+func TestLineageRegistryResidency(t *testing.T) {
+	s := New(Config{Shards: 2, Workers: 1, MemoCapacity: 16})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	chain := lineageChain(t, 8)
+	for _, raw := range chain {
+		status, body := post(t, ts, "/v1/schedule",
+			ScheduleRequest{Instance: raw, Options: &RequestOptions{Lineage: "lin-1"}})
+		if status != http.StatusOK {
+			t.Fatalf("status %d: %s", status, body)
+		}
+	}
+	_, body := get(t, ts, "/statsz")
+	var stats StatsResponse
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	entries := 0
+	for _, sh := range stats.Shards {
+		entries += sh.WarmEntries
+	}
+	if entries != 1 {
+		t.Fatalf("one lineage should occupy one registry entry, got %d", entries)
+	}
+}
+
+// An oversized lineage key is rejected at validation, before any work.
+func TestLineageTooLong(t *testing.T) {
+	s := New(Config{Shards: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(1, 6, 4)
+	status, body := post(t, ts, "/v1/schedule", ScheduleRequest{
+		Instance: mustRaw(t, in),
+		Options:  &RequestOptions{Lineage: strings.Repeat("x", MaxLineageBytes+1)},
+	})
+	if status != http.StatusBadRequest || errCode(t, body) != CodeBadOptions {
+		t.Fatalf("want 400 %s, got %d %s", CodeBadOptions, status, body)
+	}
+}

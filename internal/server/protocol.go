@@ -39,6 +39,16 @@ type RequestOptions struct {
 	// milliseconds; 0 means the server's default, and the server's
 	// MaxTimeout caps it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Lineage, when non-empty, names a replanning lineage: requests
+	// sharing the key route to one shard (by lineage hash, overriding
+	// fingerprint routing) and solve warm against that shard's carried
+	// state for the key, so a client re-submitting a shrinking residual
+	// workload pays fewer dual-search probes per solve. Purely a
+	// performance hint — responses are bit-identical with or without it
+	// (only probes/synthesized differ) and a wrong or reused key costs
+	// probes, never correctness. Ignored for solvers without a dual
+	// search. Max 128 bytes.
+	Lineage string `json:"lineage,omitempty"`
 }
 
 // ScheduleRequest is the body of POST /v1/schedule.
@@ -84,10 +94,13 @@ type ScheduleResponse struct {
 	// is what lets cmd/msload compare them for equality.
 	Makespan   float64 `json:"makespan"`
 	LowerBound float64 `json:"lower_bound"`
-	// Branch and Solver carry provenance, Probes the dual-search effort.
-	Branch string `json:"branch"`
-	Solver string `json:"solver"`
-	Probes int    `json:"probes"`
+	// Branch and Solver carry provenance, Probes the dual-search effort;
+	// Synthesized counts the probe outcomes a lineage-warmed solve
+	// resolved from carried state without a dual step (0 for cold solves).
+	Branch      string `json:"branch"`
+	Solver      string `json:"solver"`
+	Probes      int    `json:"probes"`
+	Synthesized int    `json:"synthesized,omitempty"`
 	// FromMemo reports a memoised answer; Shard is the engine shard that
 	// served the request (fingerprint-routed, see docs/SERVICE.md).
 	FromMemo bool `json:"from_memo"`
@@ -168,6 +181,13 @@ type ShardStats struct {
 	CompileHits     uint64 `json:"compile_hits"`
 	CompileMisses   uint64 `json:"compile_misses"`
 	CompiledEntries int    `json:"compiled_entries"`
+	// WarmSolves counts solves run against a request lineage's carried
+	// state, Synthesized the probe outcomes those solves resolved without
+	// a dual step, WarmEntries the resident lineage count of the shard's
+	// registry.
+	WarmSolves  uint64 `json:"warm_solves"`
+	Synthesized uint64 `json:"synthesized"`
+	WarmEntries int    `json:"warm_entries"`
 }
 
 // StatsResponse is the body of GET /statsz.
@@ -204,15 +224,16 @@ func EncodeInstance(in *instance.Instance) (json.RawMessage, error) {
 // serving shard index.
 func ResponseOf(in *instance.Instance, out engine.Outcome, shard int) *ScheduleResponse {
 	return &ScheduleResponse{
-		Name:       in.Name,
-		Makespan:   out.Makespan,
-		LowerBound: out.LowerBound,
-		Branch:     out.Branch,
-		Solver:     out.Solver,
-		Probes:     out.Probes,
-		FromMemo:   out.FromMemo,
-		Shard:      shard,
-		Plan:       planJSON(out.Plan),
+		Name:        in.Name,
+		Makespan:    out.Makespan,
+		LowerBound:  out.LowerBound,
+		Branch:      out.Branch,
+		Solver:      out.Solver,
+		Probes:      out.Probes,
+		Synthesized: out.Synthesized,
+		FromMemo:    out.FromMemo,
+		Shard:       shard,
+		Plan:        planJSON(out.Plan),
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"runtime"
 	"sync"
@@ -48,6 +49,8 @@ const (
 	DefaultMaxParallel  = 64
 	DefaultMaxBatch     = 256
 	DefaultMaxBodyBytes = 8 << 20
+	// MaxLineageBytes caps the lineage key of RequestOptions.Lineage.
+	MaxLineageBytes = 128
 )
 
 // Config tunes a Server. The zero value serves with DefaultShards engine
@@ -195,6 +198,9 @@ func (s *Server) Stats() StatsResponse {
 			CompileHits:     st.CompileHits,
 			CompileMisses:   st.CompileMisses,
 			CompiledEntries: st.CompiledEntries,
+			WarmSolves:      st.WarmSolves,
+			Synthesized:     st.Synthesized,
+			WarmEntries:     st.WarmEntries,
 		})
 	}
 	return resp
@@ -284,7 +290,25 @@ func (s *Server) resolveOptions(ro *RequestOptions) (engine.Options, time.Durati
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
+	if len(ro.Lineage) > MaxLineageBytes {
+		return o, 0, &ErrorInfo{Code: CodeBadOptions, Message: fmt.Sprintf("lineage key exceeds %d bytes", MaxLineageBytes)}
+	}
 	return o, timeout, nil
+}
+
+// lineageOf extracts the validated lineage key of a request's options.
+func lineageOf(ro *RequestOptions) string {
+	if ro == nil {
+		return ""
+	}
+	return ro.Lineage
+}
+
+// lineageHash maps a lineage key onto the routing/registry hash space.
+func lineageHash(lineage string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(lineage))
+	return h.Sum64()
 }
 
 // solveVerified runs one instance on its shard and re-checks the result
@@ -294,23 +318,39 @@ func (s *Server) resolveOptions(ro *RequestOptions) (engine.Options, time.Durati
 // Routing is by workload fingerprint — the memo key hash — so renamed
 // copies of the same workload under the same options land on the same
 // shard and hit its memo; the hash is computed once and handed to the
-// engine, which reuses it for the memo probe. The instance is compiled
+// engine, which reuses it for the memo probe. A request with a lineage
+// key routes by the key's hash instead: consecutive residuals of one
+// replanning client have different fingerprints, and the carried warm
+// state they need lives on exactly one shard. The instance is compiled
 // once at admission through the shard's compiled-instance cache
 // (instances arriving here passed the JSON codec's full validation), so
 // /v1/batch items of a repeated shape — and memo-miss re-solves under
 // different options — share one set of λ-breakpoint tables per shard.
 // The shard's solve slots bound concurrency to Config.Workers across all
 // requests, compilation included.
-func (s *Server) solveVerified(in *instance.Instance, o engine.Options, timeout time.Duration) (*ScheduleResponse, *ErrorInfo, int) {
+func (s *Server) solveVerified(in *instance.Instance, o engine.Options, timeout time.Duration, lineage string) (*ScheduleResponse, *ErrorInfo, int) {
 	hash := engine.Fingerprint(in, o)
-	shard := int(hash % uint64(len(s.shards)))
+	warm := lineage != "" && engine.WantsCompiled(o)
+	var shard int
+	var lh uint64
+	if warm {
+		lh = lineageHash(lineage)
+		shard = int(lh % uint64(len(s.shards)))
+	} else {
+		shard = int(hash % uint64(len(s.shards)))
+	}
 	s.slots[shard] <- struct{}{}
 	eng := s.shards[shard]
 	var ci *instance.Compiled
 	if engine.WantsCompiled(o) {
 		ci = eng.CompiledFor(in)
 	}
-	out := eng.ScheduleCompiled(in, ci, o, timeout, hash)
+	var out engine.Outcome
+	if warm {
+		out = eng.ScheduleWarm(in, ci, o, timeout, eng.WarmFor(lh))
+	} else {
+		out = eng.ScheduleCompiled(in, ci, o, timeout, hash)
+	}
 	<-s.slots[shard]
 	if out.Err != nil {
 		return nil, errInfoOf(out.Err), statusOf(out.Err)
@@ -374,7 +414,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, &ErrorInfo{Code: CodeBadInstance, Message: err.Error()})
 		return
 	}
-	resp, errInfo, status := s.solveVerified(in, o, timeout)
+	resp, errInfo, status := s.solveVerified(in, o, timeout, lineageOf(req.Options))
 	if errInfo != nil {
 		writeError(w, status, errInfo)
 		return
@@ -410,6 +450,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errInfo)
 		return
 	}
+	// A batch-level lineage applies to every item; same-lineage items
+	// serialise on the shard's carried state by design (a lineage's
+	// re-solves are ordered), so clients wanting fan-out leave it unset.
+	lineage := lineageOf(req.Options)
 
 	// Items decode and solve independently: a poisoned instance yields its
 	// own typed error and never drops a sibling. Work fans out over the
@@ -432,7 +476,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if i >= len(req.Instances) {
 					return
 				}
-				resp.Results[i] = s.batchItem(i, req.Instances[i], o, timeout)
+				resp.Results[i] = s.batchItem(i, req.Instances[i], o, timeout, lineage)
 			}
 		}()
 	}
@@ -440,12 +484,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) batchItem(i int, raw json.RawMessage, o engine.Options, timeout time.Duration) BatchItem {
+func (s *Server) batchItem(i int, raw json.RawMessage, o engine.Options, timeout time.Duration, lineage string) BatchItem {
 	in, err := DecodeInstance(raw)
 	if err != nil {
 		return BatchItem{Index: i, Error: &ErrorInfo{Code: CodeBadInstance, Message: err.Error()}}
 	}
-	res, errInfo, _ := s.solveVerified(in, o, timeout)
+	res, errInfo, _ := s.solveVerified(in, o, timeout, lineage)
 	if errInfo != nil {
 		return BatchItem{Index: i, Error: errInfo}
 	}

@@ -13,7 +13,13 @@ import (
 // the two parallelisms up to Metrics.Probes (the probe count includes the
 // speculation the parallel search launches and discards, so it is the one
 // field that scales with the configured width; every scheduling decision,
-// span and derived metric is width-independent).
+// span and derived metric is width-independent). The exclusion is itself
+// asserted, not waved through: a planner policy's width-8 run must probe
+// at least as much as its width-1 run (speculation only adds work, never
+// removes consumed steps), a non-planner must not probe at all, and
+// Metrics.Synthesized — the warm-start counter — must be width-invariant
+// (synthesis is a pure function of the consumed path, which is identical
+// at every width).
 func TestRunDeterministic(t *testing.T) {
 	tr, err := workload.Poisson(9, 16, 8, 1.2, "mixed")
 	if err != nil {
@@ -24,6 +30,7 @@ func TestRunDeterministic(t *testing.T) {
 		if policy != "replan-on-arrival" {
 			cfg.Preempt = ""
 		}
+		planner := policy != "greedy-rigid"
 		var baseline *Result
 		for _, par := range []int{1, 8} {
 			c := cfg
@@ -41,14 +48,70 @@ func TestRunDeterministic(t *testing.T) {
 			}
 			if baseline == nil {
 				baseline = a
-			} else {
-				norm := *a
-				norm.Metrics.Probes = baseline.Metrics.Probes
-				if !reflect.DeepEqual(baseline, &norm) {
-					t.Fatalf("%s: parallelism changed the result beyond probe counts:\n%+v\nvs\n%+v",
-						policy, baseline.Metrics, a.Metrics)
-				}
+				continue
 			}
+			switch {
+			case !planner:
+				if a.Metrics.Probes != 0 || baseline.Metrics.Probes != 0 {
+					t.Fatalf("%s: non-planner policy probed: p1=%d p8=%d",
+						policy, baseline.Metrics.Probes, a.Metrics.Probes)
+				}
+			case a.Metrics.Probes < baseline.Metrics.Probes:
+				t.Fatalf("%s: width-8 run probed less than width-1 (%d < %d) — speculation must only add",
+					policy, a.Metrics.Probes, baseline.Metrics.Probes)
+			}
+			if a.Metrics.Synthesized != baseline.Metrics.Synthesized {
+				t.Fatalf("%s: synthesized count is width-dependent: p1=%d p8=%d",
+					policy, baseline.Metrics.Synthesized, a.Metrics.Synthesized)
+			}
+			norm := *a
+			norm.Metrics.Probes = baseline.Metrics.Probes
+			if !reflect.DeepEqual(baseline, &norm) {
+				t.Fatalf("%s: parallelism changed the result beyond probe counts:\n%+v\nvs\n%+v",
+					policy, baseline.Metrics, a.Metrics)
+			}
+		}
+	}
+}
+
+// TestWarmReplanMatchesCold asserts the simulator-level warm-start
+// invariant: a replan-on-arrival run with the default warm lineage is
+// bit-identical to the same run under ColdReplan in every field except the
+// probe accounting — and the warm run both synthesizes outcomes and
+// consumes strictly fewer real probes than the cold one.
+func TestWarmReplanMatchesCold(t *testing.T) {
+	tr, err := workload.Poisson(9, 18, 8, 1.1, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, preempt := range []string{PreemptNone, PreemptRepartition} {
+		cfg := Config{Policy: "replan-on-arrival", Preempt: preempt, Noise: 0.1, Seed: 3}
+		warm, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatalf("%s warm: %v", preempt, err)
+		}
+		coldCfg := cfg
+		coldCfg.ColdReplan = true
+		cold, err := Run(tr, coldCfg)
+		if err != nil {
+			t.Fatalf("%s cold: %v", preempt, err)
+		}
+		if warm.Metrics.Synthesized == 0 {
+			t.Fatalf("%s: warm run synthesized nothing", preempt)
+		}
+		if cold.Metrics.Synthesized != 0 {
+			t.Fatalf("%s: cold run synthesized %d outcomes", preempt, cold.Metrics.Synthesized)
+		}
+		if warm.Metrics.Probes >= cold.Metrics.Probes {
+			t.Fatalf("%s: warm run probed %d, cold %d — warm must be strictly cheaper",
+				preempt, warm.Metrics.Probes, cold.Metrics.Probes)
+		}
+		norm := *warm
+		norm.Metrics.Probes = cold.Metrics.Probes
+		norm.Metrics.Synthesized = 0
+		if !reflect.DeepEqual(cold, &norm) {
+			t.Fatalf("%s: warm replanning changed the simulation beyond probe accounting:\n%+v\nvs\n%+v",
+				preempt, cold.Metrics, warm.Metrics)
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"malsched/internal/engine"
 )
 
 // policy is an online scheduling strategy. The simulator calls back on
@@ -160,6 +162,12 @@ func (p *greedyRigid) onArrival(s *state, j int) error {
 // work re-allotted (the malleable repartition model), and the planning
 // kernel produces a fresh certified plan for everything outstanding on the
 // processors that are free at the boundary.
+//
+// Replans run warm by default: consecutive re-solves of the shrinking
+// residual thread one engine.WarmState, so each solve reuses the previous
+// one's λ-segment caches and synthesizes the probe outcomes it already
+// certified. Config.ColdReplan restores the from-scratch path; the plans
+// are bit-identical either way.
 type replanOnArrival struct {
 	repartition bool
 	replans     int
@@ -168,7 +176,14 @@ type replanOnArrival struct {
 func (p *replanOnArrival) name() string    { return "replan-on-arrival" }
 func (p *replanOnArrival) planner() bool   { return true }
 func (p *replanOnArrival) period() float64 { return 0 }
-func (p *replanOnArrival) init(*state)     {}
+
+func (p *replanOnArrival) init(s *state) {
+	if !s.cfg.ColdReplan {
+		// One private lineage per run, named by the trace's planning
+		// fingerprint: replans chain through it, nothing leaks across runs.
+		s.ws = s.eng.NewWarmState(engine.Fingerprint(s.full, s.opts))
+	}
+}
 
 func (p *replanOnArrival) onArrival(s *state, _ int) error {
 	// Coalesce a burst: co-arrivals at this instant are already visible in
@@ -203,13 +218,24 @@ func (p *replanOnArrival) replan(s *state) error {
 	if len(procs) == 0 {
 		return nil
 	}
-	in, err := s.residual(fmt.Sprintf("%s/replan-%d", s.tr.Name, p.replans), len(procs), jobs)
-	if err != nil {
-		return err
-	}
-	sol, err := s.solve(in)
-	if err != nil {
-		return err
+	name := fmt.Sprintf("%s/replan-%d", s.tr.Name, p.replans)
+	var sol engine.Solution
+	if s.ws != nil {
+		in, rc, err := s.residualCompiled(name, len(procs), jobs)
+		if err != nil {
+			return err
+		}
+		if sol, err = s.solveWarm(in, rc); err != nil {
+			return err
+		}
+	} else {
+		in, err := s.residual(name, len(procs), jobs)
+		if err != nil {
+			return err
+		}
+		if sol, err = s.solve(in); err != nil {
+			return err
+		}
 	}
 	s.commitPlan(sol, jobs, procs)
 	return nil

@@ -20,8 +20,10 @@
 // steps, speculation included, so it scales with Parallelism, and with a
 // shared Engine a memo hit reports the probe count of whichever
 // parallelism first solved the workload (the memo key deliberately
-// excludes Parallelism — the solutions are bit-identical). Every other
-// field, the timeline included, is cache- and width-independent.
+// excludes Parallelism — the solutions are bit-identical).
+// Metrics.Synthesized shares the caveat: it depends on the warm/cold mode
+// of whichever solve populated the memo. Every other field, the timeline
+// included, is cache- and width-independent.
 package sim
 
 import (
@@ -71,6 +73,14 @@ type Config struct {
 	Eps         float64
 	Solver      string
 	Parallelism int
+	// ColdReplan disables warm-start replanning: the replan-on-arrival
+	// policy re-solves every residual from scratch instead of threading a
+	// warm lineage (engine.ScheduleWarm) through the run's successive
+	// replans. Schedules are bit-identical either way — warm mode changes
+	// only Metrics.Probes and Metrics.Synthesized — so the flag exists as
+	// the benchmark reference for the warm path, exactly like
+	// engine.Options.Legacy for the compiled one.
+	ColdReplan bool
 	// Engine, when non-nil, is the shared planning engine (memo and
 	// compiled caches persist across runs — repeated epochs of a recurring
 	// workload re-solve from cache). nil builds a private engine.
@@ -102,11 +112,15 @@ type Metrics struct {
 	// Makespan/LowerBound bounds the combined online + noise degradation.
 	LowerBound float64 `json:"lower_bound"`
 	// Rescheduling cost: Plans counts planning-kernel invocations, Probes
-	// their dual-approximation steps, Preemptions the running spans cut at
-	// replan boundaries, Revoked the committed-but-unstarted placements
-	// withdrawn by replans, Spans the executed spans of the timeline.
+	// their dual-approximation steps, Synthesized the probe outcomes
+	// warm-start replans resolved from cached segment tables without a
+	// dual step (0 under ColdReplan and for policies without a warm
+	// lineage), Preemptions the running spans cut at replan boundaries,
+	// Revoked the committed-but-unstarted placements withdrawn by replans,
+	// Spans the executed spans of the timeline.
 	Plans       int `json:"plans"`
 	Probes      int `json:"probes"`
+	Synthesized int `json:"synthesized"`
 	Preemptions int `json:"preemptions"`
 	Revoked     int `json:"revoked"`
 	Spans       int `json:"spans"`
@@ -222,6 +236,12 @@ type state struct {
 	full     *instance.Instance
 	compiled *instance.Compiled
 
+	// ws is the run's warm replanning lineage (nil when the policy does
+	// not replan or Config.ColdReplan is set): private to the run, so a
+	// simulation stays a pure function of (trace, Config) — the lineage
+	// seed never leaks across runs.
+	ws *engine.WarmState
+
 	now    float64
 	events eventHeap
 	seq    int64
@@ -246,7 +266,7 @@ type state struct {
 	queueArea float64
 	queueMax  int
 
-	plans, probes, preemptions, revoked int
+	plans, probes, synth, preemptions, revoked int
 }
 
 func newState(tr *workload.Trace, cfg Config, eng *engine.Engine, planner bool) (*state, error) {
@@ -521,15 +541,40 @@ func (s *state) residual(name string, mf int, jobs []int) (*instance.Instance, e
 	return instance.Residual(s.compiled, name, mf, jobs, rem)
 }
 
+// residualCompiled is residual plus the derived λ-breakpoint tables: rows
+// of jobs with all work remaining are reused bitwise from the trace's
+// compiled view instead of recompiled (instance.ResidualCompiled), which
+// is what makes per-replan planning cheap enough to warm-start.
+func (s *state) residualCompiled(name string, mf int, jobs []int) (*instance.Instance, *instance.Compiled, error) {
+	rem := make([]float64, len(jobs))
+	for k, j := range jobs {
+		rem[k] = s.remaining[j]
+	}
+	return instance.ResidualCompiled(s.compiled, name, mf, jobs, rem)
+}
+
 // solve runs the planning kernel on a residual instance through the
 // (possibly shared) engine, accounting the rescheduling cost.
 func (s *state) solve(in *instance.Instance) (engine.Solution, error) {
-	out := s.eng.ScheduleWith(in, s.opts, 0)
+	return s.account(s.eng.ScheduleWith(in, s.opts, 0), in.Name)
+}
+
+// solveWarm is solve against the run's warm replanning lineage: the
+// residual's precompiled tables feed the solve directly and the lineage
+// seed is advanced for the next replan. Solutions are bit-identical to
+// solve's (the warm-vs-cold suites enforce it); only probe accounting
+// differs.
+func (s *state) solveWarm(in *instance.Instance, rc *instance.Compiled) (engine.Solution, error) {
+	return s.account(s.eng.ScheduleWarm(in, rc, s.opts, 0, s.ws), in.Name)
+}
+
+func (s *state) account(out engine.Outcome, name string) (engine.Solution, error) {
 	if out.Err != nil {
-		return engine.Solution{}, fmt.Errorf("sim: planning %q: %w", in.Name, out.Err)
+		return engine.Solution{}, fmt.Errorf("sim: planning %q: %w", name, out.Err)
 	}
 	s.plans++
 	s.probes += out.Probes
+	s.synth += out.Synthesized
 	return out.Solution, nil
 }
 
@@ -577,9 +622,9 @@ func (s *state) accrue(t float64) {
 // Run simulates the trace under the configured policy and returns the
 // executed timeline with its metrics. It is a pure function of its
 // arguments; a shared Engine's cache state can additionally show through
-// in exactly one field, Metrics.Probes (memo hits report the memoised
-// solve's probe count), never in the timeline or any other metric — see
-// the package comment.
+// in exactly two fields, Metrics.Probes and Metrics.Synthesized (memo
+// hits report the memoised solve's accounting), never in the timeline or
+// any other metric — see the package comment.
 func Run(tr *workload.Trace, cfg Config) (*Result, error) {
 	if tr == nil {
 		return nil, ErrNilTrace
@@ -653,6 +698,7 @@ func (s *state) result(policy string) *Result {
 	m := Metrics{
 		Plans:       s.plans,
 		Probes:      s.probes,
+		Synthesized: s.synth,
 		Preemptions: s.preemptions,
 		Revoked:     s.revoked,
 		Spans:       len(s.timeline),

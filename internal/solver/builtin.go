@@ -43,6 +43,7 @@ func (paperSolver) Solve(in *instance.Instance, o Options) (Solution, error) {
 		Legacy:      o.Legacy,
 		Scratch:     o.Scratch,
 		Interrupt:   o.Interrupt,
+		WarmStart:   o.WarmStart,
 	})
 	if err != nil {
 		return Solution{}, err
@@ -52,12 +53,14 @@ func (paperSolver) Solve(in *instance.Instance, o Options) (Solution, error) {
 		return Solution{}, fmt.Errorf("malsched: internal error, produced uncertified schedule: %w", err)
 	}
 	return Solution{
-		Plan:       res.Schedule,
-		Makespan:   res.Makespan,
-		LowerBound: res.LowerBound,
-		Branch:     res.Branch,
-		Solver:     PaperSolverName,
-		Probes:     res.Probes,
+		Plan:        res.Schedule,
+		Makespan:    res.Makespan,
+		LowerBound:  res.LowerBound,
+		Branch:      res.Branch,
+		Solver:      PaperSolverName,
+		Probes:      res.Probes,
+		Speculated:  res.Speculated,
+		Synthesized: res.Synthesized,
 	}, nil
 }
 

@@ -79,10 +79,20 @@ func (p *Portfolio) Solve(in *instance.Instance, o Options) (Solution, error) {
 	errs := make([]error, len(solvers))
 	var wg sync.WaitGroup
 	wg.Add(len(solvers))
+	warmGiven := false
 	for i, s := range solvers {
 		mo := o
 		if i != 0 {
 			mo.Scratch = nil // one owner per scratch; others allocate/pool
+		}
+		if mo.WarmStart != nil {
+			// One owner per seed: the dual-search member updates it in
+			// place, so concurrent members must not share the pointer.
+			if p.members[i] == PaperSolverName && !warmGiven {
+				warmGiven = true
+			} else {
+				mo.WarmStart = nil
+			}
 		}
 		go func(i int, s Solver, mo Options) {
 			defer wg.Done()
@@ -97,6 +107,8 @@ func (p *Portfolio) Solve(in *instance.Instance, o Options) (Solution, error) {
 		firstErr error
 		maxLB    float64
 		probes   int
+		spec     int
+		synth    int
 	)
 	for i := range solvers {
 		if errs[i] != nil {
@@ -114,6 +126,8 @@ func (p *Portfolio) Solve(in *instance.Instance, o Options) (Solution, error) {
 		}
 		sol := sols[i]
 		probes += sol.Probes
+		spec += sol.Speculated
+		synth += sol.Synthesized
 		if sol.LowerBound > maxLB {
 			maxLB = sol.LowerBound
 		}
@@ -130,6 +144,8 @@ func (p *Portfolio) Solve(in *instance.Instance, o Options) (Solution, error) {
 	}
 	best.LowerBound = maxLB
 	best.Probes = probes
+	best.Speculated = spec
+	best.Synthesized = synth
 	// Members verified their own plans, but the merge built a new claim —
 	// the winning plan under the strongest member bound — so certify the
 	// combination too before it reaches the engine (or the memo).

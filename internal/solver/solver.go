@@ -53,6 +53,13 @@ type Options struct {
 	// hand the Scratch to at most one of them.
 	Scratch   *core.Scratch
 	Interrupt <-chan struct{}
+
+	// WarmStart, when non-nil, runs the dual search in warm mode
+	// (core.Options.WarmStart): results stay bit-identical to a cold
+	// solve, the seed is updated in place for the lineage's next solve,
+	// and only probe accounting changes. Solvers without a dual search
+	// ignore it; the portfolio hands it to at most its "mrt" member.
+	WarmStart *core.WarmStart
 }
 
 // Solution is the outcome of one solver on one instance: the validated plan
@@ -72,6 +79,14 @@ type Solution struct {
 	// Probes counts dual-approximation steps performed (0 for solvers
 	// without a dual search; the portfolio sums its members').
 	Probes int
+	// Speculated counts the probes a speculative dual search executed
+	// beyond the sequential decision path (core.Result.Speculated);
+	// Probes − Speculated is the consumed path length.
+	Speculated int
+	// Synthesized counts probe outcomes a warm-mode dual search resolved
+	// from the compiled segment tables without a dual step (0 for cold
+	// solves and solvers without a dual search).
+	Synthesized int
 }
 
 // Solver turns an instance into a certified solution. Implementations must
