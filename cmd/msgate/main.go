@@ -1,0 +1,197 @@
+// Command msgate is the release gate over BENCH_serve.json artifacts: it
+// compares a candidate run against a baseline, cell by cell, and exits
+// non-zero when the candidate regresses an SLO. Both sides accept a
+// comma-separated list of artifacts; the gate compares per-cell minima
+// across each list, which damps scheduler and machine noise the same way
+// best-of-K damps microbenchmarks.
+//
+// Usage:
+//
+//	msgate -baseline base.json[,base2.json] -candidate cand.json[,cand2.json]
+//	       [-p50-tol 1.10] [-p99-tol 1.25] [-allocs-tol 1.05] [-max-p99 0]
+//
+// Gate rules, per (codec, family, n, m) cell:
+//
+//   - candidate p50 ≤ baseline p50 × -p50-tol
+//   - candidate p99 ≤ baseline p99 × -p99-tol
+//   - candidate allocs/request ≤ baseline × -allocs-tol
+//   - candidate errors ≤ baseline errors (an error-free baseline must
+//     stay error-free)
+//   - every baseline cell must exist in the candidate — a vanished cell
+//     is a silent coverage regression, not a pass
+//   - with -max-p99 > 0, every candidate cell's p99 must also be under
+//     that absolute ceiling in µs
+//
+// Artifacts must share schema, GOOS and GOARCH: cross-machine comparisons
+// gate on hardware, not code, and are refused.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+)
+
+const schemaVersion = "malsched/bench-serve/v1"
+
+// artifact mirrors the msloadgen output; unknown fields are ignored so
+// the gate tolerates additive schema growth within v1.
+type artifact struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Mode      string `json:"mode"`
+	Cells     []cell `json:"cells"`
+}
+
+type cell struct {
+	Codec            string  `json:"codec"`
+	Family           string  `json:"family"`
+	N                int     `json:"n"`
+	M                int     `json:"m"`
+	Requests         int     `json:"requests"`
+	Errors           int     `json:"errors"`
+	P50us            float64 `json:"p50_us"`
+	P99us            float64 `json:"p99_us"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+}
+
+type cellKey struct {
+	codec, family string
+	n, m          int
+}
+
+func (k cellKey) String() string {
+	return fmt.Sprintf("%s/%s/%dx%d", k.codec, k.family, k.n, k.m)
+}
+
+func load(path string) (*artifact, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(buf, &a); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if a.Schema != schemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, a.Schema, schemaVersion)
+	}
+	return &a, nil
+}
+
+// merge folds a list of artifacts into per-cell minima (errors: maxima —
+// noise never hides a failure). All artifacts must agree on platform.
+func merge(paths []string) (map[cellKey]cell, *artifact, error) {
+	cells := map[cellKey]cell{}
+	var first *artifact
+	for _, p := range paths {
+		a, err := load(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if first == nil {
+			first = a
+		} else if a.GOOS != first.GOOS || a.GOARCH != first.GOARCH {
+			return nil, nil, fmt.Errorf("%s: platform %s/%s differs from %s/%s — refusing cross-machine comparison",
+				p, a.GOOS, a.GOARCH, first.GOOS, first.GOARCH)
+		}
+		for _, c := range a.Cells {
+			k := cellKey{c.Codec, c.Family, c.N, c.M}
+			best, ok := cells[k]
+			if !ok {
+				cells[k] = c
+				continue
+			}
+			if c.P50us < best.P50us {
+				best.P50us = c.P50us
+			}
+			if c.P99us < best.P99us {
+				best.P99us = c.P99us
+			}
+			if c.AllocsPerRequest < best.AllocsPerRequest {
+				best.AllocsPerRequest = c.AllocsPerRequest
+			}
+			if c.Errors > best.Errors {
+				best.Errors = c.Errors
+			}
+			cells[k] = best
+		}
+	}
+	return cells, first, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msgate: ")
+	baseFlag := flag.String("baseline", "", "baseline artifact(s), comma-separated (per-cell minima)")
+	candFlag := flag.String("candidate", "", "candidate artifact(s), comma-separated (per-cell minima)")
+	p50Tol := flag.Float64("p50-tol", 1.10, "allowed p50 growth factor")
+	p99Tol := flag.Float64("p99-tol", 1.25, "allowed p99 growth factor")
+	allocsTol := flag.Float64("allocs-tol", 1.05, "allowed allocs/request growth factor")
+	maxP99 := flag.Float64("max-p99", 0, "absolute p99 ceiling in µs for every candidate cell (0 = off)")
+	flag.Parse()
+
+	if *baseFlag == "" || *candFlag == "" {
+		log.Fatal("both -baseline and -candidate are required")
+	}
+	base, baseArt, err := merge(strings.Split(*baseFlag, ","))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cand, candArt, err := merge(strings.Split(*candFlag, ","))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if baseArt.GOOS != candArt.GOOS || baseArt.GOARCH != candArt.GOARCH {
+		log.Fatalf("baseline is %s/%s but candidate is %s/%s — refusing cross-machine comparison",
+			baseArt.GOOS, baseArt.GOARCH, candArt.GOOS, candArt.GOARCH)
+	}
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	checked := 0
+	for k, b := range base {
+		c, ok := cand[k]
+		if !ok {
+			fail("%s: cell missing from candidate (coverage regression)", k)
+			continue
+		}
+		checked++
+		if c.P50us > b.P50us**p50Tol {
+			fail("%s: p50 %.0fµs > baseline %.0fµs × %.2f", k, c.P50us, b.P50us, *p50Tol)
+		}
+		if c.P99us > b.P99us**p99Tol {
+			fail("%s: p99 %.0fµs > baseline %.0fµs × %.2f", k, c.P99us, b.P99us, *p99Tol)
+		}
+		if c.AllocsPerRequest > b.AllocsPerRequest**allocsTol {
+			fail("%s: allocs/request %.1f > baseline %.1f × %.2f", k, c.AllocsPerRequest, b.AllocsPerRequest, *allocsTol)
+		}
+		if c.Errors > b.Errors {
+			fail("%s: %d errors > baseline %d", k, c.Errors, b.Errors)
+		}
+	}
+	if *maxP99 > 0 {
+		for k, c := range cand {
+			if c.P99us > *maxP99 {
+				fail("%s: p99 %.0fµs over absolute SLO %.0fµs", k, c.P99us, *maxP99)
+			}
+		}
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			log.Printf("FAIL %s", f)
+		}
+		log.Fatalf("%d SLO regression(s) across %d compared cells", len(failures), checked)
+	}
+	fmt.Printf("msgate: ok — %d cells within tolerance (p50×%.2f p99×%.2f allocs×%.2f)\n",
+		checked, *p50Tol, *p99Tol, *allocsTol)
+}

@@ -11,12 +11,16 @@
 //	msload [-addr http://127.0.0.1:8080] [-seed 1] [-n 200] [-batch 0]
 //	       [-families mixed,random-monotone,comm-heavy,wide-parallel,powerlaw-0.7]
 //	       [-tasks 18] [-m 16] [-solver name] [-parallelism 0] [-eps 0]
-//	       [-compact] [-v]
+//	       [-codec json] [-compact] [-v]
 //
 // The workload is a pure function of -seed/-n/-families/-tasks/-m, so a
 // reported divergence is replayable by rerunning the same invocation.
 // -batch k > 1 sends /v1/batch requests of k instances instead of single
-// /v1/schedule calls, exercising the per-item path. Exits non-zero on any
+// /v1/schedule calls, exercising the per-item path. -codec binary sends
+// each replay over the compact binary codec AND over JSON, and asserts the
+// two responses are byte-equal after canonicalisation (from_memo cleared,
+// both re-marshalled as JSON) on top of the usual in-process comparison —
+// the cross-codec oracle for the wire format. Exits non-zero on any
 // mismatch or transport failure and prints a one-line verdict:
 //
 //	msload: 0 mismatches across 200 requests (seed 1)
@@ -39,6 +43,7 @@ import (
 	"malsched"
 	"malsched/internal/instance"
 	"malsched/internal/server"
+	"malsched/internal/wire"
 )
 
 func main() {
@@ -54,6 +59,7 @@ func main() {
 	solverName := flag.String("solver", "", "registered solver for every request (default mrt)")
 	parallelism := flag.Int("parallelism", 0, "speculative dual-search width")
 	eps := flag.Float64("eps", 0, "search tolerance (0 = default)")
+	codec := flag.String("codec", "json", "request codec: json, or binary (cross-codec byte-equality oracle)")
 	compact := flag.Bool("compact", false, "left-shift final schedules")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
@@ -77,6 +83,14 @@ func main() {
 	if *maxTasks < 2 || *maxM < 2 {
 		log.Fatal("-tasks and -m must be ≥ 2")
 	}
+	switch *codec {
+	case "json", "binary":
+	default:
+		log.Fatalf("unknown codec %q (want json or binary)", *codec)
+	}
+	if *codec == "binary" && *batch >= 2 {
+		log.Fatal("-codec binary supports /v1/schedule only; drop -batch")
+	}
 
 	opts := &server.RequestOptions{
 		Solver:      *solverName,
@@ -96,6 +110,7 @@ func main() {
 		base:    strings.TrimRight(*addr, "/"),
 		opts:    opts,
 		local:   local,
+		binary:  *codec == "binary",
 		verbose: *verbose,
 	}
 
@@ -153,6 +168,7 @@ type loader struct {
 	base    string
 	opts    *server.RequestOptions
 	local   *malsched.Options
+	binary  bool
 	verbose bool
 
 	mismatches int
@@ -172,9 +188,13 @@ func (l *loader) post(path string, body any) (int, []byte) {
 	if err != nil {
 		log.Fatalf("marshaling request: %v", err)
 	}
+	return l.postRaw(path, "application/json", buf)
+}
+
+func (l *loader) postRaw(path, contentType string, buf []byte) (int, []byte) {
 	const retries = 60
 	for attempt := 0; ; attempt++ {
-		resp, err := l.client.Post(l.base+path, "application/json", bytes.NewReader(buf))
+		resp, err := l.client.Post(l.base+path, contentType, bytes.NewReader(buf))
 		if err != nil {
 			log.Fatalf("POST %s: %v (is msserve running?)", path, err)
 		}
@@ -201,6 +221,58 @@ func (l *loader) post(path string, body any) (int, []byte) {
 func (l *loader) replaySingle(r *replay) {
 	status, body := l.post("/v1/schedule", server.ScheduleRequest{Instance: r.raw, Options: l.opts})
 	l.compare(r, status, body)
+	if l.binary {
+		l.replayBinary(r, status, body)
+	}
+}
+
+// replayBinary re-sends r over the binary codec and asserts the response
+// is byte-equal to the JSON one after canonicalisation: from_memo is
+// cleared (the second request legitimately hits the memo the first one
+// warmed) and both sides are re-marshalled as JSON so the comparison is
+// over semantics-carrying bytes, not framing.
+func (l *loader) replayBinary(r *replay, jsonStatus int, jsonBody []byte) {
+	req := wire.AppendScheduleRequest(nil, r.in, l.opts)
+	status, body := l.postRaw("/v1/schedule", wire.ContentType, req)
+	if status != jsonStatus {
+		l.mismatch(r, "binary HTTP %d != json HTTP %d", status, jsonStatus)
+		return
+	}
+	if status != http.StatusOK {
+		eb, err := wire.DecodeError(body)
+		if err != nil {
+			l.mismatch(r, "undecodable binary error: %v", err)
+			return
+		}
+		var jb server.ErrorBody
+		_ = json.Unmarshal(jsonBody, &jb)
+		if eb.Error.Code != jb.Error.Code {
+			l.mismatch(r, "binary error code %q != json %q", eb.Error.Code, jb.Error.Code)
+		}
+		return
+	}
+	bin, err := wire.DecodeScheduleResponse(body)
+	if err != nil {
+		l.mismatch(r, "undecodable binary response: %v", err)
+		return
+	}
+	var js server.ScheduleResponse
+	if err := json.Unmarshal(jsonBody, &js); err != nil {
+		l.mismatch(r, "undecodable json response: %v", err)
+		return
+	}
+	bin.FromMemo, js.FromMemo = false, false
+	a, err := json.Marshal(bin)
+	if err != nil {
+		log.Fatalf("canonicalising binary response: %v", err)
+	}
+	b, err := json.Marshal(&js)
+	if err != nil {
+		log.Fatalf("canonicalising json response: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		l.mismatch(r, "binary response diverges from json after canonicalisation:\n binary: %s\n json:   %s", a, b)
+	}
 }
 
 func (l *loader) replayBatch(rs []replay) {

@@ -1,0 +1,452 @@
+// Command msloadgen is the serving-path benchmark harness: a sustained
+// open-loop load generator that drives the routing tier (or a remote
+// target) across a grid of (codec × family × size) cells and emits a
+// machine-readable BENCH_serve.json artifact with exact percentiles,
+// HDR-style latency histograms and a serial allocations-per-request
+// measurement. cmd/msgate compares two artifacts and gates releases on
+// SLO regressions.
+//
+// Usage:
+//
+//	msloadgen [-out BENCH_serve.json] [-addr ""] [-shards 2] [-rps 300]
+//	          [-duration 2s] [-families mixed,comm-heavy] [-sizes 12x8,24x16]
+//	          [-codecs json,binary] [-distinct 8] [-seed 1] [-alloc-iters 300]
+//	          [-no-steal] [-v]
+//
+// By default the harness runs fully in-process: a router over -shards
+// msserve shards, so the measurement covers codec + routing + scheduling
+// with no kernel networking noise and perfectly reproducible provenance.
+// -addr points it at a live msroute/msserve instead.
+//
+// The generator is open-loop: requests fire on a fixed tick derived from
+// -rps regardless of completions, so queueing delay shows up in the tail
+// instead of silently throttling the offered load (a closed loop would
+// hide exactly the regressions the gate exists to catch). Each cell
+// cycles -distinct pre-encoded instances, so after the warmup pass the
+// shards serve memo hits and the measurement isolates the serving hot
+// path — codec, routing, queues — which is the regression surface this
+// artifact guards.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/bits"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"malsched/internal/instance"
+	"malsched/internal/router"
+	"malsched/internal/server"
+	"malsched/internal/wire"
+)
+
+const schemaVersion = "malsched/bench-serve/v1"
+
+// artifact is the BENCH_serve.json root. Fields before Cells are
+// provenance: enough to reproduce the run and to refuse cross-machine
+// comparisons that would gate on hardware, not code.
+type artifact struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	CreatedAt string  `json:"created_at"`
+	Mode      string  `json:"mode"` // "in-process" or the target URL
+	Shards    int     `json:"shards"`
+	Seed      int64   `json:"seed"`
+	RPS       int     `json:"rps_target"`
+	DurationS float64 `json:"duration_s"`
+	Distinct  int     `json:"distinct_instances"`
+
+	Cells  []cellResult `json:"cells"`
+	Router *routerStats `json:"router,omitempty"`
+}
+
+type cellResult struct {
+	Codec    string `json:"codec"`
+	Family   string `json:"family"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+
+	RPSAchieved float64 `json:"rps_achieved"`
+	P50us       float64 `json:"p50_us"`
+	P95us       float64 `json:"p95_us"`
+	P99us       float64 `json:"p99_us"`
+	MeanUs      float64 `json:"mean_us"`
+	MaxUs       float64 `json:"max_us"`
+
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+	BytesPerRequest  float64 `json:"bytes_per_request"`
+
+	// Histogram is HDR-style log-linear: exact 1µs buckets below 16µs,
+	// then four sub-buckets per power of two. Entries are [le_us, count]
+	// for non-empty buckets only.
+	Histogram [][2]int64 `json:"histogram_us"`
+}
+
+type routerStats struct {
+	Routed          uint64  `json:"routed"`
+	Rejected        uint64  `json:"rejected"`
+	LocalServed     uint64  `json:"local_served"`
+	Steals          uint64  `json:"steals"`
+	LocalityHitRate float64 `json:"locality_hit_rate"`
+	BinaryRequests  uint64  `json:"binary_requests"`
+}
+
+// target abstracts where load goes: the in-process router handler or a
+// remote URL. do returns the HTTP status after fully consuming the body.
+type target interface {
+	do(contentType string, body []byte) (int, error)
+}
+
+type inprocTarget struct{ h http.Handler }
+
+// nullRecorder discards the response body without allocating per call
+// beyond the recorder itself.
+type nullRecorder struct {
+	header http.Header
+	status int
+	n      int
+}
+
+func (r *nullRecorder) Header() http.Header         { return r.header }
+func (r *nullRecorder) WriteHeader(s int)           { r.status = s }
+func (r *nullRecorder) Write(p []byte) (int, error) { r.n += len(p); return len(p), nil }
+
+func (t *inprocTarget) do(contentType string, body []byte) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	rec := &nullRecorder{header: make(http.Header), status: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	return rec.status, nil
+}
+
+type httpTarget struct {
+	client *http.Client
+	base   string
+}
+
+func (t *httpTarget) do(contentType string, body []byte) (int, error) {
+	resp, err := t.client.Post(t.base+"/v1/schedule", contentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	var sink bytes.Buffer
+	_, _ = sink.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// bucketOf maps a latency in µs to its histogram bucket.
+func bucketOf(us int64) int {
+	if us < 16 {
+		return int(us)
+	}
+	h := 63 - bits.LeadingZeros64(uint64(us))
+	sub := int((us >> (h - 2)) & 3)
+	return 16 + (h-4)*4 + sub
+}
+
+// bucketUpper is the inclusive upper bound (µs) of bucket b.
+func bucketUpper(b int) int64 {
+	if b < 16 {
+		return int64(b)
+	}
+	b -= 16
+	h := uint(b/4 + 4)
+	sub := int64(b % 4)
+	return int64(1)<<h + (sub+1)<<(h-2) - 1
+}
+
+type size struct{ n, m int }
+
+func parseSizes(s string) ([]size, error) {
+	var out []size
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		var sz size
+		if _, err := fmt.Sscanf(tok, "%dx%d", &sz.n, &sz.m); err != nil || sz.n < 2 || sz.m < 2 {
+			return nil, fmt.Errorf("bad size %q (want NxM, both ≥ 2)", tok)
+		}
+		out = append(out, sz)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msloadgen: ")
+	out := flag.String("out", "BENCH_serve.json", "artifact path (- for stdout)")
+	addr := flag.String("addr", "", "remote target base URL (default: in-process router+shards)")
+	shards := flag.Int("shards", 2, "in-process msserve shards behind the router")
+	rps := flag.Int("rps", 300, "offered load per cell (open loop)")
+	duration := flag.Duration("duration", 2*time.Second, "timed window per cell")
+	famFlag := flag.String("families", "mixed,comm-heavy", "comma-separated instance families")
+	sizeFlag := flag.String("sizes", "12x8,24x16", "comma-separated NxM instance sizes")
+	codecFlag := flag.String("codecs", "json,binary", "codecs to measure")
+	distinct := flag.Int("distinct", 8, "distinct instances cycled per cell (memo-hit dominated)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	allocIters := flag.Int("alloc-iters", 300, "serial iterations for the allocs/request measurement")
+	noSteal := flag.Bool("no-steal", false, "disable work-stealing in the in-process router")
+	verbose := flag.Bool("v", false, "log each cell as it completes")
+	flag.Parse()
+
+	fams := instance.Families()
+	var famNames []string
+	for _, name := range strings.Split(*famFlag, ",") {
+		name = strings.TrimSpace(name)
+		if fams[name] == nil {
+			log.Fatalf("unknown family %q", name)
+		}
+		famNames = append(famNames, name)
+	}
+	sizes, err := parseSizes(*sizeFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var codecs []string
+	for _, c := range strings.Split(*codecFlag, ",") {
+		c = strings.TrimSpace(c)
+		if c != "json" && c != "binary" {
+			log.Fatalf("unknown codec %q", c)
+		}
+		codecs = append(codecs, c)
+	}
+	if *rps < 1 || *distinct < 1 || *allocIters < 1 {
+		log.Fatal("-rps, -distinct and -alloc-iters must be ≥ 1")
+	}
+
+	var tgt target
+	var rt *router.Router
+	mode := "in-process"
+	if *addr != "" {
+		mode = strings.TrimRight(*addr, "/")
+		tgt = &httpTarget{client: &http.Client{Timeout: 60 * time.Second}, base: mode}
+	} else {
+		var backends []router.Backend
+		for i := 0; i < *shards; i++ {
+			s := server.New(server.Config{})
+			backends = append(backends, router.Backend{Name: fmt.Sprintf("shard-%d", i), Handler: s.Handler()})
+		}
+		rt, err = router.New(router.Config{Backends: backends, DisableSteal: *noSteal})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rt.Close()
+		tgt = &inprocTarget{h: rt.Handler()}
+	}
+
+	art := &artifact{
+		Schema:    schemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Mode:      mode,
+		Shards:    *shards,
+		Seed:      *seed,
+		RPS:       *rps,
+		DurationS: duration.Seconds(),
+		Distinct:  *distinct,
+	}
+
+	for _, codec := range codecs {
+		for _, fam := range famNames {
+			for _, sz := range sizes {
+				cell := runCell(tgt, cellSpec{
+					codec: codec, family: fam, gen: fams[fam], n: sz.n, m: sz.m,
+					seed: *seed, distinct: *distinct, rps: *rps,
+					duration: *duration, allocIters: *allocIters,
+				})
+				art.Cells = append(art.Cells, cell)
+				if *verbose {
+					log.Printf("%s/%s/%dx%d: p50 %.0fµs p99 %.0fµs allocs %.0f (%d reqs, %d errors)",
+						codec, fam, sz.n, sz.m, cell.P50us, cell.P99us, cell.AllocsPerRequest, cell.Requests, cell.Errors)
+				}
+			}
+		}
+	}
+
+	if rt != nil {
+		st := rt.Stats()
+		art.Router = &routerStats{
+			Routed:          st.Routed,
+			Rejected:        st.Rejected,
+			LocalServed:     st.LocalServed,
+			Steals:          st.Steals,
+			LocalityHitRate: st.LocalityHitRate,
+			BinaryRequests:  st.BinaryRequests,
+		}
+	}
+
+	buf, err := json.MarshalIndent(art, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+	} else {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d cells, mode %s)", *out, len(art.Cells), mode)
+	}
+}
+
+type cellSpec struct {
+	codec, family string
+	gen           func(seed int64, n, m int) *instance.Instance
+	n, m          int
+	seed          int64
+	distinct      int
+	rps           int
+	duration      time.Duration
+	allocIters    int
+}
+
+func runCell(tgt target, spec cellSpec) cellResult {
+	// Pre-encode the request bodies: encoding cost is the client's, not
+	// the serving path's, so it stays out of the timed window.
+	contentType := "application/json"
+	if spec.codec == "binary" {
+		contentType = wire.ContentType
+	}
+	bodies := make([][]byte, spec.distinct)
+	for i := range bodies {
+		in := spec.gen(spec.seed*1_000_003+int64(i), spec.n, spec.m)
+		if spec.codec == "binary" {
+			bodies[i] = wire.AppendScheduleRequest(nil, in, nil)
+			continue
+		}
+		raw, err := server.EncodeInstance(in)
+		if err != nil {
+			log.Fatalf("encoding %s: %v", in.Name, err)
+		}
+		buf, err := json.Marshal(wire.ScheduleRequest{Instance: raw})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies[i] = buf
+	}
+
+	// Warmup: every distinct instance solved once so the timed window
+	// measures the memo-hit serving path.
+	for _, b := range bodies {
+		if st, err := tgt.do(contentType, b); err != nil || st != http.StatusOK {
+			log.Fatalf("warmup %s/%s/%dx%d: HTTP %d, err %v", spec.codec, spec.family, spec.n, spec.m, st, err)
+		}
+	}
+
+	// Open-loop timed window.
+	interval := time.Second / time.Duration(spec.rps)
+	var (
+		mu      sync.Mutex
+		samples []int64 // µs
+		errors  int
+		wg      sync.WaitGroup
+	)
+	ticker := time.NewTicker(interval)
+	start := time.Now()
+	i := 0
+	for time.Since(start) < spec.duration {
+		<-ticker.C
+		body := bodies[i%len(bodies)]
+		i++
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			t0 := time.Now()
+			st, err := tgt.do(contentType, body)
+			lat := time.Since(t0).Microseconds()
+			mu.Lock()
+			samples = append(samples, lat)
+			if err != nil || st != http.StatusOK {
+				errors++
+			}
+			mu.Unlock()
+		}(body)
+	}
+	ticker.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := cellResult{
+		Codec: spec.codec, Family: spec.family, N: spec.n, M: spec.m,
+		Requests:    len(samples),
+		Errors:      errors,
+		RPSAchieved: float64(len(samples)) / elapsed.Seconds(),
+	}
+	if len(samples) > 0 {
+		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+		var sum int64
+		hist := map[int]int64{}
+		for _, s := range samples {
+			sum += s
+			hist[bucketOf(s)]++
+		}
+		res.P50us = float64(pct(samples, 50))
+		res.P95us = float64(pct(samples, 95))
+		res.P99us = float64(pct(samples, 99))
+		res.MeanUs = float64(sum) / float64(len(samples))
+		res.MaxUs = float64(samples[len(samples)-1])
+		buckets := make([]int, 0, len(hist))
+		for b := range hist {
+			buckets = append(buckets, b)
+		}
+		sort.Ints(buckets)
+		for _, b := range buckets {
+			res.Histogram = append(res.Histogram, [2]int64{bucketUpper(b), hist[b]})
+		}
+	}
+
+	// Serial allocation measurement: one request in flight at a time, so
+	// the Mallocs delta is attributable to the serving path.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for k := 0; k < spec.allocIters; k++ {
+		if _, err := tgt.do(contentType, bodies[k%len(bodies)]); err != nil {
+			log.Fatalf("alloc phase: %v", err)
+		}
+	}
+	runtime.ReadMemStats(&m1)
+	res.AllocsPerRequest = float64(m1.Mallocs-m0.Mallocs) / float64(spec.allocIters)
+	res.BytesPerRequest = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(spec.allocIters)
+	return res
+}
+
+// pct returns the exact p-th percentile of sorted µs samples
+// (nearest-rank).
+func pct(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}

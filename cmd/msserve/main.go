@@ -7,7 +7,7 @@
 // Usage:
 //
 //	msserve [-addr :8080] [-shards 4] [-workers 0] [-memo 0] [-queue 64]
-//	        [-timeout 0] [-max-timeout 60s] [-drain-grace 30s]
+//	        [-timeout 0] [-max-timeout 60s] [-drain-grace 30s] [-pprof]
 //
 // On SIGTERM or SIGINT the server drains gracefully: /healthz flips to 503
 // so load balancers stop routing, new scheduling requests are refused with
@@ -25,6 +25,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +35,20 @@ import (
 	"malsched"
 	"malsched/internal/server"
 )
+
+// withPprof mounts the runtime profiling endpoints under /debug/pprof/ in
+// front of h. Off by default and never on the DefaultServeMux — profiling
+// a production scheduler is an explicit operator decision.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
+}
 
 func main() {
 	log.SetFlags(0)
@@ -46,6 +61,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request solve timeout (0 = none)")
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "cap on per-request timeout_ms")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long in-flight requests get after SIGTERM")
+	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on /debug/pprof/ (off by default)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -56,7 +72,11 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()

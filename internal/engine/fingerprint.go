@@ -58,6 +58,16 @@ func Fingerprint(in *instance.Instance, o Options) uint64 {
 	return fingerprint(in, o).hash
 }
 
+// WorkloadFingerprint returns the workload-only hash — machine size and
+// every task's full time table, no options. It is the routing key of the
+// multi-shard tier (internal/router): consistent-hash routing by this
+// value keeps repeated workloads on the shard whose memo, compiled-table
+// and warm caches already hold them, and it is options-independent so the
+// same workload under different solver options still shares locality.
+func WorkloadFingerprint(in *instance.Instance) uint64 {
+	return uint64(instanceHash(in))
+}
+
 // instanceHash is the workload-only prefix of the fingerprint: machine
 // size and every task's full time table, no options. The compiled-instance
 // cache keys on it alone, because compiled breakpoint tables depend only on

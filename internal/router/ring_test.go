@@ -1,0 +1,116 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return out
+}
+
+// TestReshardingBound is the consistent-hash property the shard caches
+// depend on: growing N→N+1 backends remaps roughly 1/(N+1) of keys — not
+// the ~N/(N+1) a modulo scheme would — and every remapped key lands on
+// the NEW backend (existing backends never trade keys among themselves,
+// which is what makes the bound exact rather than statistical).
+func TestReshardingBound(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 3, 4, 8} {
+		old, err := newRing(names(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := newRing(names(n+1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		moved := 0
+		for i := 0; i < keys; i++ {
+			k := rng.Uint64()
+			a, b := old.route(k), grown.route(k)
+			if a != b {
+				moved++
+				if b != n {
+					t.Fatalf("N=%d: key %x moved %d→%d, not to the new backend %d", n, k, a, b, n)
+				}
+			}
+		}
+		frac := float64(moved) / keys
+		expected := 1.0 / float64(n+1)
+		if frac > 1.6*expected {
+			t.Errorf("N=%d→%d: %.1f%% of keys moved, want ≈%.1f%% (≤1.6×)", n, n+1, 100*frac, 100*expected)
+		}
+		if frac < 0.4*expected {
+			t.Errorf("N=%d→%d: only %.1f%% of keys moved — ring ignoring the new backend?", n, n+1, 100*frac)
+		}
+	}
+}
+
+// Shrinking is symmetric: removing a backend redistributes only its own
+// keys; survivors keep every key they had.
+func TestShrinkOnlyMovesRemovedKeys(t *testing.T) {
+	const keys = 10000
+	big, _ := newRing(names(4), 0)
+	small, _ := newRing(names(3), 0)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < keys; i++ {
+		k := rng.Uint64()
+		a, b := big.route(k), small.route(k)
+		if a != 3 && a != b {
+			t.Fatalf("key %x owned by surviving shard %d moved to %d", k, a, b)
+		}
+		if a == 3 && b == 3 {
+			t.Fatalf("key %x still routed to the removed backend", k)
+		}
+	}
+}
+
+// The vnode spread must keep per-backend shares near 1/N — locality is
+// worthless if one shard owns half the keyspace.
+func TestRingBalance(t *testing.T) {
+	const keys = 40000
+	for _, n := range []int{2, 4, 8} {
+		r, _ := newRing(names(n), 0)
+		counts := make([]int, n)
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < keys; i++ {
+			counts[r.route(rng.Uint64())]++
+		}
+		mean := float64(keys) / float64(n)
+		for b, c := range counts {
+			if float64(c) > 1.5*mean || float64(c) < 0.5*mean {
+				t.Errorf("N=%d: backend %d owns %d/%d keys (mean %.0f)", n, b, c, keys, mean)
+			}
+		}
+	}
+}
+
+// Routing must be deterministic across ring builds (the stable-name
+// contract): two routers over the same backend names agree on every key.
+func TestRingDeterministic(t *testing.T) {
+	a, _ := newRing(names(5), 0)
+	b, _ := newRing(names(5), 0)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64()
+		if a.route(k) != b.route(k) {
+			t.Fatalf("key %x routes differently across identical rings", k)
+		}
+	}
+}
+
+func TestRingRejectsBadConfigs(t *testing.T) {
+	if _, err := newRing(nil, 0); err == nil {
+		t.Fatal("empty backend set accepted")
+	}
+	if _, err := newRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate backend names accepted")
+	}
+}

@@ -1,0 +1,543 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"malsched/internal/engine"
+	"malsched/internal/instance"
+	"malsched/internal/server"
+	"malsched/internal/wire"
+)
+
+// newTier builds a router over n in-process msserve shards.
+func newTier(t *testing.T, n int, cfg Config) (*Router, []*server.Server) {
+	t.Helper()
+	shards := make([]*server.Server, n)
+	for i := range shards {
+		shards[i] = server.New(server.Config{Shards: 2, Workers: 2})
+		cfg.Backends = append(cfg.Backends, Backend{
+			Name:    fmt.Sprintf("shard-%d", i),
+			Handler: shards[i].Handler(),
+		})
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r, shards
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func postBinary(t *testing.T, h http.Handler, in *instance.Instance, opts *wire.RequestOptions) *httptest.ResponseRecorder {
+	t.Helper()
+	buf := wire.AppendScheduleRequest(nil, in, opts)
+	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(buf))
+	req.Header.Set("Content-Type", wire.ContentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func mustRaw(t *testing.T, in *instance.Instance) json.RawMessage {
+	t.Helper()
+	raw, err := server.EncodeInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestRouteKeyMatchesEngineFingerprint pins wire.RouteKey's off-the-wire
+// hash walk to engine.WorkloadFingerprint over the decoded instance —
+// including the profile-truncation case — so binary routing and the
+// shards' cache keys can never silently drift apart.
+func TestRouteKeyMatchesEngineFingerprint(t *testing.T) {
+	for name, gen := range instance.Families() {
+		for seed := int64(1); seed <= 10; seed++ {
+			in := gen(seed, 9, 7)
+			buf := wire.AppendScheduleRequest(nil, in, nil)
+			key, lineage, err := wire.RouteKey(buf)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, seed, err)
+			}
+			if lineage != "" {
+				t.Fatalf("%s/%d: phantom lineage %q", name, seed, lineage)
+			}
+			// Decode through the same path the backend uses.
+			dec, _, err := wire.DecodeScheduleRequest(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := engine.WorkloadFingerprint(dec); key != want {
+				t.Fatalf("%s/%d: RouteKey %x != WorkloadFingerprint %x", name, seed, key, want)
+			}
+		}
+	}
+	// Truncation: a profile wider than m must hash its first m entries
+	// only, mirroring instance.New.
+	in := instance.Mixed(3, 6, 8)
+	wide := &instance.Instance{Name: "wide", M: 2, Tasks: in.Tasks}
+	buf := wire.AppendScheduleRequest(nil, wide, &wire.RequestOptions{Lineage: "chain"})
+	key, lineage, err := wire.RouteKey(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lineage != "chain" {
+		t.Fatalf("lineage = %q", lineage)
+	}
+	dec, _, err := wire.DecodeScheduleRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := engine.WorkloadFingerprint(dec); key != want {
+		t.Fatalf("truncated RouteKey %x != WorkloadFingerprint %x", key, want)
+	}
+}
+
+// TestRouterMatchesSingleProcess is the acceptance bar: the routed tier
+// must be semantically invisible. Every response through router+2 shards
+// is DeepEqual to the single-process msserve response for the same
+// request, modulo the two serving-metadata fields that name which cache
+// answered (shard index, memo hit).
+func TestRouterMatchesSingleProcess(t *testing.T) {
+	single := server.New(server.Config{Shards: 2, Workers: 2})
+	rt, _ := newTier(t, 2, Config{})
+
+	fams := instance.Families()
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	idx := 0
+	for _, name := range names {
+		for seed := int64(1); seed <= 4; seed++ {
+			in := fams[name](seed*31+int64(idx), 5+idx%9, 4+idx%7)
+			idx++
+			body := wire.ScheduleRequest{Instance: mustRaw(t, in)}
+
+			recS := postJSON(t, single.Handler(), "/v1/schedule", body)
+			recR := postJSON(t, rt.Handler(), "/v1/schedule", body)
+			if recS.Code != recR.Code {
+				t.Fatalf("%s/%d: status %d (single) != %d (routed): %s", name, seed, recS.Code, recR.Code, recR.Body.Bytes())
+			}
+			if recS.Code != http.StatusOK {
+				continue
+			}
+			var a, b wire.ScheduleResponse
+			if err := json.Unmarshal(recS.Body.Bytes(), &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(recR.Body.Bytes(), &b); err != nil {
+				t.Fatal(err)
+			}
+			a.Shard, b.Shard = 0, 0
+			a.FromMemo, b.FromMemo = false, false
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s/%d: routed response differs from single-process:\n single: %+v\n routed: %+v", name, seed, a, b)
+			}
+		}
+	}
+
+	st := rt.Stats()
+	if st.Routed == 0 || st.LocalServed+st.Steals != st.Routed {
+		t.Fatalf("served %d+%d != routed %d", st.LocalServed, st.Steals, st.Routed)
+	}
+}
+
+// The routed tier must pass batches through with per-item isolation
+// intact.
+func TestRouterBatchPassThrough(t *testing.T) {
+	rt, _ := newTier(t, 2, Config{})
+	good := mustRaw(t, instance.Mixed(1, 6, 4))
+	bad := json.RawMessage(`{"name":"poison","m":0,"tasks":[]}`)
+	rec := postJSON(t, rt.Handler(), "/v1/batch", wire.BatchRequest{Instances: []json.RawMessage{good, bad, good}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", rec.Code, rec.Body.Bytes())
+	}
+	var resp wire.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 3 || resp.Results[0].Error != nil || resp.Results[1].Error == nil || resp.Results[2].Error != nil {
+		t.Fatalf("batch isolation broken: %s", rec.Body.Bytes())
+	}
+}
+
+// TestBinaryThroughRouter: binary requests route by the peeked
+// fingerprint and come back binary, bit-identical to the JSON answer.
+func TestBinaryThroughRouter(t *testing.T) {
+	rt, _ := newTier(t, 3, Config{})
+	for seed := int64(1); seed <= 6; seed++ {
+		in := instance.CommHeavy(seed, 8, 6)
+		recB := postBinary(t, rt.Handler(), in, nil)
+		if recB.Code != http.StatusOK {
+			t.Fatalf("binary HTTP %d: %q", recB.Code, recB.Body.Bytes())
+		}
+		bin, err := wire.DecodeScheduleResponse(recB.Body.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		recJ := postJSON(t, rt.Handler(), "/v1/schedule", wire.ScheduleRequest{Instance: mustRaw(t, in)})
+		var js wire.ScheduleResponse
+		if err := json.Unmarshal(recJ.Body.Bytes(), &js); err != nil {
+			t.Fatal(err)
+		}
+		bin.FromMemo, js.FromMemo = false, false
+		if !reflect.DeepEqual(bin, &js) {
+			t.Fatalf("seed %d: codecs diverge through the router", seed)
+		}
+		// Same workload ⇒ same home shard for both codecs (fingerprint
+		// equivalence), unless the JSON one was stolen.
+		if recB.Header().Get("X-Msroute-Stolen") == "false" && recJ.Header().Get("X-Msroute-Stolen") == "false" {
+			if recB.Header().Get("X-Msroute-Backend") != recJ.Header().Get("X-Msroute-Backend") {
+				t.Fatalf("seed %d: codecs routed to different home shards", seed)
+			}
+		}
+	}
+	if rt.Stats().BinaryRequests == 0 {
+		t.Fatal("binary_requests counter never moved")
+	}
+}
+
+// blockingHandler wraps a handler, holding requests until released; it
+// simulates an overloaded shard.
+type blockingHandler struct {
+	inner   http.Handler
+	mu      sync.Mutex
+	blocked bool
+	release chan struct{}
+}
+
+func (b *blockingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	blocked := b.blocked
+	release := b.release
+	b.mu.Unlock()
+	if blocked {
+		<-release
+	}
+	b.inner.ServeHTTP(w, r)
+}
+
+// TestWorkStealingDrainsOverloadedShard: with shard A's workers all stuck
+// behind a slow backend, shard B's idle workers must claim A's queued
+// stealable requests — and the steal counters must say so.
+func TestWorkStealingDrainsOverloadedShard(t *testing.T) {
+	slowSrv := server.New(server.Config{Shards: 1, Workers: 1})
+	fastSrv := server.New(server.Config{Shards: 1, Workers: 1})
+	slow := &blockingHandler{inner: slowSrv.Handler(), blocked: true, release: make(chan struct{})}
+	rt, err := New(Config{
+		Backends: []Backend{
+			{Name: "shard-0", Handler: slow},
+			{Name: "shard-1", Handler: fastSrv.Handler()},
+		},
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Find instances homed on the slow shard.
+	var homed []*instance.Instance
+	for seed := int64(1); len(homed) < 6 && seed < 200; seed++ {
+		in := instance.Mixed(seed, 6, 4)
+		buf := wire.AppendScheduleRequest(nil, in, nil)
+		key, _, err := wire.RouteKey(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.ring.route(key) == 0 {
+			homed = append(homed, in)
+		}
+	}
+	if len(homed) < 6 {
+		t.Fatal("could not find instances homed on shard-0")
+	}
+
+	// One request occupies shard-0's only worker (stuck in the blocked
+	// backend); the rest queue and must be stolen by shard-1.
+	var wg sync.WaitGroup
+	results := make([]*httptest.ResponseRecorder, len(homed))
+	for i, in := range homed {
+		wg.Add(1)
+		go func(i int, in *instance.Instance) {
+			defer wg.Done()
+			results[i] = postBinary(t, rt.Handler(), in, nil)
+		}(i, in)
+		if i == 0 {
+			// Give the first request time to occupy the worker so the
+			// rest genuinely queue behind it.
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Shard-0's worker is stuck inside the blocked backend holding one
+	// job; shard-1's idle worker must drain the rest via steals. Give it
+	// time, then unblock the stuck one so everything completes.
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Stats().Steals == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(slow.release)
+
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("requests stuck: work-stealing never drained the queue")
+	}
+
+	stolen := 0
+	for i, rec := range results {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: HTTP %d: %q", i, rec.Code, rec.Body.Bytes())
+		}
+		if rec.Header().Get("X-Msroute-Stolen") == "true" {
+			stolen++
+			if got := rec.Header().Get("X-Msroute-Backend"); got != "shard-1" {
+				t.Fatalf("stolen request served by %q", got)
+			}
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("no request was stolen off the overloaded shard")
+	}
+	st := rt.Stats()
+	if st.Steals == 0 {
+		t.Fatalf("steal counter is zero: %+v", st)
+	}
+	var stolenServed uint64
+	for _, b := range st.Backends {
+		stolenServed += b.StolenServed
+		if b.StolenServed != 0 && b.Name != "shard-1" {
+			t.Fatalf("steals attributed to the wrong shard: %+v", st.Backends)
+		}
+	}
+	if stolenServed != st.Steals {
+		t.Fatalf("per-backend steals %d != total %d", stolenServed, st.Steals)
+	}
+}
+
+// TestLineageNeverMigratesMidChain: lineage-keyed requests are pinned to
+// their home shard even while that shard is overloaded enough that
+// fingerprint-routed traffic is being stolen off it.
+func TestLineageNeverMigratesMidChain(t *testing.T) {
+	rt, _ := newTier(t, 2, Config{Workers: 2})
+
+	const chain = "replan-chain-7"
+	var home string
+	for i := 0; i < 12; i++ {
+		in := instance.Mixed(int64(100+i), 6+i%4, 4)
+		rec := postBinary(t, rt.Handler(), in, &wire.RequestOptions{Lineage: chain})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("chain step %d: HTTP %d: %q", i, rec.Code, rec.Body.Bytes())
+		}
+		if rec.Header().Get("X-Msroute-Stolen") != "false" {
+			t.Fatalf("chain step %d was stolen", i)
+		}
+		backend := rec.Header().Get("X-Msroute-Backend")
+		if home == "" {
+			home = backend
+		} else if backend != home {
+			t.Fatalf("chain step %d migrated %s→%s", i, home, backend)
+		}
+	}
+	st := rt.Stats()
+	if st.LineagePinned != 12 {
+		t.Fatalf("lineage_pinned = %d, want 12", st.LineagePinned)
+	}
+}
+
+// TestLineagePinnedUnderStealPressure drives the same property with the
+// home shard saturated: stealable traffic drains via steals while every
+// lineage request still waits for — and is served by — its home shard.
+func TestLineagePinnedUnderStealPressure(t *testing.T) {
+	s0 := server.New(server.Config{Shards: 1, Workers: 1})
+	s1 := server.New(server.Config{Shards: 1, Workers: 1})
+	slow := &blockingHandler{inner: s0.Handler(), blocked: true, release: make(chan struct{})}
+	rt, err := New(Config{
+		Backends: []Backend{
+			{Name: "shard-0", Handler: slow},
+			{Name: "shard-1", Handler: s1.Handler()},
+		},
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// A lineage whose hash homes on the saturated shard-0.
+	lineage := ""
+	for i := 0; i < 1000; i++ {
+		cand := fmt.Sprintf("chain-%d", i)
+		if rt.ring.route(hashString(cand)) == 0 {
+			lineage = cand
+			break
+		}
+	}
+	if lineage == "" {
+		t.Fatal("no lineage homes on shard-0")
+	}
+
+	var wg sync.WaitGroup
+	recs := make([]*httptest.ResponseRecorder, 4)
+	for i := range recs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := instance.Mixed(int64(500+i), 6, 4)
+			recs[i] = postBinary(t, rt.Handler(), in, &wire.RequestOptions{Lineage: lineage})
+		}(i)
+	}
+	// Let them all queue against the blocked shard, then release it.
+	time.Sleep(100 * time.Millisecond)
+	close(slow.release)
+	wg.Wait()
+
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("pinned request %d: HTTP %d: %q", i, rec.Code, rec.Body.Bytes())
+		}
+		if rec.Header().Get("X-Msroute-Backend") != "shard-0" || rec.Header().Get("X-Msroute-Stolen") != "false" {
+			t.Fatalf("pinned request %d migrated: backend=%s stolen=%s", i,
+				rec.Header().Get("X-Msroute-Backend"), rec.Header().Get("X-Msroute-Stolen"))
+		}
+	}
+	if st := rt.Stats(); st.LineagePinned != 4 {
+		t.Fatalf("lineage_pinned = %d, want 4", st.LineagePinned)
+	}
+}
+
+// TestRouterQueueFullSheds: a full home queue sheds with 429 + Retry-After
+// in the request's codec instead of queueing unboundedly.
+func TestRouterQueueFullSheds(t *testing.T) {
+	s0 := server.New(server.Config{Shards: 1})
+	slow := &blockingHandler{inner: s0.Handler(), blocked: true, release: make(chan struct{})}
+	rt, err := New(Config{
+		Backends:     []Backend{{Name: "only", Handler: slow}},
+		Workers:      1,
+		QueueDepth:   1,
+		DisableSteal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	in := instance.Mixed(1, 6, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // one occupies the worker, one fills the queue
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postBinary(t, rt.Handler(), in, nil)
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	rec := postBinary(t, rt.Handler(), in, nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	eb, err := wire.DecodeError(rec.Body.Bytes())
+	if err != nil || eb.Error.Code != wire.CodeQueueFull {
+		t.Fatalf("shed error: %+v, %v", eb, err)
+	}
+	if rt.Stats().Rejected == 0 {
+		t.Fatal("rejected counter never moved")
+	}
+	close(slow.release)
+	wg.Wait()
+}
+
+// TestRouterStealRace hammers a small tier with mixed pinned/stealable
+// traffic from many goroutines; run under -race -cpu 1,4 in CI, it is the
+// data-race tripwire for the work-stealing path.
+func TestRouterStealRace(t *testing.T) {
+	rt, _ := newTier(t, 3, Config{Workers: 2, QueueDepth: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				in := instance.Mixed(int64(g*1000+i), 5+i%5, 4)
+				var opts *wire.RequestOptions
+				if i%3 == 0 {
+					opts = &wire.RequestOptions{Lineage: fmt.Sprintf("chain-%d", g%4)}
+				}
+				var rec *httptest.ResponseRecorder
+				if i%2 == 0 {
+					rec = postBinary(t, rt.Handler(), in, opts)
+				} else {
+					body := wire.ScheduleRequest{Instance: mustRaw(t, in), Options: opts}
+					rec = postJSON(t, rt.Handler(), "/v1/schedule", body)
+				}
+				// 429 under pressure is legitimate shedding, anything else
+				// non-200 is a bug.
+				if rec.Code != http.StatusOK && rec.Code != http.StatusTooManyRequests {
+					t.Errorf("HTTP %d: %q", rec.Code, rec.Body.Bytes())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := rt.Stats()
+	if st.LocalServed+st.Steals+st.Rejected == 0 {
+		t.Fatal("no traffic accounted")
+	}
+	if st.LocalityHitRate < 0 || st.LocalityHitRate > 1 {
+		t.Fatalf("locality hit rate %v out of range", st.LocalityHitRate)
+	}
+}
+
+// Draining: /healthz flips to 503 and new requests shed typed.
+func TestRouterDrain(t *testing.T) {
+	rt, _ := newTier(t, 2, Config{})
+	rt.StartDrain()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz HTTP %d while draining", rec.Code)
+	}
+	rec2 := postJSON(t, rt.Handler(), "/v1/schedule", wire.ScheduleRequest{Instance: mustRaw(t, instance.Mixed(1, 5, 4))})
+	if rec2.Code != http.StatusServiceUnavailable {
+		t.Fatalf("schedule HTTP %d while draining", rec2.Code)
+	}
+	var eb wire.ErrorBody
+	if err := json.Unmarshal(rec2.Body.Bytes(), &eb); err != nil || eb.Error.Code != wire.CodeDraining {
+		t.Fatalf("draining error: %+v, %v", eb, err)
+	}
+}

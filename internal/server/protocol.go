@@ -7,148 +7,47 @@ import (
 	"malsched/internal/engine"
 	"malsched/internal/instance"
 	"malsched/internal/schedule"
+	"malsched/internal/wire"
 )
 
-// Wire types of the msserve HTTP/JSON API, shared by the handlers,
-// cmd/msserve, cmd/msload and the tests. The instance payload itself uses
-// the module's one JSON instance codec (instance.ReadJSON / WriteJSON), so
-// msgen output pastes directly into a request.
+// The request/response/error shapes of the msserve API live in
+// internal/wire, shared between the JSON codec, the binary codec and the
+// routing tier (internal/router); the aliases below keep this package the
+// one import servers of the API need. The instance payload of the JSON
+// codec uses the module's one JSON instance codec (instance.ReadJSON /
+// WriteJSON), so msgen output pastes directly into a request; the binary
+// codec encodes the same instance inline through the same validating
+// constructors.
 //
 // The full schema is documented in docs/SERVICE.md.
+type (
+	RequestOptions   = wire.RequestOptions
+	ScheduleRequest  = wire.ScheduleRequest
+	BatchRequest     = wire.BatchRequest
+	PlacementJSON    = wire.PlacementJSON
+	PlanJSON         = wire.PlanJSON
+	ScheduleResponse = wire.ScheduleResponse
+	ErrorInfo        = wire.ErrorInfo
+	ErrorBody        = wire.ErrorBody
+	BatchItem        = wire.BatchItem
+	BatchResponse    = wire.BatchResponse
+)
 
-// RequestOptions selects and tunes the solver for one request (or one
-// batch). The zero value / absent object is the paper's configuration:
-// solver "mrt", default search tolerance, sequential search, the server's
-// default timeout. Solver and portfolio names are validated against the
-// registry at admission; unknown names fail the request with
-// CodeUnknownSolver before any work is queued.
-type RequestOptions struct {
-	// Solver names a registered solver; empty means "mrt".
-	Solver string `json:"solver,omitempty"`
-	// Portfolio runs these registered solvers concurrently and keeps the
-	// best certified result; overrides Solver.
-	Portfolio []string `json:"portfolio,omitempty"`
-	// Eps is the dichotomic search tolerance (0 = default 1e-3).
-	Eps float64 `json:"eps,omitempty"`
-	// Compact left-shifts the final schedule.
-	Compact bool `json:"compact,omitempty"`
-	// Parallelism is the speculative dual-search width; results are
-	// bit-identical at every value. Capped by the server's MaxParallelism.
-	Parallelism int `json:"parallelism,omitempty"`
-	// TimeoutMS bounds the wall-clock time spent solving this request, in
-	// milliseconds; 0 means the server's default, and the server's
-	// MaxTimeout caps it.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-	// Lineage, when non-empty, names a replanning lineage: requests
-	// sharing the key route to one shard (by lineage hash, overriding
-	// fingerprint routing) and solve warm against that shard's carried
-	// state for the key, so a client re-submitting a shrinking residual
-	// workload pays fewer dual-search probes per solve. Purely a
-	// performance hint — responses are bit-identical with or without it
-	// (only probes/synthesized differ) and a wrong or reused key costs
-	// probes, never correctness. Ignored for solvers without a dual
-	// search. Max 128 bytes.
-	Lineage string `json:"lineage,omitempty"`
-}
-
-// ScheduleRequest is the body of POST /v1/schedule.
-type ScheduleRequest struct {
-	// Instance is the workload in the instance JSON codec
-	// ({"name","m","tasks":[{"name","times"}]}).
-	Instance json.RawMessage `json:"instance"`
-	// Options tunes the solve; absent means server defaults.
-	Options *RequestOptions `json:"options,omitempty"`
-}
-
-// BatchRequest is the body of POST /v1/batch: many instances under one
-// option set. Items fail individually — one poisoned instance never drops
-// its siblings.
-type BatchRequest struct {
-	Instances []json.RawMessage `json:"instances"`
-	Options   *RequestOptions   `json:"options,omitempty"`
-}
-
-// PlacementJSON mirrors schedule.Placement on the wire.
-type PlacementJSON struct {
-	Task    int     `json:"task"`
-	Start   float64 `json:"start"`
-	Width   int     `json:"width"`
-	First   int     `json:"first"`
-	ProcSet []int   `json:"proc_set,omitempty"`
-}
-
-// PlanJSON mirrors schedule.Schedule on the wire.
-type PlanJSON struct {
-	Algorithm  string          `json:"algorithm"`
-	Placements []PlacementJSON `json:"placements"`
-}
-
-// ScheduleResponse is the success body of /v1/schedule (and of each batch
-// item). Every field is produced by the same pipeline as the in-process
-// malsched.Schedule, and the plan has passed verify.Plan on the way out.
-type ScheduleResponse struct {
-	// Name echoes the instance name.
-	Name string `json:"name"`
-	// Makespan and LowerBound are the certificates; floats round-trip
-	// bit-exactly through JSON (shortest-representation encoding), which
-	// is what lets cmd/msload compare them for equality.
-	Makespan   float64 `json:"makespan"`
-	LowerBound float64 `json:"lower_bound"`
-	// Branch and Solver carry provenance, Probes the dual-search effort;
-	// Synthesized counts the probe outcomes a lineage-warmed solve
-	// resolved from carried state without a dual step (0 for cold solves).
-	Branch      string `json:"branch"`
-	Solver      string `json:"solver"`
-	Probes      int    `json:"probes"`
-	Synthesized int    `json:"synthesized,omitempty"`
-	// FromMemo reports a memoised answer; Shard is the engine shard that
-	// served the request (fingerprint-routed, see docs/SERVICE.md).
-	FromMemo bool `json:"from_memo"`
-	Shard    int  `json:"shard"`
-	// Plan is the verified schedule.
-	Plan PlanJSON `json:"plan"`
-}
-
-// ErrorInfo is the typed error detail used by every failure path.
-type ErrorInfo struct {
-	// Code is one of the Code* constants.
-	Code string `json:"code"`
-	// Message is human-readable detail.
-	Message string `json:"message"`
-}
-
-// ErrorBody is the JSON body of every non-2xx response.
-type ErrorBody struct {
-	Error ErrorInfo `json:"error"`
-}
-
-// BatchItem pairs one batch instance with its result or typed error.
-type BatchItem struct {
-	Index  int               `json:"index"`
-	Result *ScheduleResponse `json:"result,omitempty"`
-	Error  *ErrorInfo        `json:"error,omitempty"`
-}
-
-// BatchResponse is the success body of /v1/batch; Results is index-aligned
-// with the request's Instances.
-type BatchResponse struct {
-	Results []BatchItem `json:"results"`
-}
-
-// Error codes. The admission codes (queue_full, draining) map to 429/503,
-// validation codes to 400, solve failures to 422/504, and verification
-// failures — a schedule the server refuses to vouch for — to 500.
+// Error codes, re-exported from the wire package. The admission codes
+// (queue_full, draining) map to 429/503, validation codes to 400, solve
+// failures to 422/504, and verification failures — a schedule the server
+// refuses to vouch for — to 500.
 const (
-	CodeBadRequest    = "bad_request"
-	CodeBadInstance   = "bad_instance"
-	CodeUnknownSolver = "unknown_solver"
-	CodeBadOptions    = "bad_options"
-	CodeQueueFull     = "queue_full"
-	CodeDraining      = "draining"
-	CodeTimeout       = "timeout"
-	CodeUnschedulable = "unschedulable"
-	CodeVerifyFailed  = "verify_failed"
-	CodeInternal      = "internal"
+	CodeBadRequest    = wire.CodeBadRequest
+	CodeBadInstance   = wire.CodeBadInstance
+	CodeUnknownSolver = wire.CodeUnknownSolver
+	CodeBadOptions    = wire.CodeBadOptions
+	CodeQueueFull     = wire.CodeQueueFull
+	CodeDraining      = wire.CodeDraining
+	CodeTimeout       = wire.CodeTimeout
+	CodeUnschedulable = wire.CodeUnschedulable
+	CodeVerifyFailed  = wire.CodeVerifyFailed
+	CodeInternal      = wire.CodeInternal
 )
 
 // QueueStats snapshots the admission queue for /statsz.
@@ -198,6 +97,9 @@ type StatsResponse struct {
 	// VerifyFailures counts responses withheld because verify.Plan
 	// rejected the solution — any non-zero value is a bug worth paging on.
 	VerifyFailures uint64 `json:"verify_failures"`
+	// BinaryRequests counts /v1/schedule requests served over the binary
+	// codec (Content-Type negotiated; see docs/SERVICE.md).
+	BinaryRequests uint64 `json:"binary_requests"`
 }
 
 // HealthResponse is the body of GET /healthz (200 "ok", 503 "draining").

@@ -25,12 +25,16 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +43,7 @@ import (
 	"malsched/internal/instance"
 	"malsched/internal/solver"
 	"malsched/internal/verify"
+	"malsched/internal/wire"
 )
 
 // Defaults for the zero Config.
@@ -105,6 +110,7 @@ type Server struct {
 	accepted   atomic.Uint64
 	rejected   atomic.Uint64
 	verifyFail atomic.Uint64
+	binaryReqs atomic.Uint64
 
 	// admitted, when non-nil, runs once per admitted scheduling request
 	// after the queue token is taken; the admission-control tests use it
@@ -183,6 +189,7 @@ func (s *Server) Stats() StatsResponse {
 			Draining: s.draining.Load(),
 		},
 		VerifyFailures: s.verifyFail.Load(),
+		BinaryRequests: s.binaryReqs.Load(),
 	}
 	for i, sh := range s.shards {
 		st := sh.Stats()
@@ -393,6 +400,10 @@ func statusOf(err error) int {
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if isBinary(r) {
+		s.handleScheduleBinary(w, r)
+		return
+	}
 	release, ok := s.admitOrReject(w)
 	if !ok {
 		return
@@ -420,6 +431,98 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// isBinary reports whether the request negotiated the binary codec via its
+// Content-Type (parameters ignored). Binary requests get binary responses
+// on every path, errors and admission rejections included.
+func isBinary(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(ct) == wire.ContentType
+}
+
+// handleScheduleBinary is /v1/schedule over the binary codec: the same
+// admission, validation, solve and verify pipeline as the JSON path —
+// solveVerified is shared, so every binary response carries a plan that
+// passed verify.Plan — with the request decoded and the response encoded
+// through internal/wire over pooled buffers, no reflection and no
+// per-request encoder state.
+func (s *Server) handleScheduleBinary(w http.ResponseWriter, r *http.Request) {
+	s.binaryReqs.Add(1)
+	release, errInfo, status := s.admit()
+	if errInfo != nil {
+		if errInfo.Code == CodeQueueFull {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeBinaryError(w, status, errInfo)
+		return
+	}
+	defer release()
+
+	body, errInfo := readBody(w, r, s.cfg.MaxBodyBytes)
+	if errInfo != nil {
+		writeBinaryError(w, http.StatusBadRequest, errInfo)
+		return
+	}
+	in, ro, err := wire.DecodeScheduleRequest(body)
+	wire.PutBuffer(body)
+	if err != nil {
+		code := CodeBadInstance
+		if isFramingErr(err) {
+			code = CodeBadRequest
+		}
+		writeBinaryError(w, http.StatusBadRequest, &ErrorInfo{Code: code, Message: err.Error()})
+		return
+	}
+	o, timeout, errInfo := s.resolveOptions(ro)
+	if errInfo != nil {
+		writeBinaryError(w, http.StatusBadRequest, errInfo)
+		return
+	}
+	resp, errInfo, status := s.solveVerified(in, o, timeout, lineageOf(ro))
+	if errInfo != nil {
+		writeBinaryError(w, status, errInfo)
+		return
+	}
+	buf := wire.AppendScheduleResponse(wire.GetBuffer(), resp)
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
+	wire.PutBuffer(buf)
+}
+
+// isFramingErr separates malformed binary framing (bad_request, like
+// undecodable JSON) from a well-framed but invalid instance
+// (bad_instance), keeping the two codecs' error taxonomy aligned.
+func isFramingErr(err error) bool {
+	return errors.Is(err, wire.ErrTruncated) || errors.Is(err, wire.ErrTooLarge) ||
+		errors.Is(err, wire.ErrBadMagic) || errors.Is(err, wire.ErrBadVersion) ||
+		errors.Is(err, wire.ErrBadKind)
+}
+
+// readBody reads the full request body under the size cap into a pooled
+// buffer; the caller returns it with wire.PutBuffer.
+func readBody(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]byte, *ErrorInfo) {
+	body := http.MaxBytesReader(w, r.Body, maxBytes)
+	buf := wire.GetBuffer()
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			wire.PutBuffer(buf)
+			return nil, &ErrorInfo{Code: CodeBadRequest, Message: fmt.Sprintf("reading request body: %v", err)}
+		}
+	}
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -522,13 +625,45 @@ func decodeBody(w http.ResponseWriter, r *http.Request, maxBytes int64, dst any)
 	return nil
 }
 
+// jsonBufPool recycles response-body buffers across requests: the JSON
+// path used to allocate a fresh encoder buffer per response, which at
+// fleet RPS was the dominant per-request garbage. Encoding into a pooled
+// buffer also yields an exact Content-Length. Buffers that grew past
+// maxPooledJSON are dropped so one giant batch response doesn't pin
+// memory for the process lifetime.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledJSON = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Wire types marshal without error by construction; this path
+		// exists for the type system, not for traffic.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledJSON {
+		jsonBufPool.Put(buf)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, info *ErrorInfo) {
 	writeJSON(w, status, ErrorBody{Error: *info})
+}
+
+// writeBinaryError is writeError for binary-negotiated requests: same
+// typed codes, binary framing.
+func writeBinaryError(w http.ResponseWriter, status int, info *ErrorInfo) {
+	buf := wire.AppendError(wire.GetBuffer(), &ErrorBody{Error: *info})
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.WriteHeader(status)
+	_, _ = w.Write(buf)
+	wire.PutBuffer(buf)
 }

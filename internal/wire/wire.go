@@ -1,0 +1,652 @@
+// Package wire defines the scheduling service's wire protocol: the
+// request/response/error shapes shared by the JSON and binary codecs, and
+// the compact length-prefixed binary codec itself. The JSON schema is the
+// struct tags on the types below (documented in docs/SERVICE.md); the
+// binary format is a hand-rolled, zero-reflection encoding of exactly the
+// same fields over pooled buffers, negotiated per request via Content-Type.
+//
+// Both codecs are views of one protocol: a binary request decodes through
+// the same task/instance constructors as the JSON codec (identical
+// validation, identical typed errors) and a binary response carries the
+// same field values bit-for-bit (float64 payloads travel as raw IEEE-754
+// bits, which is also what the JSON shortest-representation encoding
+// round-trips). cmd/msload's -codec binary mode asserts the byte-level
+// equivalence end to end against a live server.
+//
+// # Binary format (version 1)
+//
+// Every message opens with a 4-byte header: magic "MS", a version byte,
+// and a kind byte (request / response / error). Integers are unsigned
+// LEB128 varints (signed values zig-zag encoded), float64s are 8-byte
+// little-endian IEEE-754 bits, strings and arrays are length-prefixed with
+// a varint. There is no field tagging and no reflection: field order is
+// the format, and a version bump is the only compatible way to change it
+// (see docs/SERVICE.md for the versioning rules).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"malsched/internal/instance"
+	"malsched/internal/task"
+)
+
+// ContentType is the negotiation key of the binary codec: a request whose
+// Content-Type equals it is decoded binary and answered binary (errors
+// included); anything else speaks JSON. Version is part of the payload
+// header, not the media type, so a future v2 negotiates identically.
+const ContentType = "application/x-malsched-bin"
+
+// Header bytes.
+const (
+	magic0  = 'M'
+	magic1  = 'S'
+	Version = 1
+
+	// KindScheduleRequest..KindError tag the three message shapes.
+	KindScheduleRequest  = 0x01
+	KindScheduleResponse = 0x02
+	KindError            = 0x03
+
+	headerLen = 4
+)
+
+// Decode errors. Truncated or oversized payloads fail typed — a malformed
+// binary request is a 400 on the server, never a panic.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic (not a malsched binary message)")
+	ErrBadVersion = errors.New("wire: unsupported binary version")
+	ErrBadKind    = errors.New("wire: unexpected message kind")
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrTooLarge   = errors.New("wire: length prefix exceeds message size")
+)
+
+// RequestOptions selects and tunes the solver for one request (or one
+// batch). The zero value / absent object is the paper's configuration:
+// solver "mrt", default search tolerance, sequential search, the server's
+// default timeout. Solver and portfolio names are validated against the
+// registry at admission; unknown names fail the request with
+// CodeUnknownSolver before any work is queued.
+type RequestOptions struct {
+	// Solver names a registered solver; empty means "mrt".
+	Solver string `json:"solver,omitempty"`
+	// Portfolio runs these registered solvers concurrently and keeps the
+	// best certified result; overrides Solver.
+	Portfolio []string `json:"portfolio,omitempty"`
+	// Eps is the dichotomic search tolerance (0 = default 1e-3).
+	Eps float64 `json:"eps,omitempty"`
+	// Compact left-shifts the final schedule.
+	Compact bool `json:"compact,omitempty"`
+	// Parallelism is the speculative dual-search width; results are
+	// bit-identical at every value. Capped by the server's MaxParallelism.
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS bounds the wall-clock time spent solving this request, in
+	// milliseconds; 0 means the server's default, and the server's
+	// MaxTimeout caps it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Lineage, when non-empty, names a replanning lineage: requests
+	// sharing the key route to one shard (by lineage hash, overriding
+	// fingerprint routing) and solve warm against that shard's carried
+	// state for the key, so a client re-submitting a shrinking residual
+	// workload pays fewer dual-search probes per solve. Purely a
+	// performance hint — responses are bit-identical with or without it
+	// (only probes/synthesized differ) and a wrong or reused key costs
+	// probes, never correctness. Ignored for solvers without a dual
+	// search. Max 128 bytes.
+	Lineage string `json:"lineage,omitempty"`
+}
+
+// ScheduleRequest is the JSON body of POST /v1/schedule. The binary codec
+// carries the same (instance, options) pair with the instance encoded
+// inline instead of as raw JSON.
+type ScheduleRequest struct {
+	// Instance is the workload in the instance JSON codec
+	// ({"name","m","tasks":[{"name","times"}]}).
+	Instance json.RawMessage `json:"instance"`
+	// Options tunes the solve; absent means server defaults.
+	Options *RequestOptions `json:"options,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch: many instances under one
+// option set. Items fail individually — one poisoned instance never drops
+// its siblings. The batch path is JSON-only; the binary codec covers the
+// hot /v1/schedule path.
+type BatchRequest struct {
+	Instances []json.RawMessage `json:"instances"`
+	Options   *RequestOptions   `json:"options,omitempty"`
+}
+
+// PlacementJSON mirrors schedule.Placement on the wire.
+type PlacementJSON struct {
+	Task    int     `json:"task"`
+	Start   float64 `json:"start"`
+	Width   int     `json:"width"`
+	First   int     `json:"first"`
+	ProcSet []int   `json:"proc_set,omitempty"`
+}
+
+// PlanJSON mirrors schedule.Schedule on the wire.
+type PlanJSON struct {
+	Algorithm  string          `json:"algorithm"`
+	Placements []PlacementJSON `json:"placements"`
+}
+
+// ScheduleResponse is the success body of /v1/schedule (and of each batch
+// item). Every field is produced by the same pipeline as the in-process
+// malsched.Schedule, and the plan has passed verify.Plan on the way out.
+type ScheduleResponse struct {
+	// Name echoes the instance name.
+	Name string `json:"name"`
+	// Makespan and LowerBound are the certificates; floats round-trip
+	// bit-exactly through both codecs (raw IEEE-754 bits in binary,
+	// shortest-representation encoding in JSON), which is what lets
+	// cmd/msload compare them for equality.
+	Makespan   float64 `json:"makespan"`
+	LowerBound float64 `json:"lower_bound"`
+	// Branch and Solver carry provenance, Probes the dual-search effort;
+	// Synthesized counts the probe outcomes a lineage-warmed solve
+	// resolved from carried state without a dual step (0 for cold solves).
+	Branch      string `json:"branch"`
+	Solver      string `json:"solver"`
+	Probes      int    `json:"probes"`
+	Synthesized int    `json:"synthesized,omitempty"`
+	// FromMemo reports a memoised answer; Shard is the engine shard that
+	// served the request (fingerprint-routed, see docs/SERVICE.md).
+	FromMemo bool `json:"from_memo"`
+	Shard    int  `json:"shard"`
+	// Plan is the verified schedule.
+	Plan PlanJSON `json:"plan"`
+}
+
+// ErrorInfo is the typed error detail used by every failure path.
+type ErrorInfo struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorBody is the body of every non-2xx response (JSON object or binary
+// KindError message, matching the request's codec).
+type ErrorBody struct {
+	Error ErrorInfo `json:"error"`
+}
+
+// BatchItem pairs one batch instance with its result or typed error.
+type BatchItem struct {
+	Index  int               `json:"index"`
+	Result *ScheduleResponse `json:"result,omitempty"`
+	Error  *ErrorInfo        `json:"error,omitempty"`
+}
+
+// BatchResponse is the success body of /v1/batch; Results is index-aligned
+// with the request's Instances.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// Error codes. The admission codes (queue_full, draining) map to 429/503,
+// validation codes to 400, solve failures to 422/504, and verification
+// failures — a schedule the server refuses to vouch for — to 500.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeBadInstance   = "bad_instance"
+	CodeUnknownSolver = "unknown_solver"
+	CodeBadOptions    = "bad_options"
+	CodeQueueFull     = "queue_full"
+	CodeDraining      = "draining"
+	CodeTimeout       = "timeout"
+	CodeUnschedulable = "unschedulable"
+	CodeVerifyFailed  = "verify_failed"
+	CodeInternal      = "internal"
+)
+
+// bufPool recycles encode/decode scratch across requests. Buffers are
+// handed out at zero length with whatever capacity they grew to; oversized
+// ones are dropped rather than pinned forever.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// maxPooledBuf drops buffers that grew past this from the pool so one
+// giant response doesn't pin memory for the process lifetime.
+const maxPooledBuf = 1 << 20
+
+// GetBuffer returns a zero-length scratch buffer from the pool. Append to
+// it freely and hand it back with PutBuffer when the bytes have been
+// written out.
+func GetBuffer() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer.
+func PutBuffer(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}
+
+// appendHeader opens a message.
+func appendHeader(b []byte, kind byte) []byte {
+	return append(b, magic0, magic1, Version, kind)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// Kind sniffs a binary message's kind byte after validating the header.
+func Kind(data []byte) (byte, error) {
+	if len(data) < headerLen {
+		return 0, ErrTruncated
+	}
+	if data[0] != magic0 || data[1] != magic1 {
+		return 0, ErrBadMagic
+	}
+	if data[2] != Version {
+		return 0, fmt.Errorf("%w: %d (this build speaks %d)", ErrBadVersion, data[2], Version)
+	}
+	return data[3], nil
+}
+
+// AppendScheduleRequest encodes one /v1/schedule request: the instance
+// inline (name, m, per-task name and time table) and the options. A nil
+// opts encodes as absent, matching a JSON body without an "options" key.
+func AppendScheduleRequest(b []byte, in *instance.Instance, opts *RequestOptions) []byte {
+	b = appendHeader(b, KindScheduleRequest)
+	b = appendString(b, in.Name)
+	b = binary.AppendUvarint(b, uint64(in.M))
+	b = binary.AppendUvarint(b, uint64(len(in.Tasks)))
+	for _, t := range in.Tasks {
+		b = appendString(b, t.Name)
+		mp := t.MaxProcs()
+		b = binary.AppendUvarint(b, uint64(mp))
+		for p := 1; p <= mp; p++ {
+			b = appendF64(b, t.Time(p))
+		}
+	}
+	if opts == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = appendString(b, opts.Solver)
+	b = binary.AppendUvarint(b, uint64(len(opts.Portfolio)))
+	for _, name := range opts.Portfolio {
+		b = appendString(b, name)
+	}
+	b = appendF64(b, opts.Eps)
+	var flags byte
+	if opts.Compact {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = binary.AppendVarint(b, int64(opts.Parallelism))
+	b = binary.AppendVarint(b, opts.TimeoutMS)
+	b = appendString(b, opts.Lineage)
+	return b
+}
+
+// AppendScheduleResponse encodes one success response.
+func AppendScheduleResponse(b []byte, r *ScheduleResponse) []byte {
+	b = appendHeader(b, KindScheduleResponse)
+	b = appendString(b, r.Name)
+	b = appendF64(b, r.Makespan)
+	b = appendF64(b, r.LowerBound)
+	b = appendString(b, r.Branch)
+	b = appendString(b, r.Solver)
+	b = binary.AppendUvarint(b, uint64(r.Probes))
+	b = binary.AppendUvarint(b, uint64(r.Synthesized))
+	var flags byte
+	if r.FromMemo {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(r.Shard))
+	b = appendString(b, r.Plan.Algorithm)
+	b = binary.AppendUvarint(b, uint64(len(r.Plan.Placements)))
+	for i := range r.Plan.Placements {
+		p := &r.Plan.Placements[i]
+		b = binary.AppendUvarint(b, uint64(p.Task))
+		b = appendF64(b, p.Start)
+		b = binary.AppendUvarint(b, uint64(p.Width))
+		b = binary.AppendUvarint(b, uint64(p.First))
+		b = binary.AppendUvarint(b, uint64(len(p.ProcSet)))
+		for _, q := range p.ProcSet {
+			b = binary.AppendUvarint(b, uint64(q))
+		}
+	}
+	return b
+}
+
+// AppendError encodes a typed error body.
+func AppendError(b []byte, e *ErrorBody) []byte {
+	b = appendHeader(b, KindError)
+	b = appendString(b, e.Error.Code)
+	return appendString(b, e.Error.Message)
+}
+
+// reader walks a binary payload; the first error sticks and every
+// subsequent read returns zero values, so decode paths check once at the
+// end.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a length prefix for elements of at least elemSize bytes and
+// rejects counts the remaining payload cannot possibly hold, so a hostile
+// length prefix cannot drive a huge allocation.
+func (r *reader) count(elemSize int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(len(r.b)-r.off)/uint64(elemSize) {
+		r.fail(ErrTooLarge)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) str() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return math.Float64frombits(v)
+}
+
+// done rejects trailing garbage, mirroring the JSON path's dec.More()
+// check.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrTooLarge, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// header validates the 4 opening bytes against the expected kind.
+func (r *reader) header(kind byte) {
+	if len(r.b) < headerLen {
+		r.fail(ErrTruncated)
+		return
+	}
+	if r.b[0] != magic0 || r.b[1] != magic1 {
+		r.fail(ErrBadMagic)
+		return
+	}
+	if r.b[2] != Version {
+		r.fail(fmt.Errorf("%w: %d (this build speaks %d)", ErrBadVersion, r.b[2], Version))
+		return
+	}
+	if r.b[3] != kind {
+		r.fail(fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrBadKind, r.b[3], kind))
+		return
+	}
+	r.off = headerLen
+}
+
+// DecodeScheduleRequest decodes and validates a binary /v1/schedule
+// request. The instance is built through the same task.New / instance.New
+// constructors as the JSON codec, so both codecs admit exactly the same
+// workloads and reject invalid ones (non-monotone profiles included) with
+// the same typed errors.
+func DecodeScheduleRequest(data []byte) (*instance.Instance, *RequestOptions, error) {
+	r := &reader{b: data}
+	r.header(KindScheduleRequest)
+	name := r.str()
+	m := r.uvarint()
+	nTasks := r.count(2) // a task is at least a name prefix + a count
+	tasks := make([]task.Task, 0, nTasks)
+	for i := 0; i < nTasks && r.err == nil; i++ {
+		tName := r.str()
+		nTimes := r.count(8)
+		times := make([]float64, nTimes)
+		for p := range times {
+			times[p] = r.f64()
+		}
+		if r.err != nil {
+			break
+		}
+		t, err := task.New(tName, times)
+		if err != nil {
+			return nil, nil, fmt.Errorf("instance: task %d: %w", i, err)
+		}
+		tasks = append(tasks, t)
+	}
+	var opts *RequestOptions
+	if r.u8() != 0 {
+		opts = &RequestOptions{}
+		opts.Solver = r.str()
+		nPort := r.count(1)
+		if nPort > 0 {
+			opts.Portfolio = make([]string, nPort)
+			for i := range opts.Portfolio {
+				opts.Portfolio[i] = r.str()
+			}
+		}
+		opts.Eps = r.f64()
+		flags := r.u8()
+		opts.Compact = flags&1 != 0
+		opts.Parallelism = int(r.varint())
+		opts.TimeoutMS = r.varint()
+		opts.Lineage = r.str()
+	}
+	if err := r.done(); err != nil {
+		return nil, nil, err
+	}
+	in, err := instance.New(name, int(m), tasks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, opts, nil
+}
+
+// DecodeScheduleResponse decodes a binary success response. Empty
+// placement lists decode non-nil and empty proc sets decode nil, matching
+// what encoding/json produces for the equivalent JSON body — so a binary
+// and a JSON response to the same request are DeepEqual after decoding.
+func DecodeScheduleResponse(data []byte) (*ScheduleResponse, error) {
+	r := &reader{b: data}
+	r.header(KindScheduleResponse)
+	resp := &ScheduleResponse{}
+	resp.Name = r.str()
+	resp.Makespan = r.f64()
+	resp.LowerBound = r.f64()
+	resp.Branch = r.str()
+	resp.Solver = r.str()
+	resp.Probes = int(r.uvarint())
+	resp.Synthesized = int(r.uvarint())
+	resp.FromMemo = r.u8()&1 != 0
+	resp.Shard = int(r.uvarint())
+	resp.Plan.Algorithm = r.str()
+	nPl := r.count(5) // a placement is at least 4 varints + a count
+	resp.Plan.Placements = make([]PlacementJSON, nPl)
+	for i := 0; i < nPl && r.err == nil; i++ {
+		p := &resp.Plan.Placements[i]
+		p.Task = int(r.uvarint())
+		p.Start = r.f64()
+		p.Width = int(r.uvarint())
+		p.First = int(r.uvarint())
+		if nProcs := r.count(1); nProcs > 0 {
+			p.ProcSet = make([]int, nProcs)
+			for j := range p.ProcSet {
+				p.ProcSet[j] = int(r.uvarint())
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// RouteKey extracts the routing tier's consistent-hash key from a binary
+// /v1/schedule request without building the instance: the workload-only
+// fingerprint (64-bit FNV-1a over machine size, task count and every
+// task's truncated time table — the same value engine.WorkloadFingerprint
+// computes from the decoded instance, pinned by an equivalence test in
+// internal/router) plus the lineage key, which overrides fingerprint
+// routing when set. Zero allocations: the router peeks, it never decodes.
+//
+// Truncation mirrors instance.New: profiles wider than m hash only their
+// first m entries, because that is what the backend will decode. Routing
+// from a mismatched key would cost locality, never correctness — every
+// shard answers every workload identically — but the equivalence test
+// keeps this walk and the engine's hash in lockstep anyway.
+func RouteKey(data []byte) (key uint64, lineage string, err error) {
+	r := &reader{b: data}
+	r.header(KindScheduleRequest)
+	_ = r.str() // instance name: fingerprints are name-independent
+	m := r.uvarint()
+	nTasks := r.count(2)
+	h := fnvHash(fnvOffset)
+	h.uint64(m)
+	h.uint64(uint64(nTasks))
+	for i := 0; i < nTasks && r.err == nil; i++ {
+		_ = r.str()
+		nTimes := r.count(8)
+		maxProcs := nTimes
+		if m > 0 && uint64(maxProcs) > m {
+			maxProcs = int(m)
+		}
+		h.uint64(uint64(maxProcs))
+		for p := 0; p < nTimes && r.err == nil; p++ {
+			// The wire already stores Float64bits little-endian, which is
+			// exactly what the fingerprint hashes.
+			if r.off+8 > len(r.b) {
+				r.fail(ErrTruncated)
+				break
+			}
+			if p < maxProcs {
+				h.uint64(binary.LittleEndian.Uint64(r.b[r.off:]))
+			}
+			r.off += 8
+		}
+	}
+	if r.u8() != 0 {
+		_ = r.str() // solver
+		nPort := r.count(1)
+		for i := 0; i < nPort && r.err == nil; i++ {
+			_ = r.str()
+		}
+		_ = r.f64()    // eps
+		_ = r.u8()     // flags
+		_ = r.varint() // parallelism
+		_ = r.varint() // timeout_ms
+		lineage = r.str()
+	}
+	if err := r.done(); err != nil {
+		return 0, "", err
+	}
+	return uint64(h), lineage, nil
+}
+
+// fnvHash mirrors the engine's fingerprint FNV-1a scheme (uint64s hashed
+// byte-wise little-endian); RouteKey depends on the two staying identical.
+type fnvHash uint64
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (h *fnvHash) hashByte(b byte) {
+	*h = (*h ^ fnvHash(b)) * fnvPrime
+}
+
+func (h *fnvHash) uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.hashByte(byte(v >> (8 * i)))
+	}
+}
+
+// DecodeError decodes a binary error body.
+func DecodeError(data []byte) (*ErrorBody, error) {
+	r := &reader{b: data}
+	r.header(KindError)
+	e := &ErrorBody{}
+	e.Error.Code = r.str()
+	e.Error.Message = r.str()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
