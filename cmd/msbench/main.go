@@ -11,6 +11,10 @@
 // replan_churn section plays online arrival traces through the simulator's
 // replan-on-arrival policy warm (lineage-threaded replanning) and cold,
 // reporting probes and ns per replan — the warm-start dimension's artifact.
+// A dag section adds the precedence-constrained family axis: seeded
+// instances under chain / out-tree / random DAG shapes solved with both
+// edge-aware registry solvers, pinned by certificate bits and plan hashes
+// with no timing columns, so those cells are bit-identical across runs.
 //
 // Usage:
 //
@@ -27,15 +31,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"time"
 
 	"malsched"
 	"malsched/internal/analysis"
 	"malsched/internal/core"
 	"malsched/internal/instance"
+	"malsched/internal/precedence"
 	"malsched/internal/sim"
 	"malsched/internal/workload"
 )
@@ -46,8 +53,11 @@ import (
 // row, plus compile_ns and probe_ns_hot) tracking the compiled-instance
 // hot path against the legacy probe path. v4 added the replan_churn
 // section: warm-start vs cold replanning cost (probes and ns per replan)
-// over online replan-on-arrival workloads.
-const Schema = "malsched/bench-engine/v4"
+// over online replan-on-arrival workloads. v5 added the dag section:
+// precedence-constrained cells (family × n × m × DAG shape × DAG solver)
+// with certificate bits and plan hashes — no timing columns, so the
+// section is bit-identical across runs.
+const Schema = "malsched/bench-engine/v5"
 
 // scenario is one cell of the declarative grid: a workload (family, n, m)
 // under one solver configuration.
@@ -166,6 +176,33 @@ type churnResult struct {
 	NsPerReplanCold int64 `json:"ns_per_replan_cold"`
 }
 
+// dagResult is one precedence-constrained cell of the dag section (added
+// in bench-engine/v5): a seeded instance under one DAG shape and one
+// edge-aware solver. The section deliberately carries no timing columns —
+// every field is a pure function of (family, n, m, seed, shape, solver),
+// so the section is bit-identical across runs and regenerations, and CI
+// can diff it like a golden file. Certificates are recorded as hex floats
+// (exact bits); plan_hash is FNV-1a over every placement.
+type dagResult struct {
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	M      int    `json:"m"`
+	Seed   int64  `json:"seed"`
+	// Shape names the DAG generator: chain, out-tree (arity 2), or
+	// random-p (seeded forward-edge density p).
+	Shape  string `json:"shape"`
+	Solver string `json:"solver"`
+	// Makespan and Lower are the two-phase heuristic's certificate pair:
+	// the schedule's makespan and the certified DAG lower bound
+	// max(Σ w_i(1)/m, full-speed critical path). Ratio is their quotient —
+	// an empirical quality column, not an approximation guarantee (the
+	// paper's √3 bound does not extend to general precedence).
+	Makespan string  `json:"makespan"` // hex float: exact bits
+	Lower    string  `json:"lower"`    // hex float: exact bits
+	Ratio    float64 `json:"ratio"`
+	PlanHash string  `json:"plan_hash"`
+}
+
 // report is the full BENCH_engine.json document.
 type report struct {
 	Schema           string           `json:"schema"`
@@ -180,6 +217,9 @@ type report struct {
 	// ReplanChurn compares warm-start vs cold replanning on online
 	// replan-on-arrival workloads (added in bench-engine/v4).
 	ReplanChurn []churnResult `json:"replan_churn"`
+	// DAG is the deterministic precedence-constrained section (added in
+	// bench-engine/v5); see dagResult.
+	DAG []dagResult `json:"dag"`
 }
 
 func main() {
@@ -322,6 +362,7 @@ func runEngineGrid(quick bool, seed int64, out string, seeds, repeats, workers i
 	}
 
 	rep.ReplanChurn = runChurn(quick, seed, repeats)
+	rep.DAG = runDAG(quick, seed)
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -527,6 +568,110 @@ func churnRun(tr *workload.Trace, preempt string, cold bool, repeats int) (sim.M
 		best = 0
 	}
 	return m, best
+}
+
+// dagShapes returns the DAG-shape dimension: generators from n to
+// successor lists. Each is deterministic in (seed, n), so the dag section
+// stays a pure function of the grid coordinates.
+func dagShapes() []struct {
+	name  string
+	build func(seed int64, n int) ([][]int, error)
+} {
+	return []struct {
+		name  string
+		build func(seed int64, n int) ([][]int, error)
+	}{
+		{"chain", func(_ int64, n int) ([][]int, error) { return precedence.ChainEdges(n), nil }},
+		{"out-tree", func(_ int64, n int) ([][]int, error) { return precedence.OutTreeEdges(n, 2) }},
+		{"random-0.3", func(seed int64, n int) ([][]int, error) { return precedence.RandomEdges(seed, n, 0.3), nil }},
+	}
+}
+
+// runDAG measures the dag section: every precedence cell solved through
+// the facade with both edge-aware registry solvers, the resulting plan
+// re-checked against the predecessor-ordering verifier on the spot (a
+// constraint-violating plan must fail the run, not be recorded), and the
+// certificates pinned bit-exactly. No wall-clock enters the section, so
+// two runs of the same binary emit identical bytes.
+func runDAG(quick bool, seed int64) []dagResult {
+	families := []string{"mixed", "comm-heavy", "wide-parallel"}
+	ns := []int{25, 100}
+	ms := []int{16, 64}
+	seeds := 2
+	if quick {
+		families = families[:2]
+		ns = []int{12}
+		ms = []int{8}
+		seeds = 1
+	}
+	gens := instance.Families()
+	shapes := dagShapes()
+	solvers := []string{"dag", "dag-crossover"}
+	fmt.Fprintf(os.Stderr, "msbench: dag section: %d cells (deterministic, untimed)\n",
+		len(families)*len(ns)*len(ms)*seeds*len(shapes)*len(solvers))
+	var out []dagResult
+	for _, fam := range families {
+		gen, ok := gens[fam]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "msbench: unknown family %q\n", fam)
+			os.Exit(2)
+		}
+		for _, n := range ns {
+			for _, m := range ms {
+				for s := int64(0); s < int64(seeds); s++ {
+					in := gen(seed+s, n, m)
+					for _, sh := range shapes {
+						edges, err := sh.build(seed+s, n)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "msbench: dag shape %s: %v\n", sh.name, err)
+							os.Exit(1)
+						}
+						for _, sv := range solvers {
+							res, err := malsched.Schedule(in, &malsched.Options{Solver: sv, Edges: edges})
+							if err != nil {
+								fmt.Fprintf(os.Stderr, "msbench: dag cell %s/%s/%s: %v\n", in.Name, sh.name, sv, err)
+								os.Exit(1)
+							}
+							if err := malsched.VerifyPrecedence(in, edges, res.Plan); err != nil {
+								fmt.Fprintf(os.Stderr, "msbench: dag cell %s/%s/%s: plan violates precedence: %v\n",
+									in.Name, sh.name, sv, err)
+								os.Exit(1)
+							}
+							out = append(out, dagResult{
+								Family:   fam,
+								N:        n,
+								M:        m,
+								Seed:     seed + s,
+								Shape:    sh.name,
+								Solver:   sv,
+								Makespan: strconv.FormatFloat(res.Makespan, 'x', -1, 64),
+								Lower:    strconv.FormatFloat(res.LowerBound, 'x', -1, 64),
+								Ratio:    res.Makespan / res.LowerBound,
+								PlanHash: dagPlanHash(res.Plan),
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dagPlanHash is FNV-1a over the plan's algorithm tag and every placement
+// (task, exact start bits, width, first processor, processor set) — the
+// same fingerprint the golden snapshot tests pin.
+func dagPlanHash(p *malsched.Plan) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|", p.Algorithm)
+	for _, pl := range p.Placements {
+		fmt.Fprintf(h, "%d:%x:%d:%d:", pl.Task, math.Float64bits(pl.Start), pl.Width, pl.First)
+		for _, q := range pl.ProcSet {
+			fmt.Fprintf(h, "%d,", q)
+		}
+		fmt.Fprint(h, ";")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // measureHot times the compiled dimension's two columns. compile_ns is the

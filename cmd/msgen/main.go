@@ -16,6 +16,11 @@
 // m-processor cluster, seeded and exactly reproducible). Trace mode
 // supports the families of instance.Families (the seeded parametric ones);
 // arrivals come from a Poisson process (-rate) or bursts (-bursts, -gap).
+//
+// -dag attaches a precedence DAG over the trace's jobs (in arrival order)
+// and switches the output to trace/v2: chain (a 0→1→…→n−1 pipeline),
+// out-tree (-arity children per node, the mesh-refinement motif), or
+// random (forward edges with probability -p, seeded by -seed).
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 
 	"malsched/internal/analysis"
 	"malsched/internal/instance"
+	"malsched/internal/precedence"
 	"malsched/internal/workload"
 )
 
@@ -43,10 +49,13 @@ func main() {
 	rate := flag.Float64("rate", 2.0, "trace mode: poisson arrival rate (jobs per time unit)")
 	bursts := flag.Int("bursts", 3, "trace mode: number of bursts")
 	gap := flag.Float64("gap", 5.0, "trace mode: time between bursts")
+	dag := flag.String("dag", "", "trace mode: precedence DAG over the jobs (chain, out-tree, random); empty means independent jobs (trace/v1)")
+	arity := flag.Int("arity", 2, "trace mode: children per node for -dag out-tree")
+	p := flag.Float64("p", 0.3, "trace mode: forward-edge probability for -dag random")
 	flag.Parse()
 
 	if *trace {
-		emitTrace(*family, *n, *m, *seed, *arrival, *rate, *bursts, *gap)
+		emitTrace(*family, *n, *m, *seed, *arrival, *rate, *bursts, *gap, *dag, *arity, *p)
 		return
 	}
 
@@ -77,8 +86,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "msgen: %s with %d tasks on %d processors\n", in.Name, in.N(), in.M)
 }
 
-// emitTrace writes a trace/v1 document for the selected arrival process.
-func emitTrace(family string, n, m int, seed int64, arrival string, rate float64, bursts int, gap float64) {
+// emitTrace writes a trace/v1 document for the selected arrival process,
+// or trace/v2 when a DAG shape is requested.
+func emitTrace(family string, n, m int, seed int64, arrival string, rate float64, bursts int, gap float64, dag string, arity int, p float64) {
 	var (
 		tr  *workload.Trace
 		err error
@@ -93,6 +103,27 @@ func emitTrace(family string, n, m int, seed int64, arrival string, rate float64
 	}
 	if err != nil {
 		log.Fatalf("generating trace (families: %s): %v", strings.Join(workload.Families(), ", "), err)
+	}
+	if dag != "" {
+		var edges [][]int
+		switch dag {
+		case "chain":
+			edges = precedence.ChainEdges(tr.N())
+		case "out-tree":
+			edges, err = precedence.OutTreeEdges(tr.N(), arity)
+		case "random":
+			edges = precedence.RandomEdges(seed, tr.N(), p)
+		default:
+			log.Fatalf("unknown dag shape %q (have: chain, out-tree, random)", dag)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		// tr.Jobs is already in canonical arrival order, so the edges
+		// address exactly the jobs the trace file will list.
+		if tr, err = workload.NewDAG(tr.Name+",dag="+dag, tr.M, tr.Jobs, edges); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if err := tr.WriteJSON(os.Stdout); err != nil {
 		log.Fatal(err)

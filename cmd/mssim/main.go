@@ -9,16 +9,19 @@
 // Usage:
 //
 //	mssim [-out BENCH_sim.json] [-quick] [-seed 1] [-parallelism 1]
-//	      [-policies epoch-batch,greedy-rigid,replan-on-arrival]
+//	      [-policies epoch-batch,greedy-rigid,replan-on-arrival,dag-release]
 //	      [-epoch 2] [-preempt repartition] [-solver mrt]
 //	mssim -trace trace.json [flags]
 //
 // The default mode runs a workload×policy×noise grid over generated
-// traces; -trace replays one trace/v1 JSON file (see cmd/msgen -trace)
-// through the selected policies instead. The artifact is bit-identical
-// across runs with the same flags: the simulator is deterministic at every
-// planning parallelism (only the probes column counts the speculative
-// search's extra work).
+// traces; -trace replays one trace JSON file (see cmd/msgen -trace)
+// through the selected policies instead. A trace/v2 file carrying a
+// precedence DAG runs only under the dag-aware policies of the selection
+// (sim.Run refuses edge-blind ones), and its timelines are certified with
+// the DAG verifier — predecessor-ordering included — instead of the plain
+// one. The artifact is bit-identical across runs with the same flags: the
+// simulator is deterministic at every planning parallelism (only the
+// probes column counts the speculative search's extra work).
 package main
 
 import (
@@ -119,8 +122,21 @@ func main() {
 	eng := engine.New(engine.Config{Workers: 1})
 	for _, sc := range scenarios {
 		jobs := sim.TimelineJobs(sc.trace)
+		polsFor := pols
+		if sc.trace.Edges != nil {
+			polsFor = polsFor[:0:0]
+			for _, p := range pols {
+				if sim.DAGAware(p) {
+					polsFor = append(polsFor, p)
+				}
+			}
+			if len(polsFor) == 0 {
+				log.Fatalf("%s carries precedence edges but no selected policy is dag-aware (have %s)",
+					sc.name, *policies)
+			}
+		}
 		for _, noise := range []float64{0, 0.15} {
-			for _, policy := range pols {
+			for _, policy := range polsFor {
 				cfg := sim.Config{
 					Policy:      policy,
 					Epoch:       *epoch,
@@ -141,8 +157,12 @@ func main() {
 				if *corrupt && len(res.Timeline) > 0 {
 					res.Timeline[0].Duration *= 2
 				}
-				if err := malsched.VerifyTimeline(sc.trace.M, jobs, res.Timeline); err != nil {
-					log.Fatalf("%s under %s: executed timeline failed verification: %v", sc.name, policy, err)
+				verr := malsched.VerifyTimeline(sc.trace.M, jobs, res.Timeline)
+				if verr == nil && sc.trace.Edges != nil {
+					verr = malsched.VerifyTimelineDAG(sc.trace.M, jobs, sc.trace.Edges, res.Timeline)
+				}
+				if verr != nil {
+					log.Fatalf("%s under %s: executed timeline failed verification: %v", sc.name, policy, verr)
 				}
 				m := res.Metrics
 				rep.Rows = append(rep.Rows, row{

@@ -1,10 +1,13 @@
 // Buildfarm schedules a CI pipeline's moldable jobs (compile shards, test
-// suites, linters, packaging) on a shared runner pool. Build jobs follow
-// Amdahl's law (link steps serialise), test suites split almost linearly,
-// packaging is sequential. The example shows how the certified lower bound
-// answers the operational question "would more runners help?": it computes
-// the schedule on three pool sizes and reports where the makespan hits the
-// critical-path floor.
+// suites, linters, packaging) on a shared runner pool — with the pipeline's
+// real dependency structure: tests wait for the builds they exercise,
+// packaging waits for every test, signing waits for packaging, lint runs
+// free. Build jobs follow Amdahl's law (link steps serialise), test suites
+// split almost linearly, packaging is sequential. The example shows how the
+// certified lower bound answers the operational question "would more
+// runners help?": it computes the DAG schedule on three pool sizes and
+// reports where the makespan hits the dependency-aware floor
+// max(total-work/m, critical path).
 package main
 
 import (
@@ -28,14 +31,32 @@ func jobs(m int) []malsched.Task {
 	}
 }
 
+// edges is the pipeline's dependency DAG as successor lists: builds gate
+// the test suites that exercise them, every test gates packaging, and
+// packaging gates signing. Lint (6) has no edges at all.
+var edges = [][]int{
+	{3, 4, 5},     // build-core → all test suites
+	{4, 5},        // build-ui → integration, e2e
+	{3},           // build-cli → unit tests
+	{7}, {7}, {7}, // tests → package
+	nil,
+	{8}, // package → sign
+	nil,
+}
+
 func main() {
 	for _, m := range []int{4, 8, 16} {
 		in, err := malsched.NewInstance(fmt.Sprintf("ci-pool-%d", m), m, jobs(m))
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := malsched.Schedule(in, &malsched.Options{Compact: true})
+		res, err := malsched.Schedule(in, &malsched.Options{Solver: "dag", Edges: edges})
 		if err != nil {
+			log.Fatal(err)
+		}
+		// The checker is independent of the solver — a schedule that starts
+		// a test before its build is a bug, not a speedup.
+		if err := malsched.VerifyPrecedence(in, edges, res.Plan); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("== %2d runners: pipeline %6.2f min (certified ≥ %.2f, ratio %.3f, via %s)\n",

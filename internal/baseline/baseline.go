@@ -125,15 +125,19 @@ func TWYPack(in *instance.Instance, packer string) (*schedule.Schedule, error) {
 	}
 	var pos []strippack.Pos
 	var h float64
+	var err error
 	switch packer {
 	case "nfdh":
-		pos, h = strippack.NFDH(rects, in.M)
+		pos, h, err = strippack.NFDH(rects, in.M)
 	case "ffdh":
-		pos, h = strippack.FFDH(rects, in.M)
+		pos, h, err = strippack.FFDH(rects, in.M)
 	case "bld":
-		pos, h = strippack.BLD(rects, in.M)
+		pos, h, err = strippack.BLD(rects, in.M)
 	default:
 		return nil, fmt.Errorf("baseline: unknown packer %q", packer)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if err := strippack.Validate(rects, pos, in.M, h); err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ import (
 
 	"malsched/internal/core"
 	"malsched/internal/instance"
+	"malsched/internal/precedence"
 )
 
 // DefaultMemoCapacity is the memo size used when Config.MemoCapacity is 0.
@@ -361,6 +362,16 @@ func (e *Engine) runWith(idx int, in *instance.Instance, opts Options, timeout t
 		out.Err = fmt.Errorf("%w: %w", ErrBadInstance, err)
 		e.errs.Add(1)
 		return out
+	}
+	// Precedence edges are part of the admitted input: a hostile successor
+	// list (wrong shape, out-of-range endpoint, cycle) fails typed here,
+	// before any solver can index with it.
+	if opts.Edges != nil {
+		if err := precedence.ValidateEdges(in.N(), opts.Edges); err != nil {
+			out.Err = fmt.Errorf("%w: %w", ErrBadInstance, err)
+			e.errs.Add(1)
+			return out
+		}
 	}
 	e.scheduled.Add(1)
 

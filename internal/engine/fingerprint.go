@@ -118,5 +118,20 @@ func fingerprint(in *instance.Instance, o Options) memoKey {
 	} else {
 		h.string(o.solverName())
 	}
+	// The edge structure is part of the key: a DAG must never alias its
+	// independent-task projection (or a differently-wired DAG over the same
+	// profiles) in the memo or the shard routing. nil edges hash to nothing,
+	// keeping every pre-DAG fingerprint stable; non-nil edges — even the
+	// empty DAG — append a marker plus the full successor lists.
+	if o.Edges != nil {
+		h.string("edges")
+		h.uint64(uint64(len(o.Edges)))
+		for _, ss := range o.Edges {
+			h.uint64(uint64(len(ss)))
+			for _, j := range ss {
+				h.uint64(uint64(j))
+			}
+		}
+	}
 	return memoKey{hash: uint64(h), m: in.M, n: in.N()}
 }

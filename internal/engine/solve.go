@@ -12,6 +12,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"malsched/internal/core"
 	"malsched/internal/instance"
 	"malsched/internal/schedule"
@@ -46,6 +48,13 @@ type Options struct {
 	// Baseline is a deprecated alias for Solver, kept for callers of the
 	// pre-registry API.
 	Baseline string
+	// Edges, when non-nil, is the successor-list precedence DAG over the
+	// instance's tasks (Edges[i] lists the tasks that may start only after
+	// task i completes). It is part of the memo fingerprint — a DAG never
+	// aliases its independent-task projection — and only edge-aware solvers
+	// accept it (solver.SupportsEdges); any other selection fails with
+	// solver.ErrEdgesUnsupported rather than silently dropping the edges.
+	Edges [][]int
 }
 
 // solverName resolves the registry name the options select (portfolio
@@ -163,6 +172,10 @@ func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan 
 	if err != nil {
 		return Solution{}, err
 	}
+	if o.Edges != nil && !solver.SupportsEdges(sv) {
+		return Solution{}, fmt.Errorf("%w: %q (edge-aware: %q, %q)",
+			solver.ErrEdgesUnsupported, sv.Name(), solver.DAGSolverName, solver.DAGCrossoverSolverName)
+	}
 	sol, err := sv.Solve(in, solver.Options{
 		Eps:         o.Eps,
 		Compact:     o.Compact,
@@ -172,6 +185,7 @@ func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan 
 		Scratch:     sc,
 		Interrupt:   interrupt,
 		WarmStart:   warm,
+		Edges:       o.Edges,
 	})
 	if err != nil {
 		return Solution{}, err

@@ -22,17 +22,22 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 
 	"malsched/internal/instance"
 	"malsched/internal/schedule"
 )
 
-// Graph is a DAG of malleable tasks over an instance: Succ[i] lists the
-// tasks that may start only after task i completes.
+// Graph is a DAG of malleable tasks over an instance: succ[i] lists the
+// tasks that may start only after task i completes. The fields are
+// unexported on purpose — every Graph in existence went through NewGraph,
+// so the scheduling entry points never see a cyclic or shape-mismatched
+// graph and cannot panic on one. Construct with NewGraph, Chain or OutTree;
+// read the edges back with Edges.
 type Graph struct {
-	In   *instance.Instance
-	Succ [][]int
+	in   *instance.Instance
+	succ [][]int
 }
 
 // Validation errors.
@@ -42,54 +47,33 @@ var (
 	ErrCycle = errors.New("precedence: graph is cyclic")
 )
 
-// NewGraph validates the DAG (shape, edge bounds, acyclicity).
-func NewGraph(in *instance.Instance, succ [][]int) (*Graph, error) {
-	if len(succ) != in.N() {
-		return nil, fmt.Errorf("%w: %d lists for %d tasks", ErrShape, len(succ), in.N())
+// ValidateEdges checks a raw successor-list representation against a task
+// count: exactly n lists, every endpoint in [0, n), and no cycle. It is the
+// shared admission gate for every layer that accepts edges from outside
+// (codec, server, engine) — none of them need to build a Graph to reject
+// hostile input with a typed error.
+func ValidateEdges(n int, succ [][]int) error {
+	if len(succ) != n {
+		return fmt.Errorf("%w: %d lists for %d tasks", ErrShape, len(succ), n)
 	}
 	for i, ss := range succ {
 		for _, j := range ss {
-			if j < 0 || j >= in.N() {
-				return nil, fmt.Errorf("%w: %d -> %d", ErrEdge, i, j)
+			if j < 0 || j >= n {
+				return fmt.Errorf("%w: %d -> %d", ErrEdge, i, j)
 			}
 		}
 	}
-	g := &Graph{In: in, Succ: succ}
-	if _, err := g.Topological(); err != nil {
-		return nil, err
+	if _, err := topoOrder(n, succ); err != nil {
+		return err
 	}
-	return g, nil
+	return nil
 }
 
-// Chain builds the linear graph 0 → 1 → … → n−1.
-func Chain(in *instance.Instance) *Graph {
-	succ := make([][]int, in.N())
-	for i := 0; i+1 < in.N(); i++ {
-		succ[i] = []int{i + 1}
-	}
-	return &Graph{In: in, Succ: succ}
-}
-
-// OutTree builds a rooted tree: task i > 0 depends on task (i−1)/arity
-// (the root fans out — the shape of the ocean application's adaptive-mesh
-// refinement hierarchy).
-func OutTree(in *instance.Instance, arity int) *Graph {
-	if arity < 1 {
-		panic("precedence: OutTree arity must be ≥ 1")
-	}
-	succ := make([][]int, in.N())
-	for i := 1; i < in.N(); i++ {
-		p := (i - 1) / arity
-		succ[p] = append(succ[p], i)
-	}
-	return &Graph{In: in, Succ: succ}
-}
-
-// Topological returns a topological order, or ErrCycle.
-func (g *Graph) Topological() ([]int, error) {
-	n := g.In.N()
+// topoOrder returns a topological order of the n-node graph, or ErrCycle.
+// Kahn's algorithm; endpoints must already be bounds-checked.
+func topoOrder(n int, succ [][]int) ([]int, error) {
 	indeg := make([]int, n)
-	for _, ss := range g.Succ {
+	for _, ss := range succ {
 		for _, j := range ss {
 			indeg[j]++
 		}
@@ -104,7 +88,7 @@ func (g *Graph) Topological() ([]int, error) {
 		i := queue[0]
 		queue = queue[1:]
 		order = append(order, i)
-		for _, j := range g.Succ[i] {
+		for _, j := range succ[i] {
 			if indeg[j]--; indeg[j] == 0 {
 				queue = append(queue, j)
 			}
@@ -116,19 +100,112 @@ func (g *Graph) Topological() ([]int, error) {
 	return order, nil
 }
 
+// copyEdges deep-copies a successor list so later caller mutation cannot
+// break a validated Graph (or leak out through Edges).
+func copyEdges(succ [][]int) [][]int {
+	out := make([][]int, len(succ))
+	for i, ss := range succ {
+		if len(ss) > 0 {
+			out[i] = append([]int(nil), ss...)
+		}
+	}
+	return out
+}
+
+// NewGraph validates the DAG (shape, edge bounds, acyclicity) and captures
+// a private copy of the edges.
+func NewGraph(in *instance.Instance, succ [][]int) (*Graph, error) {
+	if err := ValidateEdges(in.N(), succ); err != nil {
+		return nil, err
+	}
+	return &Graph{in: in, succ: copyEdges(succ)}, nil
+}
+
+// Instance returns the underlying malleable instance.
+func (g *Graph) Instance() *instance.Instance { return g.in }
+
+// Edges returns a deep copy of the successor lists.
+func (g *Graph) Edges() [][]int { return copyEdges(g.succ) }
+
+// ChainEdges builds the successor lists of the linear order
+// 0 → 1 → … → n−1.
+func ChainEdges(n int) [][]int {
+	succ := make([][]int, n)
+	for i := 0; i+1 < n; i++ {
+		succ[i] = []int{i + 1}
+	}
+	return succ
+}
+
+// OutTreeEdges builds the successor lists of a rooted tree in which task
+// i > 0 depends on task (i−1)/arity — the root fans out, the shape of the
+// ocean application's adaptive-mesh refinement hierarchy. An arity below 1
+// is a caller error, reported as such rather than panicking.
+func OutTreeEdges(n, arity int) ([][]int, error) {
+	if arity < 1 {
+		return nil, fmt.Errorf("%w: OutTree arity must be ≥ 1, got %d", ErrShape, arity)
+	}
+	succ := make([][]int, n)
+	for i := 1; i < n; i++ {
+		p := (i - 1) / arity
+		succ[p] = append(succ[p], i)
+	}
+	return succ, nil
+}
+
+// RandomEdges builds a random DAG on n nodes: each forward pair i < j is an
+// edge with probability p. Forward-only edges make the result acyclic by
+// construction, so it is safe fuzz/property-test material.
+func RandomEdges(seed int64, n int, p float64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	succ := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				succ[i] = append(succ[i], j)
+			}
+		}
+	}
+	return succ
+}
+
+// Chain builds the linear graph 0 → 1 → … → n−1.
+func Chain(in *instance.Instance) (*Graph, error) {
+	return NewGraph(in, ChainEdges(in.N()))
+}
+
+// OutTree builds a rooted tree: task i > 0 depends on task (i−1)/arity.
+// arity < 1 is a returned error, not a panic.
+func OutTree(in *instance.Instance, arity int) (*Graph, error) {
+	succ, err := OutTreeEdges(in.N(), arity)
+	if err != nil {
+		return nil, err
+	}
+	return NewGraph(in, succ)
+}
+
+// Topological returns a topological order. The error return is kept for
+// API compatibility but is always nil: NewGraph is the only constructor and
+// it rejects cycles.
+func (g *Graph) Topological() ([]int, error) {
+	return topoOrder(g.in.N(), g.succ)
+}
+
 // CriticalPath returns the longest chain length when task i takes time
 // times[i], plus each task's tail (longest remaining chain including i).
 func (g *Graph) CriticalPath(times []float64) (float64, []float64) {
 	order, err := g.Topological()
 	if err != nil {
-		panic(err) // NewGraph validated acyclicity
+		// Structurally unreachable: the unexported fields mean every Graph
+		// passed NewGraph's cycle check.
+		panic(err)
 	}
-	tail := make([]float64, g.In.N())
+	tail := make([]float64, g.in.N())
 	cp := 0.0
 	for k := len(order) - 1; k >= 0; k-- {
 		i := order[k]
 		best := 0.0
-		for _, j := range g.Succ[i] {
+		for _, j := range g.succ[i] {
 			if tail[j] > best {
 				best = tail[j]
 			}
@@ -145,12 +222,12 @@ func (g *Graph) CriticalPath(times []float64) (float64, []float64) {
 // full-machine allotments): any schedule performs at least the minimal
 // work, and no chain can beat its fastest execution.
 func (g *Graph) LowerBound() float64 {
-	fast := make([]float64, g.In.N())
-	for i, t := range g.In.Tasks {
+	fast := make([]float64, g.in.N())
+	for i, t := range g.in.Tasks {
 		fast[i] = t.MinTime()
 	}
 	cp, _ := g.CriticalPath(fast)
-	return math.Max(g.In.MinTotalWork()/float64(g.In.M), cp)
+	return math.Max(g.in.MinTotalWork()/float64(g.in.M), cp)
 }
 
 // SelectAllotment minimises L(γ(λ')) = max(Σ w(γ)/m, CP(γ(λ'))) over the
@@ -158,7 +235,7 @@ func (g *Graph) LowerBound() float64 {
 // critical path non-decreasing in λ', so the optimum sits at the crossover
 // of the sorted candidate deadlines (every distinct profile time).
 func (g *Graph) SelectAllotment() ([]int, float64) {
-	in := g.In
+	in := g.in
 	var cands []float64
 	for _, t := range in.Tasks {
 		cands = append(cands, t.Times()...)
@@ -202,6 +279,24 @@ func (g *Graph) SelectAllotment() ([]int, float64) {
 	return bestAlloc, bestL
 }
 
+// ScheduleCrossover runs the plain two-phase algorithm with no candidate
+// portfolio and no refinement: the L-minimising canonical allotment of
+// SelectAllotment, list-scheduled greedily longest-tail-first. It is the
+// crossover-search reference point the benchmarks compare the full
+// heuristic against.
+func (g *Graph) ScheduleCrossover() (*schedule.Schedule, error) {
+	alloc, _ := g.SelectAllotment()
+	if alloc == nil {
+		return nil, errors.New("precedence: no feasible canonical allotment")
+	}
+	s, err := g.scheduleWithAllotment(alloc)
+	if err != nil {
+		return nil, err
+	}
+	s.Algorithm = "dag-crossover"
+	return s, nil
+}
+
 // Schedule runs the two-phase heuristic: candidate allotments from the
 // canonical family (the L-minimiser of SelectAllotment, the full-machine
 // allotment, and a logarithmic sample of the candidate deadlines) are each
@@ -212,7 +307,7 @@ func (g *Graph) SelectAllotment() ([]int, float64) {
 // valid non-contiguous schedule; the validator runs with contiguity off,
 // matching rigid.List.
 func (g *Graph) Schedule() (*schedule.Schedule, error) {
-	in := g.In
+	in := g.in
 	var lambdas []float64
 	for _, t := range in.Tasks {
 		lambdas = append(lambdas, t.MinTime(), t.SeqTime())
@@ -298,14 +393,14 @@ func bestAllotment(s *schedule.Schedule, n int) []int {
 // then split the machine within each layer proportionally to sequential
 // work.
 func (g *Graph) levelProportional() []int {
-	in := g.In
+	in := g.in
 	order, err := g.Topological()
 	if err != nil {
 		return nil
 	}
 	depth := make([]int, in.N())
 	for _, i := range order {
-		for _, j := range g.Succ[i] {
+		for _, j := range g.succ[i] {
 			if depth[i]+1 > depth[j] {
 				depth[j] = depth[i] + 1
 			}
@@ -331,8 +426,8 @@ func (g *Graph) levelProportional() []int {
 
 // canonicalAlloc returns γ(λ) or nil when unreachable.
 func (g *Graph) canonicalAlloc(lambda float64) []int {
-	alloc := make([]int, g.In.N())
-	for i, t := range g.In.Tasks {
+	alloc := make([]int, g.in.N())
+	for i, t := range g.in.Tasks {
 		gm, ok := t.Canonical(lambda)
 		if !ok {
 			return nil
@@ -345,7 +440,7 @@ func (g *Graph) canonicalAlloc(lambda float64) []int {
 // scheduleWithAllotment greedily list-schedules the rigid DAG induced by
 // the allotment, longest tail first.
 func (g *Graph) scheduleWithAllotment(alloc []int) (*schedule.Schedule, error) {
-	in := g.In
+	in := g.in
 	times := make([]float64, in.N())
 	for i, t := range in.Tasks {
 		times[i] = t.Time(alloc[i])
@@ -357,7 +452,7 @@ func (g *Graph) scheduleWithAllotment(alloc []int) (*schedule.Schedule, error) {
 	// processors are free.
 	n := in.N()
 	preds := make([]int, n)
-	for _, ss := range g.Succ {
+	for _, ss := range g.succ {
 		for _, j := range ss {
 			preds[j]++
 		}
@@ -423,7 +518,7 @@ func (g *Graph) scheduleWithAllotment(alloc []int) (*schedule.Schedule, error) {
 			if e.t <= next {
 				free = append(free, e.procs...)
 				remaining--
-				for _, j := range g.Succ[e.task] {
+				for _, j := range g.succ[e.task] {
 					if preds[j]--; preds[j] == 0 {
 						ready[j] = true
 					}

@@ -51,7 +51,7 @@ func TestTopologicalOrder(t *testing.T) {
 	for k, i := range order {
 		pos[i] = k
 	}
-	for i, ss := range g.Succ {
+	for i, ss := range g.Edges() {
 		for _, j := range ss {
 			if pos[i] >= pos[j] {
 				t.Fatalf("order violates edge %d->%d: %v", i, j, order)
@@ -76,7 +76,10 @@ func TestLowerBoundChain(t *testing.T) {
 	// Chain of 3 linear tasks (work 4) on m=4: CP at full speed = 3·1 = 3;
 	// area bound = 12/4 = 3. LB = 3, and the schedule achieves it.
 	in := chainInstance(3, 4)
-	g := Chain(in)
+	g, err := Chain(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if lb := g.LowerBound(); math.Abs(lb-3) > 1e-9 {
 		t.Fatalf("LB = %v, want 3", lb)
 	}
@@ -184,11 +187,15 @@ func TestScheduleRatioReasonable(t *testing.T) {
 
 func TestOutTreeShape(t *testing.T) {
 	in := chainInstance(7, 4)
-	g := OutTree(in, 2)
+	g, err := OutTree(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Node 0 -> {1,2}, 1 -> {3,4}, 2 -> {5,6}.
 	want := [][]int{{1, 2}, {3, 4}, {5, 6}, nil, nil, nil, nil}
+	edges := g.Edges()
 	for i := range want {
-		got := append([]int(nil), g.Succ[i]...)
+		got := append([]int(nil), edges[i]...)
 		sort.Ints(got)
 		if len(got) != len(want[i]) {
 			t.Fatalf("node %d successors %v, want %v", i, got, want[i])
@@ -202,14 +209,86 @@ func TestOutTreeShape(t *testing.T) {
 	if _, err := g.Topological(); err != nil {
 		t.Fatal(err)
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Fatal("OutTree(0) should panic")
+	// arity < 1 is a typed error now, not a panic.
+	if _, err := OutTree(in, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("OutTree(0): want ErrShape, got %v", err)
+	}
+	if _, err := OutTreeEdges(5, -1); !errors.Is(err, ErrShape) {
+		t.Fatalf("OutTreeEdges(-1): want ErrShape, got %v", err)
+	}
+}
+
+func TestValidateEdgesTyped(t *testing.T) {
+	if err := ValidateEdges(3, [][]int{{1}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if err := ValidateEdges(3, [][]int{{3}, nil, nil}); !errors.Is(err, ErrEdge) {
+		t.Fatalf("want ErrEdge, got %v", err)
+	}
+	if err := ValidateEdges(3, [][]int{{-1}, nil, nil}); !errors.Is(err, ErrEdge) {
+		t.Fatalf("want ErrEdge for negative endpoint, got %v", err)
+	}
+	if err := ValidateEdges(3, [][]int{{0}, nil, nil}); !errors.Is(err, ErrCycle) {
+		t.Fatalf("want ErrCycle for self-edge, got %v", err)
+	}
+	if err := ValidateEdges(3, [][]int{{1}, {2}, {0}}); !errors.Is(err, ErrCycle) {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if err := ValidateEdges(3, [][]int{{1}, {2}, nil}); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	if err := ValidateEdges(0, nil); err != nil {
+		t.Fatalf("empty graph rejected: %v", err)
+	}
+}
+
+// Graphs are immune to caller mutation: NewGraph copies the edges in, and
+// Edges copies them out. This is what makes the unexported fields an
+// invariant rather than a convention.
+func TestGraphEdgeIsolation(t *testing.T) {
+	in := chainInstance(3, 4)
+	succ := [][]int{{1}, {2}, nil}
+	g, err := NewGraph(in, succ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ[2] = []int{0} // would be a cycle if shared
+	if _, err := g.Topological(); err != nil {
+		t.Fatalf("caller mutation corrupted the graph: %v", err)
+	}
+	out := g.Edges()
+	out[0][0] = 99
+	if got := g.Edges()[0][0]; got != 1 {
+		t.Fatalf("Edges() leaked internal storage: %d", got)
+	}
+}
+
+func TestRandomEdgesAcyclic(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		n := 1 + int(seed%7)
+		succ := RandomEdges(seed, n, 0.5)
+		if err := ValidateEdges(n, succ); err != nil {
+			t.Fatalf("RandomEdges(seed=%d) invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestChainEdgesShape(t *testing.T) {
+	succ := ChainEdges(3)
+	want := [][]int{{1}, {2}, nil}
+	for i := range want {
+		if len(succ[i]) != len(want[i]) {
+			t.Fatalf("ChainEdges(3) = %v", succ)
+		}
+		for k := range want[i] {
+			if succ[i][k] != want[i][k] {
+				t.Fatalf("ChainEdges(3) = %v", succ)
 			}
-		}()
-		OutTree(in, 0)
-	}()
+		}
+	}
+	if one := ChainEdges(1); len(one) != 1 || one[0] != nil {
+		t.Fatalf("ChainEdges(1) = %v", one)
+	}
 }
 
 func TestSelectAllotmentTradesOff(t *testing.T) {
@@ -218,7 +297,10 @@ func TestSelectAllotmentTradesOff(t *testing.T) {
 	// wider allotments than one-processor-per-task only when it pays.
 	m := 8
 	in := chainInstance(4, m)
-	g := Chain(in)
+	g, err := Chain(in)
+	if err != nil {
+		t.Fatal(err)
+	}
 	alloc, l := g.SelectAllotment()
 	// For a pure chain of linear tasks, CP(alloc) = Σ 4/p_i and the best
 	// canonical family member is everyone on the full machine:

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"malsched/internal/instance"
+	"malsched/internal/precedence"
+	"malsched/internal/schedule"
+	"malsched/internal/solver"
+	"malsched/internal/verify"
+)
+
+// planOfJSON reconstructs an in-process schedule from its wire form so the
+// client-side tests can re-run the verifier on exactly what came over HTTP.
+func planOfJSON(pj PlanJSON) *schedule.Schedule {
+	p := &schedule.Schedule{Algorithm: pj.Algorithm}
+	for _, pl := range pj.Placements {
+		p.Placements = append(p.Placements, schedule.Placement{
+			Task: pl.Task, Start: pl.Start, Width: pl.Width, First: pl.First, ProcSet: pl.ProcSet,
+		})
+	}
+	return p
+}
+
+// A valid DAG request round-trips: 200, served by the requested edge-aware
+// solver, and the returned plan passes the precedence verifier on the
+// client side too — against the graph the client sent, not anything the
+// server claims.
+func TestScheduleDAGRequest(t *testing.T) {
+	s := New(Config{Shards: 2, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(7, 5, 4)
+	raw := mustRaw(t, in)
+	graph := precedence.ChainEdges(in.N())
+	req := ScheduleRequest{Instance: raw, Graph: graph, Options: &RequestOptions{Solver: solver.DAGSolverName}}
+
+	status, body := post(t, ts, "/v1/schedule", req)
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body)
+	}
+	var resp ScheduleResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Solver != solver.DAGSolverName {
+		t.Fatalf("served by %q, want %q", resp.Solver, solver.DAGSolverName)
+	}
+	if err := verify.Precedence(in, graph, planOfJSON(resp.Plan)); err != nil {
+		t.Fatalf("served plan violates the requested precedence: %v", err)
+	}
+
+	// The same DAG request again hits the shard memo; the independent-task
+	// projection of the same instance must not — the fingerprint keeps the
+	// two workloads apart.
+	status, body = post(t, ts, "/v1/schedule", req)
+	if status != http.StatusOK {
+		t.Fatalf("repeat: HTTP %d: %s", status, body)
+	}
+	var again ScheduleResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.FromMemo {
+		t.Fatal("repeated DAG request did not hit the memo")
+	}
+	proj := ScheduleRequest{Instance: raw, Options: &RequestOptions{Solver: solver.DAGSolverName}}
+	status, body = post(t, ts, "/v1/schedule", proj)
+	if status != http.StatusOK {
+		t.Fatalf("projection: HTTP %d: %s", status, body)
+	}
+	var pres ScheduleResponse
+	if err := json.Unmarshal(body, &pres); err != nil {
+		t.Fatal(err)
+	}
+	if pres.FromMemo {
+		t.Fatal("projection request aliased the DAG's memo entry")
+	}
+}
+
+// Hostile graphs are typed 400s with their own code, never a panic and
+// never a solve: cyclic, self-edge, out-of-range endpoint, negative
+// endpoint, and shape-mismatched successor lists.
+func TestScheduleHostileGraphs(t *testing.T) {
+	s := New(Config{Shards: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(3, 3, 4) // 3 tasks
+	raw := mustRaw(t, in)
+	cases := []struct {
+		name  string
+		graph [][]int
+	}{
+		{"cycle", [][]int{{1}, {2}, {0}}},
+		{"self-edge", [][]int{{0}, nil, nil}},
+		{"out-of-range", [][]int{{7}, nil, nil}},
+		{"negative", [][]int{{-1}, nil, nil}},
+		{"shape-short", [][]int{{1}}},
+		{"shape-long", [][]int{nil, nil, nil, nil, nil}},
+	}
+	for _, tc := range cases {
+		req := ScheduleRequest{Instance: raw, Graph: tc.graph, Options: &RequestOptions{Solver: solver.DAGSolverName}}
+		status, body := post(t, ts, "/v1/schedule", req)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400 (%s)", tc.name, status, body)
+			continue
+		}
+		if code := errCode(t, body); code != CodeBadGraph {
+			t.Errorf("%s: error code %q, want %q", tc.name, code, CodeBadGraph)
+		}
+	}
+	for i, sh := range s.Stats().Shards {
+		if sh.Panics != 0 {
+			t.Fatalf("shard %d recovered %d panics on hostile graphs", i, sh.Panics)
+		}
+	}
+}
+
+// A graph with an edge-blind solver selection — explicit, defaulted, or a
+// portfolio — is an options error, not a silently dropped constraint.
+func TestScheduleGraphNeedsEdgeAwareSolver(t *testing.T) {
+	s := New(Config{Shards: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(5, 3, 4)
+	raw := mustRaw(t, in)
+	graph := precedence.ChainEdges(in.N())
+	for _, opts := range []*RequestOptions{
+		{Solver: solver.PaperSolverName},
+		nil, // server default solver is edge-blind
+		{Portfolio: []string{"mrt", "twy-ffdh"}},
+	} {
+		status, body := post(t, ts, "/v1/schedule", ScheduleRequest{Instance: raw, Graph: graph, Options: opts})
+		if status != http.StatusBadRequest {
+			t.Fatalf("opts %+v: HTTP %d, want 400 (%s)", opts, status, body)
+		}
+		if code := errCode(t, body); code != CodeBadOptions {
+			t.Fatalf("opts %+v: error code %q, want %q", opts, code, CodeBadOptions)
+		}
+	}
+}
+
+// An explicitly empty graph ([] per task, no edges) is valid — it is the
+// independent-task projection requested through the DAG path.
+func TestScheduleEmptyGraphIsValid(t *testing.T) {
+	s := New(Config{Shards: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(11, 4, 4)
+	graph := make([][]int, in.N())
+	req := ScheduleRequest{Instance: mustRaw(t, in), Graph: graph, Options: &RequestOptions{Solver: solver.DAGCrossoverSolverName}}
+	status, body := post(t, ts, "/v1/schedule", req)
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body)
+	}
+	var resp ScheduleResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Solver != solver.DAGCrossoverSolverName {
+		t.Fatalf("served by %q", resp.Solver)
+	}
+}

@@ -42,6 +42,7 @@ const (
 	CodeBadInstance   = wire.CodeBadInstance
 	CodeUnknownSolver = wire.CodeUnknownSolver
 	CodeBadOptions    = wire.CodeBadOptions
+	CodeBadGraph      = wire.CodeBadGraph
 	CodeQueueFull     = wire.CodeQueueFull
 	CodeDraining      = wire.CodeDraining
 	CodeTimeout       = wire.CodeTimeout

@@ -41,6 +41,7 @@ import (
 
 	"malsched/internal/engine"
 	"malsched/internal/instance"
+	"malsched/internal/precedence"
 	"malsched/internal/solver"
 	"malsched/internal/verify"
 	"malsched/internal/wire"
@@ -373,6 +374,18 @@ func (s *Server) solveVerified(in *instance.Instance, o engine.Options, timeout 
 			Message: fmt.Sprintf("refusing to serve an unverified schedule for %q: %v", in.Name, err),
 		}, http.StatusInternalServerError
 	}
+	if o.Edges != nil {
+		// DAG responses additionally re-check every precedence edge — the
+		// same never-vouch-unverified stance as verify.Plan above, extended
+		// to the ordering constraints the client asked for.
+		if err := verify.Precedence(in, o.Edges, out.Plan); err != nil {
+			s.verifyFail.Add(1)
+			return nil, &ErrorInfo{
+				Code:    CodeVerifyFailed,
+				Message: fmt.Sprintf("refusing to serve a precedence-violating schedule for %q: %v", in.Name, err),
+			}, http.StatusInternalServerError
+		}
+	}
 	return ResponseOf(in, out, shard), nil, 0
 }
 
@@ -381,6 +394,8 @@ func errInfoOf(err error) *ErrorInfo {
 	switch {
 	case errors.Is(err, engine.ErrTimeout):
 		return &ErrorInfo{Code: CodeTimeout, Message: err.Error()}
+	case errors.Is(err, solver.ErrEdgesUnsupported):
+		return &ErrorInfo{Code: CodeBadOptions, Message: err.Error()}
 	case errors.Is(err, engine.ErrBadInstance), errors.Is(err, engine.ErrNilInstance):
 		return &ErrorInfo{Code: CodeBadInstance, Message: err.Error()}
 	default:
@@ -392,6 +407,8 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, engine.ErrTimeout):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, solver.ErrEdgesUnsupported):
+		return http.StatusBadRequest
 	case errors.Is(err, engine.ErrBadInstance), errors.Is(err, engine.ErrNilInstance):
 		return http.StatusBadRequest
 	default:
@@ -425,6 +442,19 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, &ErrorInfo{Code: CodeBadInstance, Message: err.Error()})
 		return
 	}
+	if req.Graph != nil {
+		// The graph is validated here — before any shard is touched — so a
+		// hostile graph (cycle, self-edge, out-of-range endpoint, wrong
+		// shape) gets its own typed 400 rather than surfacing as a generic
+		// bad_instance from engine admission. Requesting a graph with an
+		// edge-blind solver is an options error, mapped from the engine's
+		// ErrEdgesUnsupported in errInfoOf.
+		if err := precedence.ValidateEdges(in.N(), req.Graph); err != nil {
+			writeError(w, http.StatusBadRequest, &ErrorInfo{Code: CodeBadGraph, Message: err.Error()})
+			return
+		}
+		o.Edges = req.Graph
+	}
 	resp, errInfo, status := s.solveVerified(in, o, timeout, lineageOf(req.Options))
 	if errInfo != nil {
 		writeError(w, status, errInfo)
@@ -449,7 +479,9 @@ func isBinary(r *http.Request) bool {
 // solveVerified is shared, so every binary response carries a plan that
 // passed verify.Plan — with the request decoded and the response encoded
 // through internal/wire over pooled buffers, no reflection and no
-// per-request encoder state.
+// per-request encoder state. Binary codec v1 carries no graph field (like
+// the batch path, DAG requests are JSON-only); adding it is a codec
+// version bump, see internal/wire.
 func (s *Server) handleScheduleBinary(w http.ResponseWriter, r *http.Request) {
 	s.binaryReqs.Add(1)
 	release, errInfo, status := s.admit()

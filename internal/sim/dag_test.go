@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"malsched/internal/precedence"
+	"malsched/internal/verify"
+	"malsched/internal/workload"
+)
+
+// dagTrace attaches a seeded random DAG to a Poisson trace; edges address
+// the canonical (sorted) job order, which is what the generators emit.
+func dagTrace(t *testing.T, seed int64, n, m int, p float64) *workload.Trace {
+	t.Helper()
+	base, err := workload.Poisson(seed, n, m, 1.5, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.NewDAG(base.Name+",dag", base.M, base.Jobs, precedence.RandomEdges(seed, n, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// The dependency-aware policy's executed timelines satisfy the full DAG
+// verifier — no job span starts before every predecessor's last span ends
+// — across shapes, noise levels and seeds.
+func TestDAGReleaseRespectsPrecedence(t *testing.T) {
+	traces := map[string]*workload.Trace{
+		"random-0.3": dagTrace(t, 3, 12, 8, 0.3),
+		"random-0.6": dagTrace(t, 9, 10, 6, 0.6),
+	}
+	base, err := workload.Poisson(5, 8, 6, 1.0, "wide-parallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := workload.NewDAG("chain", base.M, base.Jobs, precedence.ChainEdges(base.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces["chain"] = chain
+	tree, err := precedence.OutTreeEdges(base.N(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeTr, err := workload.NewDAG("tree", base.M, base.Jobs, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces["out-tree"] = treeTr
+
+	for name, tr := range traces {
+		for _, noise := range []float64{0, 0.2} {
+			res, err := Run(tr, Config{Policy: "dag-release", Noise: noise, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s noise=%v: %v", name, noise, err)
+			}
+			if err := verify.TimelineDAG(tr.M, TimelineJobs(tr), tr.Edges, res.Timeline); err != nil {
+				t.Fatalf("%s noise=%v: %v", name, noise, err)
+			}
+			if res.Metrics.Plans == 0 {
+				t.Fatalf("%s noise=%v: dag-release never planned", name, noise)
+			}
+		}
+	}
+}
+
+// An edge-carrying trace under any edge-blind policy is a typed error —
+// silently executing a DAG as independent jobs is not a simulation of it.
+func TestRunRejectsEdgesWithNonDAGPolicy(t *testing.T) {
+	tr := dagTrace(t, 11, 6, 4, 0.4)
+	for _, policy := range []string{"epoch-batch", "greedy-rigid", "replan-on-arrival"} {
+		if _, err := Run(tr, Config{Policy: policy, Epoch: 1}); !errors.Is(err, ErrEdgesNeedDAGPolicy) {
+			t.Errorf("%s: got %v, want ErrEdgesNeedDAGPolicy", policy, err)
+		}
+	}
+	// The dag policy itself accepts the trace.
+	if _, err := Run(tr, Config{Policy: "dag-release"}); err != nil {
+		t.Fatalf("dag-release: %v", err)
+	}
+}
+
+// dag-release is deterministic like every other policy: a run is a pure
+// function of (trace, Config).
+func TestDAGReleaseDeterministic(t *testing.T) {
+	tr := dagTrace(t, 17, 10, 8, 0.4)
+	a, err := Run(tr, Config{Policy: "dag-release", Noise: 0.15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, Config{Policy: "dag-release", Noise: 0.15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical dag-release runs diverged")
+	}
+}
+
+// The committed DAG trace (cmd/msgen -trace -dag out-tree provenance)
+// replays through the dependency-aware policy and verifies end to end —
+// the same file the mssim CI smoke drives.
+func TestReplayCommittedDAGTrace(t *testing.T) {
+	f, err := os.Open("../../testdata/trace_dag_tiny.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 6 || tr.M != 8 || tr.Edges == nil {
+		t.Fatalf("committed DAG trace shape changed: n=%d m=%d edges=%v", tr.N(), tr.M, tr.Edges)
+	}
+	for _, noise := range []float64{0, 0.1} {
+		res, err := Run(tr, Config{Policy: "dag-release", Noise: noise, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.TimelineDAG(tr.M, TimelineJobs(tr), tr.Edges, res.Timeline); err != nil {
+			t.Fatalf("noise=%v: %v", noise, err)
+		}
+	}
+}

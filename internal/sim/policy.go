@@ -19,6 +19,10 @@ type policy interface {
 	// planner reports whether the policy runs the planning kernel — the
 	// simulator then compiles the trace once for residual construction.
 	planner() bool
+	// dagAware reports whether the policy honours trace precedence edges;
+	// Run refuses to pair an edge-carrying trace with a policy that would
+	// silently ignore its constraints.
+	dagAware() bool
 	// period is the tick interval; only consulted when init pushed a tick.
 	period() float64
 	init(s *state)
@@ -60,6 +64,8 @@ func newPolicy(cfg Config) (policy, error) {
 			return nil, fmt.Errorf("sim: unknown preemption model %q (want %q or %q)",
 				cfg.Preempt, PreemptNone, PreemptRepartition)
 		}
+	case "dag-release":
+		return &dagRelease{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownPolicy, cfg.Policy, Policies())
 	}
@@ -78,6 +84,7 @@ type epochBatch struct {
 
 func (p *epochBatch) name() string    { return "epoch-batch" }
 func (p *epochBatch) planner() bool   { return true }
+func (p *epochBatch) dagAware() bool  { return false }
 func (p *epochBatch) period() float64 { return p.epoch }
 func (p *epochBatch) init(s *state)   { s.push(0, evTick, 0) }
 
@@ -118,6 +125,7 @@ type greedyRigid struct {
 
 func (p *greedyRigid) name() string    { return "greedy-rigid" }
 func (p *greedyRigid) planner() bool   { return false }
+func (p *greedyRigid) dagAware() bool  { return false }
 func (p *greedyRigid) period() float64 { return 0 }
 func (p *greedyRigid) init(s *state)   { p.frontier = make([]float64, s.tr.M) }
 
@@ -175,6 +183,7 @@ type replanOnArrival struct {
 
 func (p *replanOnArrival) name() string    { return "replan-on-arrival" }
 func (p *replanOnArrival) planner() bool   { return true }
+func (p *replanOnArrival) dagAware() bool  { return false }
 func (p *replanOnArrival) period() float64 { return 0 }
 
 func (p *replanOnArrival) init(s *state) {
@@ -203,6 +212,88 @@ func (p *replanOnArrival) onCompletion(s *state, _ int) error {
 }
 
 func (p *replanOnArrival) onTick(*state) error { return nil }
+
+// dagRelease is the dependency-aware policy for trace/v2 workloads: a job
+// is released — becomes eligible for planning — only once it has arrived
+// AND every predecessor in the trace's DAG has finished executing. Each
+// release boundary (an arrival, or a completion that unblocks successors)
+// batches the released jobs into one residual solve on the free
+// processors. Released jobs are mutually independent by construction (an
+// edge into a released job would mean an unfinished predecessor), so the
+// batch solve needs no edges and the executed timeline satisfies
+// verify.TimelineDAG: a successor's planning round happens strictly after
+// its last predecessor's span ends. On an edge-free trace the policy
+// degenerates to replan-at-release over arrivals alone.
+type dagRelease struct {
+	pred   [][]int // predecessor lists, from the trace's successor lists
+	rounds int
+}
+
+func (p *dagRelease) name() string    { return "dag-release" }
+func (p *dagRelease) planner() bool   { return true }
+func (p *dagRelease) dagAware() bool  { return true }
+func (p *dagRelease) period() float64 { return 0 }
+
+func (p *dagRelease) init(s *state) {
+	n := s.tr.N()
+	p.pred = make([][]int, n)
+	for i, succ := range s.tr.Edges {
+		for _, j := range succ {
+			p.pred[j] = append(p.pred[j], i)
+		}
+	}
+}
+
+// released returns the plannable jobs: queued (arrived, unfinished, no
+// pending commitment) with every predecessor done, in job order.
+func (p *dagRelease) released(s *state) []int {
+	var out []int
+	for _, j := range s.queued() {
+		ready := true
+		for _, i := range p.pred[j] {
+			if !s.done[i] {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (p *dagRelease) onArrival(s *state, _ int) error {
+	if s.moreArrivalsNow() {
+		return nil // coalesce a burst into one planning round
+	}
+	return p.plan(s)
+}
+
+func (p *dagRelease) onCompletion(s *state, _ int) error { return p.plan(s) }
+func (p *dagRelease) onTick(*state) error                { return nil }
+
+func (p *dagRelease) plan(s *state) error {
+	jobs := p.released(s)
+	if len(jobs) == 0 {
+		return nil
+	}
+	procs := s.freeProcs()
+	if len(procs) == 0 {
+		return nil
+	}
+	in, err := s.residual(fmt.Sprintf("%s/release-%d", s.tr.Name, p.rounds), len(procs), jobs)
+	if err != nil {
+		return err
+	}
+	sol, err := s.solve(in)
+	if err != nil {
+		return err
+	}
+	s.commitPlan(sol, jobs, procs)
+	p.rounds++
+	return nil
+}
 
 func (p *replanOnArrival) replan(s *state) error {
 	defer func() { p.replans++ }()

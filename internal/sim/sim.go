@@ -88,7 +88,19 @@ type Config struct {
 }
 
 // Policies returns the registered policy names, in reporting order.
-func Policies() []string { return []string{"epoch-batch", "greedy-rigid", "replan-on-arrival"} }
+// "dag-release" is the only one that honours trace/v2 precedence edges;
+// Run rejects an edge-carrying trace under any other policy.
+func Policies() []string {
+	return []string{"epoch-batch", "greedy-rigid", "replan-on-arrival", "dag-release"}
+}
+
+// DAGAware reports whether the named policy honours trace precedence
+// edges — i.e. whether Run accepts an edge-carrying trace under it. False
+// for unknown names.
+func DAGAware(policy string) bool {
+	p, err := newPolicy(Config{Policy: policy})
+	return err == nil && p.dagAware()
+}
 
 // Metrics summarises one executed run. All fields are deterministic
 // functions of (trace, Config).
@@ -156,6 +168,10 @@ var (
 	ErrUnknownPolicy = errors.New("sim: unknown policy")
 	ErrBadNoise      = errors.New("sim: noise amplitude must be in [0, 1)")
 	ErrStalled       = errors.New("sim: simulation stalled with unfinished jobs")
+	// ErrEdgesNeedDAGPolicy rejects an edge-carrying trace under a policy
+	// that would silently execute it as independent jobs — dropping
+	// precedence constraints is never a valid simulation of a DAG trace.
+	ErrEdgesNeedDAGPolicy = errors.New("sim: trace carries precedence edges; use a dag-aware policy")
 )
 
 // Event kinds, in no particular priority — ties resolve by insertion
@@ -635,6 +651,9 @@ func Run(tr *workload.Trace, cfg Config) (*Result, error) {
 	pol, err := newPolicy(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if tr.Edges != nil && !pol.dagAware() {
+		return nil, fmt.Errorf("%w (trace %q, policy %q)", ErrEdgesNeedDAGPolicy, tr.Name, pol.name())
 	}
 	eng := cfg.Engine
 	if eng == nil {

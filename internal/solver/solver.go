@@ -14,6 +14,7 @@
 package solver
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -60,6 +61,32 @@ type Options struct {
 	// and only probe accounting changes. Solvers without a dual search
 	// ignore it; the portfolio hands it to at most its "mrt" member.
 	WarmStart *core.WarmStart
+
+	// Edges, when non-nil, is the successor-list DAG over the instance's
+	// tasks: Edges[i] lists the tasks that may start only after task i
+	// completes. Only edge-aware solvers (SupportsEdges) accept it; the
+	// engine rejects edges handed to any other solver with
+	// ErrEdgesUnsupported instead of letting the DAG silently degrade to
+	// its independent-task projection.
+	Edges [][]int
+}
+
+// ErrEdgesUnsupported reports precedence edges handed to a solver that does
+// not understand them. Dropping the edges would be worse than failing: the
+// plan would be valid for the projection but violate the DAG.
+var ErrEdgesUnsupported = errors.New("solver: solver does not accept precedence edges")
+
+// EdgeAware marks solvers that consume Options.Edges. The marker is a
+// method rather than a registry flag so external solvers (Func) stay
+// conservatively edge-blind unless they opt in explicitly.
+type EdgeAware interface {
+	EdgeAware() bool
+}
+
+// SupportsEdges reports whether the solver opted into Options.Edges.
+func SupportsEdges(s Solver) bool {
+	ea, ok := s.(EdgeAware)
+	return ok && ea.EdgeAware()
 }
 
 // Solution is the outcome of one solver on one instance: the validated plan

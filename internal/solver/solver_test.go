@@ -15,8 +15,8 @@ import (
 
 func TestRegistryHasAllBuiltins(t *testing.T) {
 	want := []string{
-		"exact", "full-parallel", "mrt", "portfolio", "seq-lpt",
-		"twy-bld", "twy-ffdh", "twy-list", "twy-nfdh",
+		"dag", "dag-crossover", "exact", "full-parallel", "mrt", "portfolio",
+		"seq-lpt", "twy-bld", "twy-ffdh", "twy-list", "twy-nfdh",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -17,7 +17,9 @@
 package strippack
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -33,15 +35,23 @@ type Pos struct {
 	Y float64
 }
 
-func checkWidths(rects []Rect, m int) {
+// ErrBadRect is the typed rejection of a malformed rectangle: width outside
+// [1, m] or height that is negative, NaN or +Inf. The packers return it (not
+// a panic) so hostile rects reaching them from served input fail like
+// instance.Check does — a typed error the caller can map to a 400.
+var ErrBadRect = errors.New("strippack: bad rect")
+
+func checkWidths(rects []Rect, m int) error {
 	for i, r := range rects {
 		if r.Width < 1 || r.Width > m {
-			panic(fmt.Sprintf("strippack: rect %d width %d outside strip of %d", i, r.Width, m))
+			return fmt.Errorf("%w: rect %d width %d outside strip of %d", ErrBadRect, i, r.Width, m)
 		}
-		if !(r.Height >= 0) {
-			panic(fmt.Sprintf("strippack: rect %d has negative height %v", i, r.Height))
+		// !(h >= 0) also catches NaN; say so instead of calling NaN "negative".
+		if !(r.Height >= 0) || math.IsInf(r.Height, 1) {
+			return fmt.Errorf("%w: rect %d has non-finite or negative height %v", ErrBadRect, i, r.Height)
 		}
 	}
+	return nil
 }
 
 func byDecreasingHeight(rects []Rect) []int {
@@ -56,9 +66,12 @@ func byDecreasingHeight(rects []Rect) []int {
 // NFDH packs with Next Fit Decreasing Height: rectangles sorted by
 // non-increasing height fill the current level left to right; when one does
 // not fit the level closes for good and a new level opens on top of it.
-// Returns the positions and the used height.
-func NFDH(rects []Rect, m int) ([]Pos, float64) {
-	checkWidths(rects, m)
+// Returns the positions and the used height, or ErrBadRect for malformed
+// input.
+func NFDH(rects []Rect, m int) ([]Pos, float64, error) {
+	if err := checkWidths(rects, m); err != nil {
+		return nil, 0, err
+	}
 	pos := make([]Pos, len(rects))
 	y, levelH, x := 0.0, 0.0, 0
 	for k, i := range byDecreasingHeight(rects) {
@@ -75,15 +88,17 @@ func NFDH(rects []Rect, m int) ([]Pos, float64) {
 		x += r.Width
 	}
 	if len(rects) == 0 {
-		return pos, 0
+		return pos, 0, nil
 	}
-	return pos, y + levelH
+	return pos, y + levelH, nil
 }
 
 // FFDH packs with First Fit Decreasing Height: like NFDH but every open
 // level is tried in bottom-to-top order before a new one opens.
-func FFDH(rects []Rect, m int) ([]Pos, float64) {
-	checkWidths(rects, m)
+func FFDH(rects []Rect, m int) ([]Pos, float64, error) {
+	if err := checkWidths(rects, m); err != nil {
+		return nil, 0, err
+	}
 	pos := make([]Pos, len(rects))
 	type level struct {
 		y, h float64
@@ -112,10 +127,10 @@ func FFDH(rects []Rect, m int) ([]Pos, float64) {
 		}
 	}
 	if len(levels) == 0 {
-		return pos, 0
+		return pos, 0, nil
 	}
 	top := levels[len(levels)-1]
-	return pos, top.y + top.h
+	return pos, top.y + top.h, nil
 }
 
 // BLD packs with a skyline bottom-left-decreasing heuristic: rectangles in
@@ -124,8 +139,10 @@ func FFDH(rects []Rect, m int) ([]Pos, float64) {
 // has no worst-case guarantee; empirically FFDH dominates it on
 // height-sorted workloads (shelves waste less than skyline burial), so the
 // baselines use FFDH by default and BLD as a diversity packer.
-func BLD(rects []Rect, m int) ([]Pos, float64) {
-	checkWidths(rects, m)
+func BLD(rects []Rect, m int) ([]Pos, float64, error) {
+	if err := checkWidths(rects, m); err != nil {
+		return nil, 0, err
+	}
 	pos := make([]Pos, len(rects))
 	sky := make([]float64, m) // current top per processor
 	var used float64
@@ -151,7 +168,7 @@ func BLD(rects []Rect, m int) ([]Pos, float64) {
 			used = bestY + r.Height
 		}
 	}
-	return pos, used
+	return pos, used, nil
 }
 
 // Validate checks that the packing keeps every rectangle inside the strip,

@@ -1,7 +1,10 @@
 package strippack
 
 import (
+	"errors"
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -16,16 +19,26 @@ func randRects(rng *rand.Rand, n, m int) []Rect {
 
 type packer struct {
 	name string
-	f    func([]Rect, int) ([]Pos, float64)
+	f    func([]Rect, int) ([]Pos, float64, error)
 }
 
 func packers() []packer {
 	return []packer{{"NFDH", NFDH}, {"FFDH", FFDH}, {"BLD", BLD}}
 }
 
+// mustPack runs a packer on input the test knows is well-formed.
+func mustPack(t *testing.T, p packer, rects []Rect, m int) ([]Pos, float64) {
+	t.Helper()
+	pos, h, err := p.f(rects, m)
+	if err != nil {
+		t.Fatalf("%s: unexpected error: %v", p.name, err)
+	}
+	return pos, h
+}
+
 func TestPackersEmpty(t *testing.T) {
 	for _, p := range packers() {
-		pos, h := p.f(nil, 4)
+		pos, h := mustPack(t, p, nil, 4)
 		if len(pos) != 0 || h != 0 {
 			t.Fatalf("%s: empty pack gave height %v", p.name, h)
 		}
@@ -35,7 +48,7 @@ func TestPackersEmpty(t *testing.T) {
 func TestPackersSingle(t *testing.T) {
 	rects := []Rect{{Width: 3, Height: 2}}
 	for _, p := range packers() {
-		pos, h := p.f(rects, 4)
+		pos, h := mustPack(t, p, rects, 4)
 		if h != 2 || pos[0].X != 0 || pos[0].Y != 0 {
 			t.Fatalf("%s: single rect packed at %+v height %v", p.name, pos[0], h)
 		}
@@ -48,7 +61,11 @@ func TestPackersValidityRandom(t *testing.T) {
 		m := 1 + rng.Intn(16)
 		rects := randRects(rng, rng.Intn(40), m)
 		for _, p := range packers() {
-			pos, h := p.f(rects, m)
+			pos, h, err := p.f(rects, m)
+			if err != nil {
+				t.Logf("%s errored on valid input (seed %d): %v", p.name, seed, err)
+				return false
+			}
 			if err := Validate(rects, pos, m, h); err != nil {
 				t.Logf("%s invalid (seed %d): %v", p.name, seed, err)
 				return false
@@ -68,11 +85,11 @@ func TestLevelPackerHeightBounds(t *testing.T) {
 		m := 1 + rng.Intn(16)
 		rects := randRects(rng, 1+rng.Intn(50), m)
 		a, hm := Area(rects), MaxHeight(rects)
-		if _, h := NFDH(rects, m); h > 2*a/float64(m)+hm+1e-9 {
+		if _, h, _ := NFDH(rects, m); h > 2*a/float64(m)+hm+1e-9 {
 			t.Logf("NFDH bound violated: h=%v A/m=%v hmax=%v", h, a/float64(m), hm)
 			return false
 		}
-		if _, h := FFDH(rects, m); h > 1.7*a/float64(m)+hm+1e-9 {
+		if _, h, _ := FFDH(rects, m); h > 1.7*a/float64(m)+hm+1e-9 {
 			t.Logf("FFDH bound violated (seed %d)", seed)
 			return false
 		}
@@ -99,9 +116,9 @@ func TestRelativeQuality(t *testing.T) {
 		for _, r := range rects {
 			ub += r.Height
 		}
-		_, hn := NFDH(rects, m)
-		_, hf := FFDH(rects, m)
-		_, hb := BLD(rects, m)
+		_, hn, _ := NFDH(rects, m)
+		_, hf, _ := FFDH(rects, m)
+		_, hb, _ := BLD(rects, m)
 		if hf > hn+1e-9 {
 			t.Fatalf("FFDH worse than NFDH: %v > %v", hf, hn)
 		}
@@ -122,14 +139,14 @@ func TestFFDHReusesLevels(t *testing.T) {
 	// not under NFDH.
 	rects := []Rect{{1, 5}, {4, 2}, {1, 1}}
 	m := 4
-	posF, hF := FFDH(rects, m)
+	posF, hF, _ := FFDH(rects, m)
 	if posF[2].Y != 0 {
 		t.Fatalf("FFDH should reuse level 0 for the small rect: %+v", posF[2])
 	}
 	if hF != 7 {
 		t.Fatalf("FFDH height = %v, want 7", hF)
 	}
-	posN, hN := NFDH(rects, m)
+	posN, hN, _ := NFDH(rects, m)
 	if hN != 8 || posN[2].Y != 7 {
 		t.Fatalf("NFDH expected to stack a third level: h=%v pos=%+v", hN, posN[2])
 	}
@@ -139,7 +156,10 @@ func TestBLDFillsGaps(t *testing.T) {
 	// Two towers leave a valley that BLD must use.
 	rects := []Rect{{2, 4}, {2, 4}, {2, 1}}
 	m := 6
-	pos, h := BLD(rects, m)
+	pos, h, err := BLD(rects, m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := Validate(rects, pos, m, h); err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +182,44 @@ func TestValidateCatchesOverlap(t *testing.T) {
 	}
 }
 
-func TestWidthPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic for oversized width")
+// Hostile rects fail with the typed ErrBadRect, never a panic, in every
+// packer — the property the serving path relies on.
+func TestBadRectTypedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		rects []Rect
+	}{
+		{"oversized width", []Rect{{Width: 5, Height: 1}}},
+		{"zero width", []Rect{{Width: 0, Height: 1}}},
+		{"negative width", []Rect{{Width: -3, Height: 1}}},
+		{"negative height", []Rect{{Width: 2, Height: -1}}},
+		{"nan height", []Rect{{Width: 2, Height: math.NaN()}}},
+		{"inf height", []Rect{{Width: 2, Height: math.Inf(1)}}},
+	}
+	for _, tc := range cases {
+		for _, p := range packers() {
+			pos, h, err := p.f(tc.rects, 4)
+			if !errors.Is(err, ErrBadRect) {
+				t.Fatalf("%s/%s: want ErrBadRect, got %v", p.name, tc.name, err)
+			}
+			if pos != nil || h != 0 {
+				t.Fatalf("%s/%s: want zero results on error, got %v %v", p.name, tc.name, pos, h)
+			}
 		}
-	}()
-	NFDH([]Rect{{Width: 5, Height: 1}}, 4)
+	}
+}
+
+// The NaN rejection must not claim the height is "negative" — the old
+// message lied about what the guard caught.
+func TestNaNHeightMessageIsHonest(t *testing.T) {
+	_, _, err := NFDH([]Rect{{Width: 1, Height: math.NaN()}}, 4)
+	if err == nil {
+		t.Fatal("want error for NaN height")
+	}
+	if strings.Contains(err.Error(), "has negative height") {
+		t.Fatalf("message still calls NaN negative: %v", err)
+	}
+	if !strings.Contains(err.Error(), "non-finite or negative") {
+		t.Fatalf("message should name the non-finite case: %v", err)
+	}
 }

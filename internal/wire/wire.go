@@ -108,6 +108,14 @@ type ScheduleRequest struct {
 	// Instance is the workload in the instance JSON codec
 	// ({"name","m","tasks":[{"name","times"}]}).
 	Instance json.RawMessage `json:"instance"`
+	// Graph, when present, is a successor-list precedence DAG over the
+	// instance's tasks: graph[i] lists the tasks that may start only after
+	// task i completes. It is validated at admission (shape, edge bounds,
+	// acyclicity — CodeBadGraph on failure) and requires an edge-aware
+	// solver ("dag", "dag-crossover"); any other selection is CodeBadOptions.
+	// Like the batch path, the graph field is JSON-only: the binary codec
+	// (version 1) does not carry it, and adding it there is a version bump.
+	Graph [][]int `json:"graph,omitempty"`
 	// Options tunes the solve; absent means server defaults.
 	Options *RequestOptions `json:"options,omitempty"`
 }
@@ -196,6 +204,7 @@ type BatchResponse struct {
 const (
 	CodeBadRequest    = "bad_request"
 	CodeBadInstance   = "bad_instance"
+	CodeBadGraph      = "bad_graph"
 	CodeUnknownSolver = "unknown_solver"
 	CodeBadOptions    = "bad_options"
 	CodeQueueFull     = "queue_full"

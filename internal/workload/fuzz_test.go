@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"reflect"
 	"testing"
+
+	"malsched/internal/precedence"
 )
 
 // FuzzParseTrace fuzzes the trace/v1 codec shared by cmd/msgen -trace and
@@ -58,6 +60,76 @@ func FuzzParseTrace(f *testing.F) {
 		var out bytes.Buffer
 		if err := tr.WriteJSON(&out); err != nil {
 			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		back, err := ReadJSON(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("round trip changed trace:\n%+v\nvs\n%+v", tr, back)
+		}
+	})
+}
+
+// FuzzParseGraph fuzzes the trace/v2 graph codec — the edges field layered
+// onto the trace schema. Invariants: ReadJSON never panics on hostile
+// graphs (cycles, self-edges, out-of-range endpoints, shape mismatches);
+// anything accepted carries either nil edges (v1) or a fully validated DAG
+// whose successor lists address the canonical job order; and accepted
+// traces round-trip bit-exactly, with the schema version determined by
+// whether edges are present.
+func FuzzParseGraph(f *testing.F) {
+	// A valid v2 seed built through the constructor, edges given against
+	// the caller's (unsorted) job order to exercise the remap.
+	a := mustGen(f, func() (*Trace, error) { return Poisson(7, 5, 8, 1.5, "mixed") })
+	dag, err := NewDAG("dag", a.M, []Job{
+		{Task: a.Jobs[0].Task, Arrival: 2},
+		{Task: a.Jobs[1].Task, Arrival: 0},
+		{Task: a.Jobs[2].Task, Arrival: 1},
+	}, [][]int{{2}, {0, 2}, nil})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dag.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Hand-written seeds covering the graph rejection classes.
+	job := `{"name":"a","arrival":0,"times":[1]}`
+	for _, s := range []string{
+		`{"schema":"malsched/trace/v2","name":"chain","m":1,"jobs":[` + job + `,` + job + `],"edges":[[1],[]]}`,
+		`{"schema":"malsched/trace/v2","name":"cycle","m":1,"jobs":[` + job + `,` + job + `],"edges":[[1],[0]]}`,
+		`{"schema":"malsched/trace/v2","name":"self","m":1,"jobs":[` + job + `],"edges":[[0]]}`,
+		`{"schema":"malsched/trace/v2","name":"range","m":1,"jobs":[` + job + `],"edges":[[7]]}`,
+		`{"schema":"malsched/trace/v2","name":"neg","m":1,"jobs":[` + job + `],"edges":[[-1]]}`,
+		`{"schema":"malsched/trace/v2","name":"shape","m":1,"jobs":[` + job + `,` + job + `],"edges":[[1]]}`,
+		`{"schema":"malsched/trace/v2","name":"noedges","m":1,"jobs":[` + job + `]}`,
+		`{"schema":"malsched/trace/v1","name":"v1edges","m":1,"jobs":[` + job + `],"edges":[[]]}`,
+	} {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		if tr.Edges != nil {
+			if err := precedence.ValidateEdges(tr.N(), tr.Edges); err != nil {
+				t.Fatalf("accepted trace carries invalid edges: %v", err)
+			}
+		}
+		var out bytes.Buffer
+		if err := tr.WriteJSON(&out); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		wantSchema := SchemaV1
+		if tr.Edges != nil {
+			wantSchema = SchemaV2
+		}
+		if !bytes.Contains(out.Bytes(), []byte(wantSchema)) {
+			t.Fatalf("re-encoded trace lost its schema version %q", wantSchema)
 		}
 		back, err := ReadJSON(bytes.NewReader(out.Bytes()))
 		if err != nil {

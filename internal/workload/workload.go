@@ -3,8 +3,9 @@
 // paper's algorithm in. A Trace is an ordered sequence of jobs, each a
 // malleable task profile plus an arrival time, on a fixed machine; traces
 // are either generated from a seeded arrival process (Poisson, Burst) over
-// the experiment suite's profile families, or replayed from the trace/v1
-// JSON format cmd/msgen emits.
+// the experiment suite's profile families, or replayed from the trace JSON
+// formats cmd/msgen emits: trace/v1 for independent jobs, trace/v2 when
+// the jobs additionally carry a precedence DAG.
 package workload
 
 import (
@@ -16,12 +17,20 @@ import (
 	"sort"
 
 	"malsched/internal/instance"
+	"malsched/internal/precedence"
 	"malsched/internal/task"
 )
 
 // SchemaV1 identifies the on-disk trace layout; ReadJSON rejects any other
-// value so format drift fails loudly instead of mis-parsing.
-const SchemaV1 = "malsched/trace/v1"
+// value so format drift fails loudly instead of mis-parsing. SchemaV2 is
+// v1 plus a mandatory "edges" successor-list field — a v1 document with
+// edges is rejected rather than silently dropping the constraints, and
+// WriteJSON keeps emitting v1 for edge-free traces so existing artifacts
+// stay byte-stable.
+const (
+	SchemaV1 = "malsched/trace/v1"
+	SchemaV2 = "malsched/trace/v2"
+)
 
 // Job is one unit of an online workload: a malleable task that becomes
 // available for scheduling at its arrival time.
@@ -41,6 +50,14 @@ type Trace struct {
 	M int
 	// Jobs is sorted by Arrival; profiles are truncated to M processors.
 	Jobs []Job
+	// Edges, when non-nil, is a validated precedence DAG over the jobs in
+	// their canonical (sorted) order: Edges[i] lists the jobs that may
+	// start only after job i completes, on top of their own arrivals. nil
+	// means an independent-job trace (trace/v1 on disk); non-nil — even
+	// with every list empty — is trace/v2. Built by NewDAG, which remaps
+	// caller indices through the arrival sort, so constructors address
+	// jobs in the order they passed them.
+	Edges [][]int
 }
 
 // Validation errors.
@@ -55,24 +72,79 @@ var (
 // than m are truncated and jobs are stably sorted by arrival, so the
 // result is canonical regardless of input order.
 func New(name string, m int, jobs []Job) (*Trace, error) {
+	tr, _, err := build(name, m, jobs)
+	return tr, err
+}
+
+// NewDAG is New plus a precedence DAG over the jobs as the caller ordered
+// them: edges[i] lists the jobs that may start only after job i completes.
+// The edges are validated (shape, bounds, acyclicity — the typed errors of
+// precedence.ValidateEdges) and remapped through the canonical arrival
+// sort, so the stored Edges address the sorted Jobs. nil edges means an
+// independent-job trace, identical to New.
+func NewDAG(name string, m int, jobs []Job, edges [][]int) (*Trace, error) {
+	if edges != nil {
+		if err := precedence.ValidateEdges(len(jobs), edges); err != nil {
+			return nil, fmt.Errorf("workload: trace %q: %w", name, err)
+		}
+	}
+	tr, perm, err := build(name, m, jobs)
+	if err != nil {
+		return nil, err
+	}
+	if edges != nil {
+		// inv maps a caller index to the job's post-sort position; successor
+		// lists are sorted so the stored form is canonical regardless of the
+		// order the caller listed them in.
+		inv := make([]int, len(perm))
+		for pos, orig := range perm {
+			inv[orig] = pos
+		}
+		remapped := make([][]int, len(edges))
+		for orig, succ := range edges {
+			if len(succ) == 0 {
+				continue
+			}
+			rs := make([]int, len(succ))
+			for k, j := range succ {
+				rs[k] = inv[j]
+			}
+			sort.Ints(rs)
+			remapped[inv[orig]] = rs
+		}
+		tr.Edges = remapped
+	}
+	return tr, nil
+}
+
+// build validates and canonicalizes the job stream, returning the sort
+// permutation (perm[pos] = caller index of the job now at pos) for edge
+// remapping.
+func build(name string, m int, jobs []Job) (*Trace, []int, error) {
 	if m < 1 {
-		return nil, fmt.Errorf("%w: m=%d (trace %q)", instance.ErrNoProcs, m, name)
+		return nil, nil, fmt.Errorf("%w: m=%d (trace %q)", instance.ErrNoProcs, m, name)
 	}
 	if len(jobs) == 0 {
-		return nil, fmt.Errorf("%w (trace %q)", ErrNoJobs, name)
+		return nil, nil, fmt.Errorf("%w (trace %q)", ErrNoJobs, name)
 	}
 	js := make([]Job, len(jobs))
+	perm := make([]int, len(jobs))
 	for i, j := range jobs {
 		if math.IsNaN(j.Arrival) || math.IsInf(j.Arrival, 0) || j.Arrival < 0 {
-			return nil, fmt.Errorf("%w: job %d arrives at %v (trace %q)", ErrBadArrival, i, j.Arrival, name)
+			return nil, nil, fmt.Errorf("%w: job %d arrives at %v (trace %q)", ErrBadArrival, i, j.Arrival, name)
 		}
 		if err := j.Task.Check(); err != nil {
-			return nil, fmt.Errorf("workload: trace %q job %d: %w", name, i, err)
+			return nil, nil, fmt.Errorf("workload: trace %q job %d: %w", name, i, err)
 		}
 		js[i] = Job{Task: j.Task.Truncate(m), Arrival: j.Arrival}
+		perm[i] = i
 	}
-	sort.SliceStable(js, func(a, b int) bool { return js[a].Arrival < js[b].Arrival })
-	return &Trace{Name: name, M: m, Jobs: js}, nil
+	sort.SliceStable(perm, func(a, b int) bool { return js[perm[a]].Arrival < js[perm[b]].Arrival })
+	sorted := make([]Job, len(js))
+	for pos, orig := range perm {
+		sorted[pos] = js[orig]
+	}
+	return &Trace{Name: name, M: m, Jobs: sorted}, perm, nil
 }
 
 // N returns the number of jobs.
@@ -95,12 +167,14 @@ func (tr *Trace) Instance() (*instance.Instance, error) {
 	return instance.New(tr.Name, tr.M, tasks)
 }
 
-// jsonTrace is the trace/v1 on-disk representation.
+// jsonTrace is the on-disk representation of both schema versions: v2 is
+// v1 plus the edges field, which v1 documents must not carry.
 type jsonTrace struct {
 	Schema string    `json:"schema"`
 	Name   string    `json:"name"`
 	M      int       `json:"m"`
 	Jobs   []jsonJob `json:"jobs"`
+	Edges  [][]int   `json:"edges,omitempty"`
 }
 
 type jsonJob struct {
@@ -109,11 +183,23 @@ type jsonJob struct {
 	Times   []float64 `json:"times"`
 }
 
-// WriteJSON encodes the trace in the trace/v1 format.
+// WriteJSON encodes the trace: trace/v1 for an edge-free trace (bytes
+// identical to what this module always wrote), trace/v2 when Edges is
+// non-nil.
 func (tr *Trace) WriteJSON(w io.Writer) error {
 	jt := jsonTrace{Schema: SchemaV1, Name: tr.Name, M: tr.M, Jobs: make([]jsonJob, len(tr.Jobs))}
 	for i, j := range tr.Jobs {
 		jt.Jobs[i] = jsonJob{Name: j.Task.Name, Arrival: j.Arrival, Times: j.Task.Times()}
+	}
+	if tr.Edges != nil {
+		jt.Schema = SchemaV2
+		// Emit an entry per job even when every list is empty, so a v2
+		// document always has edges with len == len(jobs) and the
+		// "omitempty" tag never drops the field back to an invalid v2.
+		jt.Edges = make([][]int, len(tr.Edges))
+		for i, ss := range tr.Edges {
+			jt.Edges[i] = append([]int{}, ss...)
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -125,11 +211,14 @@ func (tr *Trace) WriteJSON(w io.Writer) error {
 // silently mis-read as the first document alone.
 var ErrTrailingData = errors.New("workload: trailing data after trace document")
 
-// ReadJSON decodes and validates a trace/v1 document: schema match, no
-// unknown fields (a typo'd key must fail, not silently zero a value),
-// monotone profiles, finite non-negative arrivals, nothing after the
-// document. Accepted traces survive a WriteJSON/ReadJSON round trip
-// unchanged (FuzzParseTrace asserts it).
+// ReadJSON decodes and validates a trace document: schema match (v1 or
+// v2), no unknown fields (a typo'd key must fail, not silently zero a
+// value), monotone profiles, finite non-negative arrivals, nothing after
+// the document. A v1 document carrying edges is rejected — only v2 may
+// express precedence, and its edges go through the same typed validation
+// as every other graph admission path (precedence.ValidateEdges). Accepted
+// traces survive a WriteJSON/ReadJSON round trip unchanged (FuzzParseTrace
+// and FuzzParseGraph assert it).
 func ReadJSON(r io.Reader) (*Trace, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -142,8 +231,17 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 	if _, err := dec.Token(); err != io.EOF {
 		return nil, ErrTrailingData
 	}
-	if jt.Schema != SchemaV1 {
-		return nil, fmt.Errorf("%w: %q (want %q)", ErrBadSchema, jt.Schema, SchemaV1)
+	switch jt.Schema {
+	case SchemaV1:
+		if jt.Edges != nil {
+			return nil, fmt.Errorf("%w: %q does not carry edges (use %q)", ErrBadSchema, SchemaV1, SchemaV2)
+		}
+	case SchemaV2:
+		if jt.Edges == nil {
+			return nil, fmt.Errorf("%w: %q requires an edges field (use %q for independent jobs)", ErrBadSchema, SchemaV2, SchemaV1)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %q (want %q or %q)", ErrBadSchema, jt.Schema, SchemaV1, SchemaV2)
 	}
 	jobs := make([]Job, len(jt.Jobs))
 	for i, jj := range jt.Jobs {
@@ -153,5 +251,5 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 		}
 		jobs[i] = Job{Task: t, Arrival: jj.Arrival}
 	}
-	return New(jt.Name, jt.M, jobs)
+	return NewDAG(jt.Name, jt.M, jobs, jt.Edges)
 }

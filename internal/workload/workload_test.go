@@ -67,6 +67,88 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// NewDAG addresses jobs in the caller's order and remaps the edges through
+// the canonical arrival sort, so a constructor never has to predict where
+// the sort will land its jobs.
+func TestNewDAGRemapsEdgesThroughSort(t *testing.T) {
+	a := task.MustNew("a", []float64{2})
+	b := task.MustNew("b", []float64{2})
+	c := task.MustNew("c", []float64{2})
+	// Caller order: a (arrives 3), b (arrives 1), c (arrives 2).
+	// Caller edges: b → a, b → c, c → a.
+	tr, err := NewDAG("t", 1, []Job{
+		{Task: a, Arrival: 3}, {Task: b, Arrival: 1}, {Task: c, Arrival: 2},
+	}, [][]int{nil, {0, 2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted order is b(0), c(1), a(2); the same DAG in those indices is
+	// 0 → {1, 2}, 1 → {2}.
+	names := []string{tr.Jobs[0].Task.Name, tr.Jobs[1].Task.Name, tr.Jobs[2].Task.Name}
+	if !reflect.DeepEqual(names, []string{"b", "c", "a"}) {
+		t.Fatalf("sort order: %v", names)
+	}
+	want := [][]int{{1, 2}, {2}, nil}
+	if !reflect.DeepEqual(tr.Edges, want) {
+		t.Fatalf("edges = %v, want %v", tr.Edges, want)
+	}
+}
+
+func TestNewDAGRejectsHostileEdges(t *testing.T) {
+	a := task.MustNew("a", []float64{1})
+	jobs := []Job{{Task: a}, {Task: a, Arrival: 1}}
+	for name, edges := range map[string][][]int{
+		"cycle":     {{1}, {0}},
+		"self-edge": {{0}, nil},
+		"range":     {{5}, nil},
+		"shape":     {{1}},
+	} {
+		if _, err := NewDAG("t", 1, jobs, edges); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// nil edges is New.
+	tr, err := NewDAG("t", 1, jobs, nil)
+	if err != nil || tr.Edges != nil {
+		t.Fatalf("nil edges: %v %v", tr, err)
+	}
+}
+
+// A DAG trace round-trips through trace/v2 and an edge-free trace keeps
+// writing trace/v1 — byte-stable for every artifact that predates edges.
+func TestJSONRoundTripDAG(t *testing.T) {
+	base, err := Poisson(5, 4, 8, 1.5, "mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewDAG("dag", base.M, base.Jobs, [][]int{{1, 2}, {3}, {3}, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(SchemaV2)) {
+		t.Fatalf("DAG trace not written as %s:\n%s", SchemaV2, buf.Bytes())
+	}
+	back, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatalf("round trip changed trace:\n%+v\nvs\n%+v", tr, back)
+	}
+
+	var v1 bytes.Buffer
+	if err := base.WriteJSON(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(v1.Bytes(), []byte("edges")) || !bytes.Contains(v1.Bytes(), []byte(SchemaV1)) {
+		t.Fatalf("edge-free trace drifted off trace/v1:\n%s", v1.Bytes())
+	}
+}
+
 func TestReadJSONRejects(t *testing.T) {
 	for name, doc := range map[string]string{
 		"bad schema":     `{"schema":"nope","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]}]}`,
@@ -80,6 +162,9 @@ func TestReadJSONRejects(t *testing.T) {
 		"trailing data":  `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]}]}{"x":1}`,
 		"trailing brace": `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]}]}}}`,
 		"unknown field":  `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arival":5,"times":[1]}]}`,
+		"v1 with edges":  `{"schema":"malsched/trace/v1","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]}],"edges":[[]]}`,
+		"v2 no edges":    `{"schema":"malsched/trace/v2","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]}]}`,
+		"v2 cyclic":      `{"schema":"malsched/trace/v2","name":"x","m":2,"jobs":[{"name":"a","arrival":0,"times":[1]},{"name":"b","arrival":0,"times":[1]}],"edges":[[1],[0]]}`,
 	} {
 		if _, err := ReadJSON(bytes.NewReader([]byte(doc))); err == nil {
 			t.Errorf("%s: accepted", name)

@@ -62,6 +62,7 @@ import (
 	"malsched/internal/engine"
 	"malsched/internal/instance"
 	"malsched/internal/lowerbound"
+	"malsched/internal/precedence"
 	"malsched/internal/schedule"
 	"malsched/internal/solver"
 	"malsched/internal/task"
@@ -139,6 +140,14 @@ type Options struct {
 	// Baseline is a deprecated alias for Solver, kept for pre-registry
 	// callers; Solver wins when both are set.
 	Baseline string
+	// Edges, when non-nil, is a successor-list precedence DAG over the
+	// instance's tasks: Edges[i] lists the tasks that may start only after
+	// task i completes. Only edge-aware solvers accept it ("dag",
+	// "dag-crossover"); any other selection fails typed rather than
+	// silently scheduling the independent-task projection. Build standard
+	// shapes with ChainEdges/OutTreeEdges, validate untrusted ones with
+	// ValidateEdges, and check results with VerifyPrecedence.
+	Edges [][]int
 }
 
 // Result is a produced schedule plus its certificates.
@@ -207,6 +216,7 @@ func engineOptions(o Options) engine.Options {
 		Parallelism: o.Parallelism,
 		Legacy:      o.Legacy,
 		Baseline:    o.Baseline,
+		Edges:       o.Edges,
 	}
 }
 
@@ -296,4 +306,34 @@ type (
 // harnesses the same way Verify is for static plans.
 func VerifyTimeline(m int, jobs []TimelineJob, spans []TimelineSpan) error {
 	return verify.Timeline(m, jobs, spans)
+}
+
+// Precedence-DAG helpers, re-exported from the precedence layer so DAG
+// workloads are first-class at the public surface (Options.Edges).
+var (
+	// ChainEdges builds the successor lists of the linear order
+	// 0 → 1 → … → n−1.
+	ChainEdges = precedence.ChainEdges
+	// OutTreeEdges builds a rooted out-tree in which task i > 0 depends on
+	// task (i−1)/arity; arity < 1 is a returned error.
+	OutTreeEdges = precedence.OutTreeEdges
+	// ValidateEdges checks a successor-list DAG against a task count:
+	// exactly n lists, endpoints in range, no cycle. Every layer that
+	// accepts edges from outside runs it.
+	ValidateEdges = precedence.ValidateEdges
+)
+
+// VerifyPrecedence checks the DAG ordering claim of a static plan: for
+// every edge i → j, task j starts at or after task i ends. It complements
+// Verify (which checks placements and certificates) and is what the "dag"
+// solvers self-apply and msserve enforces on every DAG response.
+func VerifyPrecedence(in *Instance, edges [][]int, p *Plan) error {
+	return verify.Precedence(in, edges, p)
+}
+
+// VerifyTimelineDAG is the executed counterpart of VerifyPrecedence:
+// VerifyTimeline's full suite plus the dependency release rule — no span of
+// a job starts before the last span of any predecessor ends.
+func VerifyTimelineDAG(m int, jobs []TimelineJob, edges [][]int, spans []TimelineSpan) error {
+	return verify.TimelineDAG(m, jobs, edges, spans)
 }
