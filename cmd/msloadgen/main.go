@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"malsched/internal/instance"
+	"malsched/internal/precedence"
 	"malsched/internal/router"
 	"malsched/internal/server"
 	"malsched/internal/wire"
@@ -73,8 +74,13 @@ type artifact struct {
 }
 
 type cellResult struct {
-	Codec    string `json:"codec"`
-	Family   string `json:"family"`
+	Codec  string `json:"codec"`
+	Family string `json:"family"`
+	// Graph names the precedence-DAG shape attached to every request of
+	// the cell ("chain", "out-tree"); empty for independent-task cells.
+	// Graph cells run the "dag" solver; the graph travels in the JSON
+	// "graph" field or the wire/v2 binary graph section.
+	Graph    string `json:"graph,omitempty"`
 	N        int    `json:"n"`
 	M        int    `json:"m"`
 	Requests int    `json:"requests"`
@@ -205,6 +211,7 @@ func main() {
 	famFlag := flag.String("families", "mixed,comm-heavy", "comma-separated instance families")
 	sizeFlag := flag.String("sizes", "12x8,24x16", "comma-separated NxM instance sizes")
 	codecFlag := flag.String("codecs", "json,binary", "codecs to measure")
+	graphFlag := flag.String("graphs", "none", "comma-separated DAG shapes per cell: none, chain, out-tree (non-none cells run the dag solver)")
 	distinct := flag.Int("distinct", 8, "distinct instances cycled per cell (memo-hit dominated)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	allocIters := flag.Int("alloc-iters", 300, "serial iterations for the allocs/request measurement")
@@ -232,6 +239,14 @@ func main() {
 			log.Fatalf("unknown codec %q", c)
 		}
 		codecs = append(codecs, c)
+	}
+	var graphs []string
+	for _, g := range strings.Split(*graphFlag, ",") {
+		g = strings.TrimSpace(g)
+		if g != "none" && g != "chain" && g != "out-tree" {
+			log.Fatalf("unknown graph shape %q (want none, chain or out-tree)", g)
+		}
+		graphs = append(graphs, g)
 	}
 	if *rps < 1 || *distinct < 1 || *allocIters < 1 {
 		log.Fatal("-rps, -distinct and -alloc-iters must be ≥ 1")
@@ -273,17 +288,19 @@ func main() {
 	}
 
 	for _, codec := range codecs {
-		for _, fam := range famNames {
-			for _, sz := range sizes {
-				cell := runCell(tgt, cellSpec{
-					codec: codec, family: fam, gen: fams[fam], n: sz.n, m: sz.m,
-					seed: *seed, distinct: *distinct, rps: *rps,
-					duration: *duration, allocIters: *allocIters,
-				})
-				art.Cells = append(art.Cells, cell)
-				if *verbose {
-					log.Printf("%s/%s/%dx%d: p50 %.0fµs p99 %.0fµs allocs %.0f (%d reqs, %d errors)",
-						codec, fam, sz.n, sz.m, cell.P50us, cell.P99us, cell.AllocsPerRequest, cell.Requests, cell.Errors)
+		for _, graph := range graphs {
+			for _, fam := range famNames {
+				for _, sz := range sizes {
+					cell := runCell(tgt, cellSpec{
+						codec: codec, graph: graph, family: fam, gen: fams[fam], n: sz.n, m: sz.m,
+						seed: *seed, distinct: *distinct, rps: *rps,
+						duration: *duration, allocIters: *allocIters,
+					})
+					art.Cells = append(art.Cells, cell)
+					if *verbose {
+						log.Printf("%s/%s/%s/%dx%d: p50 %.0fµs p99 %.0fµs allocs %.0f (%d reqs, %d errors)",
+							codec, graph, fam, sz.n, sz.m, cell.P50us, cell.P99us, cell.AllocsPerRequest, cell.Requests, cell.Errors)
+					}
 				}
 			}
 		}
@@ -317,14 +334,29 @@ func main() {
 }
 
 type cellSpec struct {
-	codec, family string
-	gen           func(seed int64, n, m int) *instance.Instance
-	n, m          int
-	seed          int64
-	distinct      int
-	rps           int
-	duration      time.Duration
-	allocIters    int
+	codec, graph, family string
+	gen                  func(seed int64, n, m int) *instance.Instance
+	n, m                 int
+	seed                 int64
+	distinct             int
+	rps                  int
+	duration             time.Duration
+	allocIters           int
+}
+
+// edgesFor builds the cell's DAG shape over n tasks; nil for "none".
+func edgesFor(graph string, n int) [][]int {
+	switch graph {
+	case "chain":
+		return precedence.ChainEdges(n)
+	case "out-tree":
+		succ, err := precedence.OutTreeEdges(n, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return succ
+	}
+	return nil
 }
 
 func runCell(tgt target, spec cellSpec) cellResult {
@@ -334,18 +366,23 @@ func runCell(tgt target, spec cellSpec) cellResult {
 	if spec.codec == "binary" {
 		contentType = wire.ContentType
 	}
+	edges := edgesFor(spec.graph, spec.n)
+	var opts *wire.RequestOptions
+	if edges != nil {
+		opts = &wire.RequestOptions{Solver: "dag"}
+	}
 	bodies := make([][]byte, spec.distinct)
 	for i := range bodies {
 		in := spec.gen(spec.seed*1_000_003+int64(i), spec.n, spec.m)
 		if spec.codec == "binary" {
-			bodies[i] = wire.AppendScheduleRequest(nil, in, nil)
+			bodies[i] = wire.AppendScheduleRequest(nil, in, edges, opts)
 			continue
 		}
 		raw, err := server.EncodeInstance(in)
 		if err != nil {
 			log.Fatalf("encoding %s: %v", in.Name, err)
 		}
-		buf, err := json.Marshal(wire.ScheduleRequest{Instance: raw})
+		buf, err := json.Marshal(wire.ScheduleRequest{Instance: raw, Graph: edges, Options: opts})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -393,8 +430,12 @@ func runCell(tgt target, spec cellSpec) cellResult {
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	graphName := spec.graph
+	if graphName == "none" {
+		graphName = ""
+	}
 	res := cellResult{
-		Codec: spec.codec, Family: spec.family, N: spec.n, M: spec.m,
+		Codec: spec.codec, Family: spec.family, Graph: graphName, N: spec.n, M: spec.m,
 		Requests:    len(samples),
 		Errors:      errors,
 		RPSAchieved: float64(len(samples)) / elapsed.Seconds(),

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"malsched/internal/instance"
 	"malsched/internal/knapsack"
 	"malsched/internal/rigid"
 )
@@ -46,10 +47,29 @@ type Scratch struct {
 	ks        knapsack.Solver
 	seg       segState // λ-segment cache of the probe deadline
 	mseg      segState // λ-segment cache of §3.1's relaxed deadline
+	aux       AuxCache // opaque per-worker cache of other solver families
 }
 
 // NewScratch returns an empty Scratch; buffers grow on demand.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// AuxCache is an opaque cache slot other solver families attach to a
+// Scratch so their per-worker state rides the same pooling and lineage
+// pinning as the dual search's buffers (the precedence solver keeps its
+// DAG λ-segment cache here). The only contract is eviction: DropCompiled
+// must forget every entry derived from the given compiled tables, so a
+// lineage that retires its previous residual's tables releases them from
+// every cache the Scratch carries.
+type AuxCache interface {
+	DropCompiled(*instance.Compiled)
+}
+
+// Aux returns the attached auxiliary cache, nil when none was set.
+func (sc *Scratch) Aux() AuxCache { return sc.aux }
+
+// SetAux attaches an auxiliary cache to the Scratch. Like the rest of the
+// Scratch it must only be touched by one worker at a time.
+func (sc *Scratch) SetAux(a AuxCache) { sc.aux = a }
 
 // scratchPool backs the exported one-shot helpers (CanonicalAllotment,
 // ByDecreasingTime, PrefixArea, MalleableList, CanonicalList, TwoShelf,

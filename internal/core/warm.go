@@ -317,6 +317,9 @@ func (s *search) runSpeculativeWarm(k int, sc *Scratch) error {
 func (sc *Scratch) DropCompiled(c *instance.Compiled) {
 	sc.seg.drop(c)
 	sc.mseg.drop(c)
+	if sc.aux != nil {
+		sc.aux.DropCompiled(c)
+	}
 }
 
 func (st *segState) drop(c *instance.Compiled) {

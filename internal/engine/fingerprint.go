@@ -68,6 +68,38 @@ func WorkloadFingerprint(in *instance.Instance) uint64 {
 	return uint64(instanceHash(in))
 }
 
+// WorkloadFingerprintDAG is WorkloadFingerprint with the precedence DAG
+// folded in: nil edges leave the hash exactly equal to the independent
+// fingerprint, while non-nil edges — even the empty DAG — fold a marker
+// plus the full successor lists, the same stream the memo fingerprint
+// hashes. The routing tier uses it so a DAG request never lands on (and
+// never shares warm state with) the shard of its independent projection;
+// the binary codec's RouteKey folds the identical stream, keeping JSON and
+// binary routing decisions aligned.
+func WorkloadFingerprintDAG(in *instance.Instance, edges [][]int) uint64 {
+	h := instanceHash(in)
+	hashEdges(&h, edges)
+	return uint64(h)
+}
+
+// hashEdges folds a successor-list DAG into a fingerprint: nothing for nil
+// (pre-DAG hashes stay stable), a marker plus the full lists otherwise.
+// Shared by the memo fingerprint, WorkloadFingerprintDAG and — stream-for-
+// stream — wire.RouteKey's binary fold.
+func hashEdges(h *fnv64, edges [][]int) {
+	if edges == nil {
+		return
+	}
+	h.string("edges")
+	h.uint64(uint64(len(edges)))
+	for _, ss := range edges {
+		h.uint64(uint64(len(ss)))
+		for _, j := range ss {
+			h.uint64(uint64(j))
+		}
+	}
+}
+
 // instanceHash is the workload-only prefix of the fingerprint: machine
 // size and every task's full time table, no options. The compiled-instance
 // cache keys on it alone, because compiled breakpoint tables depend only on
@@ -123,15 +155,6 @@ func fingerprint(in *instance.Instance, o Options) memoKey {
 	// profiles) in the memo or the shard routing. nil edges hash to nothing,
 	// keeping every pre-DAG fingerprint stable; non-nil edges — even the
 	// empty DAG — append a marker plus the full successor lists.
-	if o.Edges != nil {
-		h.string("edges")
-		h.uint64(uint64(len(o.Edges)))
-		for _, ss := range o.Edges {
-			h.uint64(uint64(len(ss)))
-			for _, j := range ss {
-				h.uint64(uint64(j))
-			}
-		}
-	}
+	hashEdges(&h, o.Edges)
 	return memoKey{hash: uint64(h), m: in.M, n: in.N()}
 }

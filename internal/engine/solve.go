@@ -72,23 +72,35 @@ func (o Options) solverName() string {
 
 // WantsCompiled reports whether the options resolve to a solver that can
 // consume compiled λ-breakpoint tables: the paper's dual search ("mrt"),
-// or a portfolio that includes it (the registered "portfolio" does). The
-// engine and the scheduling service gate compilation on it so baseline and
-// exact solves — which never probe — neither pay instance.Compile nor fill
-// the compiled cache. Custom registered solvers are conservatively treated
-// as non-consumers: one that runs the dual search internally still gets
+// the DAG solvers ("dag", "dag-crossover", whose crossover search resolves
+// canonical allotments through the same tables), or a portfolio that
+// includes one of them (the registered "portfolio" does). The engine and
+// the scheduling service gate compilation on it so baseline and exact
+// solves — which never probe — neither pay instance.Compile nor fill the
+// compiled cache. Custom registered solvers are conservatively treated as
+// non-consumers: one that runs the dual search internally still gets
 // compiled tables, built once per search by core.Approximate itself.
 func WantsCompiled(o Options) bool {
 	if len(o.Portfolio) > 0 {
 		for _, m := range o.Portfolio {
-			if m == solver.PaperSolverName {
+			if wantsCompiledName(m) {
 				return true
 			}
 		}
 		return false
 	}
 	name := o.solverName()
-	return name == solver.PaperSolverName || name == solver.PortfolioName
+	return wantsCompiledName(name) || name == solver.PortfolioName
+}
+
+// wantsCompiledName reports whether a registry name identifies a built-in
+// compiled-table consumer.
+func wantsCompiledName(name string) bool {
+	switch name {
+	case solver.PaperSolverName, solver.DAGSolverName, solver.DAGCrossoverSolverName:
+		return true
+	}
+	return false
 }
 
 // resolveSolver maps the options to a registered solver (or an ad-hoc

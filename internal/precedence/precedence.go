@@ -26,7 +26,6 @@ import (
 	"sort"
 
 	"malsched/internal/instance"
-	"malsched/internal/schedule"
 )
 
 // Graph is a DAG of malleable tasks over an instance: succ[i] lists the
@@ -35,9 +34,22 @@ import (
 // so the scheduling entry points never see a cyclic or shape-mismatched
 // graph and cannot panic on one. Construct with NewGraph, Chain or OutTree;
 // read the edges back with Edges.
+//
+// NewGraph derives once what every solve on the graph needs: the
+// topological order and predecessor counts (previously recomputed per
+// candidate allotment), the deduplicated sorted candidate-deadline arrays
+// the crossover search bisects, and the FNV-1a edge hash that keys the
+// λ-segment cache (two DAGs over the same instance share one compiled
+// table but must never share critical paths).
 type Graph struct {
 	in   *instance.Instance
 	succ [][]int
+
+	topo     []int     // topological order (Kahn's; deterministic)
+	preds    []int     // predecessor count per task
+	edgeHash uint64    // FNV-1a over the successor lists
+	cands    []float64 // dedup-sorted candidate deadlines (every profile time)
+	grid     []float64 // dedup-sorted λ grid (min and sequential time per task)
 }
 
 // Validation errors.
@@ -112,13 +124,72 @@ func copyEdges(succ [][]int) [][]int {
 	return out
 }
 
-// NewGraph validates the DAG (shape, edge bounds, acyclicity) and captures
-// a private copy of the edges.
+// NewGraph validates the DAG (shape, edge bounds, acyclicity), captures a
+// private copy of the edges and precomputes the per-graph solve state:
+// topological order, predecessor counts, the deduplicated candidate-
+// deadline arrays and the edge hash.
 func NewGraph(in *instance.Instance, succ [][]int) (*Graph, error) {
-	if err := ValidateEdges(in.N(), succ); err != nil {
+	n := in.N()
+	if len(succ) != n {
+		return nil, fmt.Errorf("%w: %d lists for %d tasks", ErrShape, len(succ), n)
+	}
+	for i, ss := range succ {
+		for _, j := range ss {
+			if j < 0 || j >= n {
+				return nil, fmt.Errorf("%w: %d -> %d", ErrEdge, i, j)
+			}
+		}
+	}
+	order, err := topoOrder(n, succ)
+	if err != nil {
 		return nil, err
 	}
-	return &Graph{in: in, succ: copyEdges(succ)}, nil
+	g := &Graph{in: in, succ: copyEdges(succ), topo: order}
+	g.preds = make([]int, n)
+	h := fnv64(fnvOffset)
+	h.uint64(uint64(len(g.succ)))
+	for _, ss := range g.succ {
+		h.uint64(uint64(len(ss)))
+		for _, j := range ss {
+			g.preds[j]++
+			h.uint64(uint64(j))
+		}
+	}
+	g.edgeHash = uint64(h)
+
+	// Candidate deadlines: every distinct profile time, sorted. Duplicate
+	// times are collapsed once here instead of inflating every binary
+	// search and λ-subsample downstream; the searches' answers depend only
+	// on the distinct values, so dedup never changes the selected
+	// crossover deadline.
+	var cands []float64
+	for _, t := range in.Tasks {
+		cands = append(cands, t.Times()...)
+	}
+	sort.Float64s(cands)
+	g.cands = dedupSorted(cands)
+
+	grid := make([]float64, 0, 2*n)
+	for _, t := range in.Tasks {
+		grid = append(grid, t.MinTime(), t.SeqTime())
+	}
+	sort.Float64s(grid)
+	g.grid = dedupSorted(grid)
+	return g, nil
+}
+
+// dedupSorted collapses adjacent duplicates of a sorted slice in place.
+func dedupSorted(s []float64) []float64 {
+	if len(s) == 0 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // Instance returns the underlying malleable instance.
@@ -184,26 +255,30 @@ func OutTree(in *instance.Instance, arity int) (*Graph, error) {
 	return NewGraph(in, succ)
 }
 
-// Topological returns a topological order. The error return is kept for
-// API compatibility but is always nil: NewGraph is the only constructor and
-// it rejects cycles.
+// Topological returns a copy of the topological order computed at
+// construction. The error return is kept for API compatibility but is
+// always nil: NewGraph is the only constructor and it rejects cycles.
 func (g *Graph) Topological() ([]int, error) {
-	return topoOrder(g.in.N(), g.succ)
+	return append([]int(nil), g.topo...), nil
 }
 
 // CriticalPath returns the longest chain length when task i takes time
 // times[i], plus each task's tail (longest remaining chain including i).
+// It walks the construction-time topological order; the solve hot path
+// uses the same walk on reusable buffers (criticalPathInto).
 func (g *Graph) CriticalPath(times []float64) (float64, []float64) {
-	order, err := g.Topological()
-	if err != nil {
-		// Structurally unreachable: the unexported fields mean every Graph
-		// passed NewGraph's cycle check.
-		panic(err)
-	}
 	tail := make([]float64, g.in.N())
+	return g.criticalPathInto(times, tail), tail
+}
+
+// criticalPathInto is CriticalPath on a caller-owned tail buffer: the
+// per-candidate unit of the solve hot path, freed of the order and tail
+// allocations the public method pays. tail needs no zeroing — the reverse
+// topological walk writes every entry before any successor read.
+func (g *Graph) criticalPathInto(times, tail []float64) float64 {
 	cp := 0.0
-	for k := len(order) - 1; k >= 0; k-- {
-		i := order[k]
+	for k := len(g.topo) - 1; k >= 0; k-- {
+		i := g.topo[k]
 		best := 0.0
 		for _, j := range g.succ[i] {
 			if tail[j] > best {
@@ -215,7 +290,7 @@ func (g *Graph) CriticalPath(times []float64) (float64, []float64) {
 			cp = tail[i]
 		}
 	}
-	return cp, tail
+	return cp
 }
 
 // LowerBound returns the certified bound max(Σ w_i(1)/m, critical path at
@@ -228,307 +303,4 @@ func (g *Graph) LowerBound() float64 {
 	}
 	cp, _ := g.CriticalPath(fast)
 	return math.Max(g.in.MinTotalWork()/float64(g.in.M), cp)
-}
-
-// SelectAllotment minimises L(γ(λ')) = max(Σ w(γ)/m, CP(γ(λ'))) over the
-// canonical-allotment family: the area term is non-increasing and the
-// critical path non-decreasing in λ', so the optimum sits at the crossover
-// of the sorted candidate deadlines (every distinct profile time).
-func (g *Graph) SelectAllotment() ([]int, float64) {
-	in := g.in
-	var cands []float64
-	for _, t := range in.Tasks {
-		cands = append(cands, t.Times()...)
-	}
-	sort.Float64s(cands)
-
-	eval := func(lambda float64) (alloc []int, area, cp float64, ok bool) {
-		alloc = make([]int, in.N())
-		times := make([]float64, in.N())
-		for i, t := range in.Tasks {
-			gm, gok := t.Canonical(lambda)
-			if !gok {
-				return nil, 0, 0, false
-			}
-			alloc[i] = gm
-			times[i] = t.Time(gm)
-			area += t.Work(gm)
-		}
-		cp, _ = g.CriticalPath(times)
-		return alloc, area / float64(in.M), cp, true
-	}
-
-	from := sort.Search(len(cands), func(k int) bool {
-		_, _, _, ok := eval(cands[k])
-		return ok
-	})
-	cands = cands[from:]
-	cross := sort.Search(len(cands), func(k int) bool {
-		_, area, cp, ok := eval(cands[k])
-		return ok && cp >= area
-	})
-	bestAlloc, bestL := []int(nil), math.Inf(1)
-	for _, k := range []int{cross - 1, cross, cross + 1} {
-		if k < 0 || k >= len(cands) {
-			continue
-		}
-		if alloc, area, cp, ok := eval(cands[k]); ok && math.Max(area, cp) < bestL {
-			bestAlloc, bestL = alloc, math.Max(area, cp)
-		}
-	}
-	return bestAlloc, bestL
-}
-
-// ScheduleCrossover runs the plain two-phase algorithm with no candidate
-// portfolio and no refinement: the L-minimising canonical allotment of
-// SelectAllotment, list-scheduled greedily longest-tail-first. It is the
-// crossover-search reference point the benchmarks compare the full
-// heuristic against.
-func (g *Graph) ScheduleCrossover() (*schedule.Schedule, error) {
-	alloc, _ := g.SelectAllotment()
-	if alloc == nil {
-		return nil, errors.New("precedence: no feasible canonical allotment")
-	}
-	s, err := g.scheduleWithAllotment(alloc)
-	if err != nil {
-		return nil, err
-	}
-	s.Algorithm = "dag-crossover"
-	return s, nil
-}
-
-// Schedule runs the two-phase heuristic: candidate allotments from the
-// canonical family (the L-minimiser of SelectAllotment, the full-machine
-// allotment, and a logarithmic sample of the candidate deadlines) are each
-// list-scheduled greedily in longest-tail order, and the best schedule is
-// returned. Trying the whole family matters: chain-dominated graphs want
-// wide allotments (critical path rules) while wide graphs want narrow ones
-// (area rules), and no single L measure captures both. The result is a
-// valid non-contiguous schedule; the validator runs with contiguity off,
-// matching rigid.List.
-func (g *Graph) Schedule() (*schedule.Schedule, error) {
-	in := g.in
-	var lambdas []float64
-	for _, t := range in.Tasks {
-		lambdas = append(lambdas, t.MinTime(), t.SeqTime())
-	}
-	sort.Float64s(lambdas)
-	// Subsample ~16 deadlines spread over the range.
-	step := len(lambdas)/16 + 1
-	var best *schedule.Schedule
-	bestMk := math.Inf(1)
-	try := func(alloc []int) {
-		if alloc == nil {
-			return
-		}
-		s, err := g.scheduleWithAllotment(alloc)
-		if err != nil {
-			return
-		}
-		if mk := s.Makespan(in); mk < bestMk {
-			best, bestMk = s, mk
-		}
-	}
-	for k := 0; k < len(lambdas); k += step {
-		try(g.canonicalAlloc(lambdas[k]))
-	}
-	try(g.canonicalAlloc(lambdas[len(lambdas)-1]))
-	if alloc, _ := g.SelectAllotment(); alloc != nil {
-		try(alloc)
-	}
-	full := make([]int, in.N())
-	for i, t := range in.Tasks {
-		full[i] = t.MaxProcs()
-	}
-	try(full)
-	// Level-proportional candidate: tasks at the same depth run together,
-	// splitting the machine proportionally to their sequential works —
-	// the fork-join overlap that uniform-deadline allotments cannot
-	// express (all siblings must narrow simultaneously for overlap to
-	// pay, so coordinate-wise refinement alone cannot reach it).
-	try(g.levelProportional())
-	if best == nil {
-		return nil, errors.New("precedence: no feasible allotment")
-	}
-
-	// Local refinement: canonical allotments give every stage the same
-	// deadline, but a DAG wants stage-dependent widths (wide while alone
-	// on the machine, narrow under contention). Hill-climb per-task widths
-	// from the best candidate, keeping any simulated improvement.
-	alloc := bestAllotment(best, in.N())
-	for round := 0; round < 3; round++ {
-		improved := false
-		for i := 0; i < in.N(); i++ {
-			cur := alloc[i]
-			for _, w := range []int{1, cur / 2, cur * 2, in.Tasks[i].MaxProcs()} {
-				if w < 1 || w > in.Tasks[i].MaxProcs() || w == cur {
-					continue
-				}
-				alloc[i] = w
-				if s, err := g.scheduleWithAllotment(alloc); err == nil && s.Makespan(in) < bestMk-1e-12 {
-					best, bestMk = s, s.Makespan(in)
-					cur = w
-					improved = true
-				}
-				alloc[i] = cur
-			}
-		}
-		if !improved {
-			break
-		}
-	}
-	return best, nil
-}
-
-// bestAllotment recovers the width vector of a schedule.
-func bestAllotment(s *schedule.Schedule, n int) []int {
-	alloc := make([]int, n)
-	for _, p := range s.Placements {
-		alloc[p.Task] = p.Width
-	}
-	return alloc
-}
-
-// levelProportional builds the fork-join candidate: depth-layer the DAG,
-// then split the machine within each layer proportionally to sequential
-// work.
-func (g *Graph) levelProportional() []int {
-	in := g.in
-	order, err := g.Topological()
-	if err != nil {
-		return nil
-	}
-	depth := make([]int, in.N())
-	for _, i := range order {
-		for _, j := range g.succ[i] {
-			if depth[i]+1 > depth[j] {
-				depth[j] = depth[i] + 1
-			}
-		}
-	}
-	layerWork := map[int]float64{}
-	for i, t := range in.Tasks {
-		layerWork[depth[i]] += t.SeqTime()
-	}
-	alloc := make([]int, in.N())
-	for i, t := range in.Tasks {
-		p := int(float64(in.M) * t.SeqTime() / layerWork[depth[i]])
-		if p < 1 {
-			p = 1
-		}
-		if p > t.MaxProcs() {
-			p = t.MaxProcs()
-		}
-		alloc[i] = p
-	}
-	return alloc
-}
-
-// canonicalAlloc returns γ(λ) or nil when unreachable.
-func (g *Graph) canonicalAlloc(lambda float64) []int {
-	alloc := make([]int, g.in.N())
-	for i, t := range g.in.Tasks {
-		gm, ok := t.Canonical(lambda)
-		if !ok {
-			return nil
-		}
-		alloc[i] = gm
-	}
-	return alloc
-}
-
-// scheduleWithAllotment greedily list-schedules the rigid DAG induced by
-// the allotment, longest tail first.
-func (g *Graph) scheduleWithAllotment(alloc []int) (*schedule.Schedule, error) {
-	in := g.in
-	times := make([]float64, in.N())
-	for i, t := range in.Tasks {
-		times[i] = t.Time(alloc[i])
-	}
-	_, tail := g.CriticalPath(times)
-
-	// Greedy event simulation: a task is ready when all predecessors are
-	// done; among ready tasks, longest tail first; start when enough
-	// processors are free.
-	n := in.N()
-	preds := make([]int, n)
-	for _, ss := range g.succ {
-		for _, j := range ss {
-			preds[j]++
-		}
-	}
-	type ev struct {
-		t     float64
-		procs []int
-		task  int
-	}
-	free := make([]int, in.M)
-	for i := range free {
-		free[i] = i
-	}
-	var running []ev
-	remaining := n
-	now := 0.0
-	s := &schedule.Schedule{Algorithm: "dag-list"}
-	ready := map[int]bool{}
-	for i := 0; i < n; i++ {
-		if preds[i] == 0 {
-			ready[i] = true
-		}
-	}
-	for remaining > 0 {
-		// Start ready tasks in tail order while processors suffice.
-		var order []int
-		for i := range ready {
-			order = append(order, i)
-		}
-		sort.Slice(order, func(a, b int) bool {
-			if tail[order[a]] != tail[order[b]] {
-				return tail[order[a]] > tail[order[b]]
-			}
-			return order[a] < order[b]
-		})
-		for _, i := range order {
-			w := alloc[i]
-			if w > len(free) {
-				continue
-			}
-			procs := append([]int(nil), free[:w]...)
-			free = free[w:]
-			delete(ready, i)
-			s.Placements = append(s.Placements, schedule.Placement{
-				Task: i, Start: now, Width: w, First: -1, ProcSet: procs,
-			})
-			running = append(running, ev{t: now + times[i], procs: procs, task: i})
-		}
-		if remaining == 0 {
-			break
-		}
-		if len(running) == 0 {
-			// Unreachable for validated graphs: with nothing running the
-			// whole machine is free and any ready task fits.
-			return nil, errors.New("precedence: deadlock")
-		}
-		// Advance to the earliest completion(s).
-		sort.Slice(running, func(a, b int) bool { return running[a].t < running[b].t })
-		next := running[0].t
-		now = next
-		var still []ev
-		for _, e := range running {
-			if e.t <= next {
-				free = append(free, e.procs...)
-				remaining--
-				for _, j := range g.succ[e.task] {
-					if preds[j]--; preds[j] == 0 {
-						ready[j] = true
-					}
-				}
-			} else {
-				still = append(still, e)
-			}
-		}
-		running = still
-		sort.Ints(free)
-	}
-	return s, nil
 }

@@ -1,0 +1,222 @@
+package precedence
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"malsched/internal/core"
+	"malsched/internal/instance"
+)
+
+// testGraphs builds the three DAG shapes over an instance.
+func testGraphs(t *testing.T, in *instance.Instance, seed int64) []*Graph {
+	t.Helper()
+	outTree, err := OutTreeEdges(in.N(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gs []*Graph
+	for _, edges := range [][][]int{
+		ChainEdges(in.N()),
+		outTree,
+		RandomEdges(seed, in.N(), 0.3),
+	} {
+		g, err := NewGraph(in, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+// evalsEqual compares two candidate evaluations bit for bit.
+func evalsEqual(a, b *segEval) bool {
+	if a.ok != b.ok {
+		return false
+	}
+	if !a.ok {
+		return true
+	}
+	return reflect.DeepEqual(a.alloc, b.alloc) &&
+		reflect.DeepEqual(a.times, b.times) &&
+		math.Float64bits(a.area) == math.Float64bits(b.area) &&
+		math.Float64bits(a.cp) == math.Float64bits(b.cp)
+}
+
+// TestCompiledEvalMatchesLegacy is the property the whole compiled DAG
+// path rests on: at every candidate deadline of every graph, the
+// segment-cached compiled evaluation equals the fresh task-struct
+// evaluation bit for bit — allotment, times, area and critical path. A
+// second compiled pass must resolve entirely from the segment cache and
+// still agree.
+func TestCompiledEvalMatchesLegacy(t *testing.T) {
+	for name, gen := range instance.Families() {
+		for seed := int64(1); seed <= 4; seed++ {
+			in := gen(seed, 12, 6)
+			for gi, g := range testGraphs(t, in, seed) {
+				hot := &evalCtx{g: g, c: instance.Compile(in), sc: &Scratch{}}
+				ref := &evalCtx{g: g, sc: &Scratch{}} // legacy: c == nil
+				for _, lambda := range g.cands {
+					want := ref.evalLegacy(lambda)
+					if got := hot.eval(lambda); !evalsEqual(got, want) {
+						t.Fatalf("%s/%d graph %d λ=%v: compiled %+v != legacy %+v",
+							name, seed, gi, lambda, got, want)
+					}
+				}
+				probes, hits := hot.probes, hot.hits
+				for _, lambda := range g.cands {
+					want := ref.evalLegacy(lambda)
+					if got := hot.eval(lambda); !evalsEqual(got, want) {
+						t.Fatalf("%s/%d graph %d λ=%v: cached eval drifted", name, seed, gi, lambda)
+					}
+				}
+				if fresh := (hot.probes - probes) - (hot.hits - hits); fresh != 0 {
+					t.Fatalf("%s/%d graph %d: second pass paid %d fresh evaluations",
+						name, seed, gi, fresh)
+				}
+				if hot.hits != hits+len(g.cands) {
+					t.Fatalf("%s/%d graph %d: second pass hits %d, want %d",
+						name, seed, gi, hot.hits-hits, len(g.cands))
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentCacheIsolatesGraphs: two DAGs over the same instance share
+// the compiled tables and the scratch; the edge hash in the segment key
+// must keep their critical paths apart.
+func TestSegmentCacheIsolatesGraphs(t *testing.T) {
+	in := instance.Mixed(3, 10, 5)
+	c := instance.Compile(in)
+	sc := &Scratch{}
+	gs := testGraphs(t, in, 3)
+	chain, tree := gs[0], gs[1]
+	hotChain := &evalCtx{g: chain, c: c, sc: sc}
+	hotTree := &evalCtx{g: tree, c: c, sc: sc}
+	for _, lambda := range chain.cands {
+		want := (&evalCtx{g: chain, sc: &Scratch{}}).evalLegacy(lambda)
+		if got := hotChain.eval(lambda); !evalsEqual(got, want) {
+			t.Fatalf("chain λ=%v diverged", lambda)
+		}
+		want = (&evalCtx{g: tree, sc: &Scratch{}}).evalLegacy(lambda)
+		if got := hotTree.eval(lambda); !evalsEqual(got, want) {
+			t.Fatalf("tree λ=%v poisoned by chain's cache entry", lambda)
+		}
+	}
+	// DropCompiled must evict every entry keyed by these tables.
+	sc.DropCompiled(c)
+	if len(sc.seg) != 0 {
+		t.Fatalf("%d entries survived DropCompiled", len(sc.seg))
+	}
+}
+
+// TestSolveCompiledMatchesLegacy: the full heuristic and the plain
+// crossover solve must produce identical schedules and probe-visible
+// results across the legacy path, a cold compiled solve, and a hot
+// compiled re-solve on the same scratch (which must actually hit the
+// cache).
+func TestSolveCompiledMatchesLegacy(t *testing.T) {
+	for name, gen := range instance.Families() {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := gen(seed, 14, 7)
+			for gi, g := range testGraphs(t, in, seed) {
+				c := instance.Compile(in)
+				cs := core.NewScratch()
+				for _, solve := range []struct {
+					tag string
+					run func(Options) (Result, error)
+				}{
+					{"solve", g.Solve},
+					{"crossover", g.SolveCrossover},
+				} {
+					ref, refErr := solve.run(Options{Legacy: true})
+					cold, coldErr := solve.run(Options{Compiled: c, Scratch: cs})
+					hot, hotErr := solve.run(Options{Compiled: c, Scratch: cs})
+					auto, autoErr := solve.run(Options{}) // self-compiled, private scratch
+					if (refErr == nil) != (coldErr == nil) || (refErr == nil) != (hotErr == nil) ||
+						(refErr == nil) != (autoErr == nil) {
+						t.Fatalf("%s/%d graph %d %s: error disagreement %v/%v/%v/%v",
+							name, seed, gi, solve.tag, refErr, coldErr, hotErr, autoErr)
+					}
+					if refErr != nil {
+						continue
+					}
+					for tag, got := range map[string]*Result{"cold": &cold, "hot": &hot, "auto": &auto} {
+						if !reflect.DeepEqual(got.Schedule, ref.Schedule) {
+							t.Fatalf("%s/%d graph %d %s: %s schedule != legacy\n got %+v\nwant %+v",
+								name, seed, gi, solve.tag, tag, got.Schedule, ref.Schedule)
+						}
+					}
+					// Probes is a property of the search alone: identical on
+					// every path, cold or hot, cached or not.
+					for tag, got := range map[string]*Result{"cold": &cold, "hot": &hot, "auto": &auto} {
+						if got.Probes != ref.Probes {
+							t.Fatalf("%s/%d graph %d %s: %s probes %d != legacy %d",
+								name, seed, gi, solve.tag, tag, got.Probes, ref.Probes)
+						}
+					}
+					if hot.CacheHits != hot.Probes {
+						t.Fatalf("%s/%d graph %d %s: hot re-solve paid %d fresh evaluations (%d probes, %d cache hits)",
+							name, seed, gi, solve.tag, hot.Probes-hot.CacheHits, hot.Probes, hot.CacheHits)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWarmMatchesCold: a warm-seeded crossover solve must return the
+// exact cold schedule — the seed only changes how many evaluations are
+// paid — and a garbage seed must fall back, not corrupt. Warm runs use a
+// fresh scratch so the comparison isolates the seed from the segment
+// cache.
+func TestWarmMatchesCold(t *testing.T) {
+	for name, gen := range instance.Families() {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := gen(seed, 14, 7)
+			for gi, g := range testGraphs(t, in, seed) {
+				c := instance.Compile(in)
+				cold, coldErr := g.SolveCrossover(Options{Compiled: c, Scratch: core.NewScratch()})
+
+				// Prime a warm seed with one solve, then re-solve warm.
+				warm := &core.WarmStart{}
+				if _, err := g.SolveCrossover(Options{Compiled: c, Scratch: core.NewScratch(), Warm: warm}); (err == nil) != (coldErr == nil) {
+					t.Fatalf("%s/%d graph %d: priming error %v vs cold %v", name, seed, gi, err, coldErr)
+				}
+				hot, hotErr := g.SolveCrossover(Options{Compiled: c, Scratch: core.NewScratch(), Warm: warm})
+				if (coldErr == nil) != (hotErr == nil) {
+					t.Fatalf("%s/%d graph %d: warm error %v vs cold %v", name, seed, gi, hotErr, coldErr)
+				}
+				if coldErr != nil {
+					continue
+				}
+				if !reflect.DeepEqual(hot.Schedule, cold.Schedule) {
+					t.Fatalf("%s/%d graph %d: warm schedule != cold", name, seed, gi)
+				}
+				if hot.Probes > cold.Probes {
+					t.Fatalf("%s/%d graph %d: warm paid %d probes, cold %d — seed made it worse",
+						name, seed, gi, hot.Probes, cold.Probes)
+				}
+
+				// Garbage seeds: verification must reject them and fall back
+				// to the full search, bit-identically.
+				for _, bad := range []*core.WarmStart{
+					{Floor: -5, AcceptedLambda: -5},
+					{Floor: math.Inf(1), AcceptedLambda: math.Inf(1)},
+					{Floor: 1e-9, AcceptedLambda: 1e308},
+				} {
+					got, err := g.SolveCrossover(Options{Compiled: c, Scratch: core.NewScratch(), Warm: bad})
+					if err != nil {
+						t.Fatalf("%s/%d graph %d: garbage seed errored: %v", name, seed, gi, err)
+					}
+					if !reflect.DeepEqual(got.Schedule, cold.Schedule) {
+						t.Fatalf("%s/%d graph %d: garbage seed changed the schedule", name, seed, gi)
+					}
+				}
+			}
+		}
+	}
+}

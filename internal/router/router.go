@@ -322,6 +322,7 @@ func (r *Router) routeKey(path, contentType string, body []byte) (uint64, bool, 
 	}
 	var opts *wire.RequestOptions
 	var rawInstance json.RawMessage
+	var graph [][]int
 	if path == "/v1/batch" {
 		var req wire.BatchRequest
 		if err := json.Unmarshal(body, &req); err != nil || len(req.Instances) == 0 {
@@ -333,7 +334,7 @@ func (r *Router) routeKey(path, contentType string, body []byte) (uint64, bool, 
 		if err := json.Unmarshal(body, &req); err != nil {
 			return 0, false, &wire.ErrorInfo{Code: wire.CodeBadRequest, Message: "undecodable request"}
 		}
-		opts, rawInstance = req.Options, req.Instance
+		opts, rawInstance, graph = req.Options, req.Instance, req.Graph
 	}
 	if opts != nil && opts.Lineage != "" {
 		return hashString(opts.Lineage), true, nil
@@ -342,7 +343,11 @@ func (r *Router) routeKey(path, contentType string, body []byte) (uint64, bool, 
 	if err != nil {
 		return 0, false, &wire.ErrorInfo{Code: wire.CodeBadInstance, Message: err.Error()}
 	}
-	return engine.WorkloadFingerprint(in), false, nil
+	// The graph is folded into the key (nil folds nothing), so a DAG
+	// request never routes to — and never shares warm state with — the
+	// shard of its independent projection; wire.RouteKey folds the same
+	// stream for binary requests.
+	return engine.WorkloadFingerprintDAG(in, graph), false, nil
 }
 
 func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, path string) {

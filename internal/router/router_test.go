@@ -14,6 +14,7 @@ import (
 
 	"malsched/internal/engine"
 	"malsched/internal/instance"
+	"malsched/internal/precedence"
 	"malsched/internal/server"
 	"malsched/internal/wire"
 )
@@ -52,7 +53,7 @@ func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.Res
 
 func postBinary(t *testing.T, h http.Handler, in *instance.Instance, opts *wire.RequestOptions) *httptest.ResponseRecorder {
 	t.Helper()
-	buf := wire.AppendScheduleRequest(nil, in, opts)
+	buf := wire.AppendScheduleRequest(nil, in, nil, opts)
 	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(buf))
 	req.Header.Set("Content-Type", wire.ContentType)
 	rec := httptest.NewRecorder()
@@ -77,7 +78,7 @@ func TestRouteKeyMatchesEngineFingerprint(t *testing.T) {
 	for name, gen := range instance.Families() {
 		for seed := int64(1); seed <= 10; seed++ {
 			in := gen(seed, 9, 7)
-			buf := wire.AppendScheduleRequest(nil, in, nil)
+			buf := wire.AppendScheduleRequest(nil, in, nil, nil)
 			key, lineage, err := wire.RouteKey(buf)
 			if err != nil {
 				t.Fatalf("%s/%d: %v", name, seed, err)
@@ -86,7 +87,7 @@ func TestRouteKeyMatchesEngineFingerprint(t *testing.T) {
 				t.Fatalf("%s/%d: phantom lineage %q", name, seed, lineage)
 			}
 			// Decode through the same path the backend uses.
-			dec, _, err := wire.DecodeScheduleRequest(buf)
+			dec, _, _, err := wire.DecodeScheduleRequest(buf)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,7 +100,7 @@ func TestRouteKeyMatchesEngineFingerprint(t *testing.T) {
 	// only, mirroring instance.New.
 	in := instance.Mixed(3, 6, 8)
 	wide := &instance.Instance{Name: "wide", M: 2, Tasks: in.Tasks}
-	buf := wire.AppendScheduleRequest(nil, wide, &wire.RequestOptions{Lineage: "chain"})
+	buf := wire.AppendScheduleRequest(nil, wide, nil, &wire.RequestOptions{Lineage: "chain"})
 	key, lineage, err := wire.RouteKey(buf)
 	if err != nil {
 		t.Fatal(err)
@@ -107,12 +108,51 @@ func TestRouteKeyMatchesEngineFingerprint(t *testing.T) {
 	if lineage != "chain" {
 		t.Fatalf("lineage = %q", lineage)
 	}
-	dec, _, err := wire.DecodeScheduleRequest(buf)
+	dec, _, _, err := wire.DecodeScheduleRequest(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := engine.WorkloadFingerprint(dec); key != want {
 		t.Fatalf("truncated RouteKey %x != WorkloadFingerprint %x", key, want)
+	}
+}
+
+// TestRouteKeyMatchesDAGFingerprint extends the pin to wire/v2: a
+// graph-carrying request's RouteKey must equal
+// engine.WorkloadFingerprintDAG over the decoded (instance, graph) pair,
+// and must differ from the graphless fingerprint of the same instance —
+// otherwise a DAG would route (and memo-hit) as its independent-task
+// projection.
+func TestRouteKeyMatchesDAGFingerprint(t *testing.T) {
+	for name, gen := range instance.Families() {
+		for seed := int64(1); seed <= 5; seed++ {
+			in := gen(seed, 8, 6)
+			outTree, err := precedence.OutTreeEdges(in.N(), 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, graph := range [][][]int{
+				precedence.ChainEdges(in.N()),
+				outTree,
+				precedence.RandomEdges(seed, in.N(), 0.3),
+			} {
+				buf := wire.AppendScheduleRequest(nil, in, graph, &wire.RequestOptions{Solver: "dag"})
+				key, _, err := wire.RouteKey(buf)
+				if err != nil {
+					t.Fatalf("%s/%d: %v", name, seed, err)
+				}
+				dec, decGraph, _, err := wire.DecodeScheduleRequest(buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := engine.WorkloadFingerprintDAG(dec, decGraph); key != want {
+					t.Fatalf("%s/%d: RouteKey %x != WorkloadFingerprintDAG %x", name, seed, key, want)
+				}
+				if indep := engine.WorkloadFingerprint(dec); key == indep {
+					t.Fatalf("%s/%d: graph request routed as its independent projection", name, seed)
+				}
+			}
+		}
 	}
 }
 
@@ -223,6 +263,70 @@ func TestBinaryThroughRouter(t *testing.T) {
 	}
 }
 
+// TestBinaryDAGThroughRouter: wire/v2 graph-carrying requests must ride
+// the routed tier and answer byte-for-byte like the JSON DAG path, and
+// both codecs must agree on the home shard (edge-aware fingerprint
+// equivalence). A hostile graph must come back as a typed binary
+// CodeBadGraph error, not a shard crash.
+func TestBinaryDAGThroughRouter(t *testing.T) {
+	rt, _ := newTier(t, 3, Config{})
+	opts := &wire.RequestOptions{Solver: "dag"}
+	for seed := int64(1); seed <= 6; seed++ {
+		in := instance.Mixed(seed, 9, 6)
+		graph := precedence.RandomEdges(seed, in.N(), 0.3)
+		buf := wire.AppendScheduleRequest(nil, in, graph, opts)
+		req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(buf))
+		req.Header.Set("Content-Type", wire.ContentType)
+		recB := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(recB, req)
+		if recB.Code != http.StatusOK {
+			t.Fatalf("binary DAG HTTP %d: %q", recB.Code, recB.Body.Bytes())
+		}
+		bin, err := wire.DecodeScheduleResponse(recB.Body.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		recJ := postJSON(t, rt.Handler(), "/v1/schedule", wire.ScheduleRequest{
+			Instance: mustRaw(t, in), Graph: graph,
+			Options: &wire.RequestOptions{Solver: "dag"},
+		})
+		if recJ.Code != http.StatusOK {
+			t.Fatalf("JSON DAG HTTP %d: %q", recJ.Code, recJ.Body.Bytes())
+		}
+		var js wire.ScheduleResponse
+		if err := json.Unmarshal(recJ.Body.Bytes(), &js); err != nil {
+			t.Fatal(err)
+		}
+		bin.FromMemo, js.FromMemo = false, false
+		if !reflect.DeepEqual(bin, &js) {
+			t.Fatalf("seed %d: DAG codecs diverge through the router", seed)
+		}
+		if recB.Header().Get("X-Msroute-Stolen") == "false" && recJ.Header().Get("X-Msroute-Stolen") == "false" {
+			if recB.Header().Get("X-Msroute-Backend") != recJ.Header().Get("X-Msroute-Backend") {
+				t.Fatalf("seed %d: DAG codecs routed to different home shards", seed)
+			}
+		}
+	}
+	// Hostile graph: a cycle must be refused typed through the full tier.
+	in := instance.Mixed(1, 4, 4)
+	cyc := [][]int{{1}, {0}, nil, nil}
+	buf := wire.AppendScheduleRequest(nil, in, cyc, opts)
+	req := httptest.NewRequest(http.MethodPost, "/v1/schedule", bytes.NewReader(buf))
+	req.Header.Set("Content-Type", wire.ContentType)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("cyclic graph HTTP %d, want 400", rec.Code)
+	}
+	eb, err := wire.DecodeError(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("cyclic graph error not binary-typed: %v", err)
+	}
+	if eb.Error.Code != server.CodeBadGraph {
+		t.Fatalf("cyclic graph code %q, want %q", eb.Error.Code, server.CodeBadGraph)
+	}
+}
+
 // blockingHandler wraps a handler, holding requests until released; it
 // simulates an overloaded shard.
 type blockingHandler struct {
@@ -266,7 +370,7 @@ func TestWorkStealingDrainsOverloadedShard(t *testing.T) {
 	var homed []*instance.Instance
 	for seed := int64(1); len(homed) < 6 && seed < 200; seed++ {
 		in := instance.Mixed(seed, 6, 4)
-		buf := wire.AppendScheduleRequest(nil, in, nil)
+		buf := wire.AppendScheduleRequest(nil, in, nil, nil)
 		key, _, err := wire.RouteKey(buf)
 		if err != nil {
 			t.Fatal(err)

@@ -26,7 +26,7 @@ func benchSchedule(b *testing.B, binary bool) {
 	var body []byte
 	contentType := "application/json"
 	if binary {
-		body = wire.AppendScheduleRequest(nil, in, nil)
+		body = wire.AppendScheduleRequest(nil, in, nil, nil)
 		contentType = wire.ContentType
 	} else {
 		raw, err := EncodeInstance(in)

@@ -9,13 +9,14 @@ import (
 	"testing"
 
 	"malsched/internal/instance"
+	"malsched/internal/precedence"
 	"malsched/internal/wire"
 )
 
 // postBinary sends a binary-encoded /v1/schedule request.
 func postBinary(t *testing.T, ts *httptest.Server, in *instance.Instance, opts *RequestOptions) (int, []byte, string) {
 	t.Helper()
-	buf := wire.AppendScheduleRequest(nil, in, opts)
+	buf := wire.AppendScheduleRequest(nil, in, nil, opts)
 	resp, err := http.Post(ts.URL+"/v1/schedule", wire.ContentType, bytes.NewReader(buf))
 	if err != nil {
 		t.Fatal(err)
@@ -79,6 +80,87 @@ func TestBinaryScheduleBitIdenticalToJSON(t *testing.T) {
 	}
 }
 
+// TestBinaryDAGSchedule: wire/v2 graph-carrying requests solve through the
+// same edge-aware path as JSON DAG requests (DeepEqual responses), hostile
+// graphs are refused with a binary CodeBadGraph, and the graph_requests
+// counter tracks both codecs.
+func TestBinaryDAGSchedule(t *testing.T) {
+	s := New(Config{Shards: 2, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	graphs := 0
+	for name, gen := range instance.Families() {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := gen(seed, 6+int(seed), 5)
+			graph := precedence.RandomEdges(seed*7+int64(len(name)), in.N(), 0.3)
+			buf := wire.AppendScheduleRequest(nil, in, graph, &wire.RequestOptions{Solver: "dag"})
+			resp, err := http.Post(ts.URL+"/v1/schedule", wire.ContentType, bytes.NewReader(buf))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := readAll(t, resp)
+			graphs++
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s/%d: binary DAG HTTP %d: %q", name, seed, resp.StatusCode, body)
+			}
+			bin, err := wire.DecodeScheduleResponse(body)
+			if err != nil {
+				t.Fatalf("%s/%d: decoding binary DAG response: %v", name, seed, err)
+			}
+			if bin.Solver != "dag" {
+				t.Fatalf("%s/%d: solved by %q, want dag", name, seed, bin.Solver)
+			}
+
+			status, jbody := post(t, ts, "/v1/schedule", ScheduleRequest{
+				Instance: mustRaw(t, in), Graph: graph,
+				Options: &RequestOptions{Solver: "dag"},
+			})
+			graphs++
+			if status != http.StatusOK {
+				t.Fatalf("%s/%d: JSON DAG HTTP %d: %s", name, seed, status, jbody)
+			}
+			var js ScheduleResponse
+			if err := json.Unmarshal(jbody, &js); err != nil {
+				t.Fatal(err)
+			}
+			bin.FromMemo, js.FromMemo = false, false
+			if !reflect.DeepEqual(bin, &js) {
+				t.Fatalf("%s/%d: DAG codecs diverge:\n binary: %+v\n json:   %+v", name, seed, bin, &js)
+			}
+		}
+	}
+
+	// Hostile graph over the binary codec: cycle → binary CodeBadGraph.
+	in := instance.Mixed(1, 4, 4)
+	buf := wire.AppendScheduleRequest(nil, in, [][]int{{1}, {0}, nil, nil}, &wire.RequestOptions{Solver: "dag"})
+	resp, err := http.Post(ts.URL+"/v1/schedule", wire.ContentType, bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	graphs++
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cyclic graph: HTTP %d, want 400", resp.StatusCode)
+	}
+	eb, err := wire.DecodeError(body)
+	if err != nil || eb.Error.Code != CodeBadGraph {
+		t.Fatalf("cyclic graph error: %+v, %v", eb, err)
+	}
+
+	var st StatsResponse
+	_, sb := get(t, ts, "/statsz")
+	if err := json.Unmarshal(sb, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.GraphRequests != uint64(graphs) {
+		t.Fatalf("graph_requests = %d, want %d", st.GraphRequests, graphs)
+	}
+	if st.BinaryRequests == 0 {
+		t.Fatal("binary_requests counter never moved")
+	}
+}
+
 // Binary-negotiated requests must get binary errors on every failure path.
 func TestBinaryErrorsAreBinary(t *testing.T) {
 	s := New(Config{Shards: 1})
@@ -130,7 +212,7 @@ func TestBinaryQueueFullIsBinary(t *testing.T) {
 
 	in := instance.Mixed(1, 5, 4)
 	go func() {
-		buf := wire.AppendScheduleRequest(nil, in, nil)
+		buf := wire.AppendScheduleRequest(nil, in, nil, nil)
 		resp, err := http.Post(ts.URL+"/v1/schedule", wire.ContentType, bytes.NewReader(buf))
 		if err == nil {
 			resp.Body.Close()
@@ -165,7 +247,7 @@ func TestNegotiationIsByContentTypeOnly(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	buf := wire.AppendScheduleRequest(nil, instance.Mixed(1, 5, 4), nil)
+	buf := wire.AppendScheduleRequest(nil, instance.Mixed(1, 5, 4), nil, nil)
 	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(buf))
 	if err != nil {
 		t.Fatal(err)

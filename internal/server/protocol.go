@@ -101,6 +101,10 @@ type StatsResponse struct {
 	// BinaryRequests counts /v1/schedule requests served over the binary
 	// codec (Content-Type negotiated; see docs/SERVICE.md).
 	BinaryRequests uint64 `json:"binary_requests"`
+	// GraphRequests counts /v1/schedule requests that carried a precedence
+	// graph, over either codec (JSON "graph" field or wire/v2 graph
+	// section), whether or not the graph passed validation.
+	GraphRequests uint64 `json:"graph_requests"`
 }
 
 // HealthResponse is the body of GET /healthz (200 "ok", 503 "draining").

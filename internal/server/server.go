@@ -112,6 +112,7 @@ type Server struct {
 	rejected   atomic.Uint64
 	verifyFail atomic.Uint64
 	binaryReqs atomic.Uint64
+	graphReqs  atomic.Uint64
 
 	// admitted, when non-nil, runs once per admitted scheduling request
 	// after the queue token is taken; the admission-control tests use it
@@ -191,6 +192,7 @@ func (s *Server) Stats() StatsResponse {
 		},
 		VerifyFailures: s.verifyFail.Load(),
 		BinaryRequests: s.binaryReqs.Load(),
+		GraphRequests:  s.graphReqs.Load(),
 	}
 	for i, sh := range s.shards {
 		st := sh.Stats()
@@ -449,6 +451,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		// bad_instance from engine admission. Requesting a graph with an
 		// edge-blind solver is an options error, mapped from the engine's
 		// ErrEdgesUnsupported in errInfoOf.
+		s.graphReqs.Add(1)
 		if err := precedence.ValidateEdges(in.N(), req.Graph); err != nil {
 			writeError(w, http.StatusBadRequest, &ErrorInfo{Code: CodeBadGraph, Message: err.Error()})
 			return
@@ -479,9 +482,10 @@ func isBinary(r *http.Request) bool {
 // solveVerified is shared, so every binary response carries a plan that
 // passed verify.Plan — with the request decoded and the response encoded
 // through internal/wire over pooled buffers, no reflection and no
-// per-request encoder state. Binary codec v1 carries no graph field (like
-// the batch path, DAG requests are JSON-only); adding it is a codec
-// version bump, see internal/wire.
+// per-request encoder state. A wire/v2 request carries the precedence
+// graph, validated through the same precedence.ValidateEdges gate as the
+// JSON path (CodeBadGraph on failure); v1 requests decode unchanged and
+// carry no graph.
 func (s *Server) handleScheduleBinary(w http.ResponseWriter, r *http.Request) {
 	s.binaryReqs.Add(1)
 	release, errInfo, status := s.admit()
@@ -499,7 +503,7 @@ func (s *Server) handleScheduleBinary(w http.ResponseWriter, r *http.Request) {
 		writeBinaryError(w, http.StatusBadRequest, errInfo)
 		return
 	}
-	in, ro, err := wire.DecodeScheduleRequest(body)
+	in, graph, ro, err := wire.DecodeScheduleRequest(body)
 	wire.PutBuffer(body)
 	if err != nil {
 		code := CodeBadInstance
@@ -513,6 +517,16 @@ func (s *Server) handleScheduleBinary(w http.ResponseWriter, r *http.Request) {
 	if errInfo != nil {
 		writeBinaryError(w, http.StatusBadRequest, errInfo)
 		return
+	}
+	if graph != nil {
+		// Same gate as the JSON path: a hostile graph is a typed 400
+		// before any shard is touched.
+		s.graphReqs.Add(1)
+		if err := precedence.ValidateEdges(in.N(), graph); err != nil {
+			writeBinaryError(w, http.StatusBadRequest, &ErrorInfo{Code: CodeBadGraph, Message: err.Error()})
+			return
+		}
+		o.Edges = graph
 	}
 	resp, errInfo, status := s.solveVerified(in, o, timeout, lineageOf(ro))
 	if errInfo != nil {

@@ -5,7 +5,6 @@ import (
 
 	"malsched/internal/instance"
 	"malsched/internal/precedence"
-	"malsched/internal/schedule"
 	"malsched/internal/verify"
 )
 
@@ -52,15 +51,22 @@ func (d dagSolver) Solve(in *instance.Instance, o Options) (Solution, error) {
 	if err != nil {
 		return Solution{}, err
 	}
-	var plan *schedule.Schedule
+	po := precedence.Options{
+		Compiled: o.Compiled,
+		Scratch:  o.Scratch,
+		Warm:     o.WarmStart,
+		Legacy:   o.Legacy,
+	}
+	var r precedence.Result
 	if d.refine {
-		plan, err = g.Schedule()
+		r, err = g.Solve(po)
 	} else {
-		plan, err = g.ScheduleCrossover()
+		r, err = g.SolveCrossover(po)
 	}
 	if err != nil {
 		return Solution{}, err
 	}
+	plan := r.Schedule
 	mk := plan.Makespan(in)
 	lb := g.LowerBound()
 	c := verify.Certified{Plan: plan, Makespan: mk, LowerBound: lb}
@@ -71,10 +77,12 @@ func (d dagSolver) Solve(in *instance.Instance, o Options) (Solution, error) {
 		return Solution{}, fmt.Errorf("malsched: DAG solver %s violated precedence: %w", d.name, err)
 	}
 	return Solution{
-		Plan:       plan,
-		Makespan:   mk,
-		LowerBound: lb,
-		Branch:     plan.Algorithm,
-		Solver:     d.name,
+		Plan:        plan,
+		Makespan:    mk,
+		LowerBound:  lb,
+		Branch:      plan.Algorithm,
+		Solver:      d.name,
+		Probes:      r.Probes,
+		Synthesized: r.CacheHits,
 	}, nil
 }

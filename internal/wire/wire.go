@@ -13,7 +13,7 @@
 // round-trips). cmd/msload's -codec binary mode asserts the byte-level
 // equivalence end to end against a live server.
 //
-// # Binary format (version 1)
+// # Binary format (versions 1 and 2)
 //
 // Every message opens with a 4-byte header: magic "MS", a version byte,
 // and a kind byte (request / response / error). Integers are unsigned
@@ -22,6 +22,14 @@
 // a varint. There is no field tagging and no reflection: field order is
 // the format, and a version bump is the only compatible way to change it
 // (see docs/SERVICE.md for the versioning rules).
+//
+// Version 2 extends the request layout with the precedence graph: after
+// the instance block, a graph presence byte and (when present) the
+// successor lists. Response and error layouts are unchanged. Negotiation
+// is per message: encoders emit the lowest version whose layout carries
+// the message (so a graphless request is byte-identical to version 1 and
+// a version-1-only peer never sees a version 2 byte it didn't send),
+// decoders accept every version in [VersionMin, Version].
 package wire
 
 import (
@@ -44,9 +52,14 @@ const ContentType = "application/x-malsched-bin"
 
 // Header bytes.
 const (
-	magic0  = 'M'
-	magic1  = 'S'
-	Version = 1
+	magic0 = 'M'
+	magic1 = 'S'
+	// Version is the newest binary version this build speaks (v2: request
+	// carries the precedence graph); VersionMin is the oldest it still
+	// decodes. Encoders emit the lowest version whose layout carries the
+	// message, decoders accept the full range.
+	Version    = 2
+	VersionMin = 1
 
 	// KindScheduleRequest..KindError tag the three message shapes.
 	KindScheduleRequest  = 0x01
@@ -113,8 +126,9 @@ type ScheduleRequest struct {
 	// task i completes. It is validated at admission (shape, edge bounds,
 	// acyclicity — CodeBadGraph on failure) and requires an edge-aware
 	// solver ("dag", "dag-crossover"); any other selection is CodeBadOptions.
-	// Like the batch path, the graph field is JSON-only: the binary codec
-	// (version 1) does not carry it, and adding it there is a version bump.
+	// The binary codec carries the same field as the wire/v2 graph section
+	// (graphless requests still encode as version 1); only the batch path
+	// remains JSON-only.
 	Graph [][]int `json:"graph,omitempty"`
 	// Options tunes the solve; absent means server defaults.
 	Options *RequestOptions `json:"options,omitempty"`
@@ -243,9 +257,9 @@ func PutBuffer(b []byte) {
 	bufPool.Put(&b)
 }
 
-// appendHeader opens a message.
-func appendHeader(b []byte, kind byte) []byte {
-	return append(b, magic0, magic1, Version, kind)
+// appendHeader opens a message at an explicit version.
+func appendHeader(b []byte, version, kind byte) []byte {
+	return append(b, magic0, magic1, version, kind)
 }
 
 func appendString(b []byte, s string) []byte {
@@ -265,17 +279,25 @@ func Kind(data []byte) (byte, error) {
 	if data[0] != magic0 || data[1] != magic1 {
 		return 0, ErrBadMagic
 	}
-	if data[2] != Version {
-		return 0, fmt.Errorf("%w: %d (this build speaks %d)", ErrBadVersion, data[2], Version)
+	if data[2] < VersionMin || data[2] > Version {
+		return 0, fmt.Errorf("%w: %d (this build speaks %d..%d)", ErrBadVersion, data[2], VersionMin, Version)
 	}
 	return data[3], nil
 }
 
 // AppendScheduleRequest encodes one /v1/schedule request: the instance
-// inline (name, m, per-task name and time table) and the options. A nil
-// opts encodes as absent, matching a JSON body without an "options" key.
-func AppendScheduleRequest(b []byte, in *instance.Instance, opts *RequestOptions) []byte {
-	b = appendHeader(b, KindScheduleRequest)
+// inline (name, m, per-task name and time table), the precedence graph,
+// and the options. A nil graph emits version 1 — byte-identical to the
+// pre-graph codec, so graphless clients interoperate with version-1-only
+// servers unchanged; a non-nil graph (the empty DAG included) emits
+// version 2 with the successor lists after the instance block. A nil opts
+// encodes as absent, matching a JSON body without an "options" key.
+func AppendScheduleRequest(b []byte, in *instance.Instance, graph [][]int, opts *RequestOptions) []byte {
+	version := byte(1)
+	if graph != nil {
+		version = 2
+	}
+	b = appendHeader(b, version, KindScheduleRequest)
 	b = appendString(b, in.Name)
 	b = binary.AppendUvarint(b, uint64(in.M))
 	b = binary.AppendUvarint(b, uint64(len(in.Tasks)))
@@ -285,6 +307,20 @@ func AppendScheduleRequest(b []byte, in *instance.Instance, opts *RequestOptions
 		b = binary.AppendUvarint(b, uint64(mp))
 		for p := 1; p <= mp; p++ {
 			b = appendF64(b, t.Time(p))
+		}
+	}
+	if version >= 2 {
+		// Graph section (v2+): presence byte, then the successor lists.
+		// The encoder only reaches here with a non-nil graph, but the
+		// layout keeps the presence byte so a future always-v2 encoder can
+		// carry "no graph" too.
+		b = append(b, 1)
+		b = binary.AppendUvarint(b, uint64(len(graph)))
+		for _, ss := range graph {
+			b = binary.AppendUvarint(b, uint64(len(ss)))
+			for _, j := range ss {
+				b = binary.AppendUvarint(b, uint64(j))
+			}
 		}
 	}
 	if opts == nil {
@@ -308,9 +344,13 @@ func AppendScheduleRequest(b []byte, in *instance.Instance, opts *RequestOptions
 	return b
 }
 
-// AppendScheduleResponse encodes one success response.
+// AppendScheduleResponse encodes one success response. The layout is
+// unchanged in version 2, so responses are stamped with the lowest version
+// that carries them (1) and decode under any supported version — a
+// version-1-only client reading a version-2-capable server never sees a
+// header it cannot parse.
 func AppendScheduleResponse(b []byte, r *ScheduleResponse) []byte {
-	b = appendHeader(b, KindScheduleResponse)
+	b = appendHeader(b, 1, KindScheduleResponse)
 	b = appendString(b, r.Name)
 	b = appendF64(b, r.Makespan)
 	b = appendF64(b, r.LowerBound)
@@ -340,9 +380,10 @@ func AppendScheduleResponse(b []byte, r *ScheduleResponse) []byte {
 	return b
 }
 
-// AppendError encodes a typed error body.
+// AppendError encodes a typed error body (layout unchanged in version 2;
+// stamped with the lowest version, like AppendScheduleResponse).
 func AppendError(b []byte, e *ErrorBody) []byte {
-	b = appendHeader(b, KindError)
+	b = appendHeader(b, 1, KindError)
 	b = appendString(b, e.Error.Code)
 	return appendString(b, e.Error.Message)
 }
@@ -353,6 +394,7 @@ func AppendError(b []byte, e *ErrorBody) []byte {
 type reader struct {
 	b   []byte
 	off int
+	ver byte // message version, recorded by header()
 	err error
 }
 
@@ -461,14 +503,15 @@ func (r *reader) header(kind byte) {
 		r.fail(ErrBadMagic)
 		return
 	}
-	if r.b[2] != Version {
-		r.fail(fmt.Errorf("%w: %d (this build speaks %d)", ErrBadVersion, r.b[2], Version))
+	if r.b[2] < VersionMin || r.b[2] > Version {
+		r.fail(fmt.Errorf("%w: %d (this build speaks %d..%d)", ErrBadVersion, r.b[2], VersionMin, Version))
 		return
 	}
 	if r.b[3] != kind {
 		r.fail(fmt.Errorf("%w: got 0x%02x, want 0x%02x", ErrBadKind, r.b[3], kind))
 		return
 	}
+	r.ver = r.b[2]
 	r.off = headerLen
 }
 
@@ -476,8 +519,13 @@ func (r *reader) header(kind byte) {
 // request. The instance is built through the same task.New / instance.New
 // constructors as the JSON codec, so both codecs admit exactly the same
 // workloads and reject invalid ones (non-monotone profiles included) with
-// the same typed errors.
-func DecodeScheduleRequest(data []byte) (*instance.Instance, *RequestOptions, error) {
+// the same typed errors. The returned graph is the request's successor
+// lists — nil for version 1 and for a version ≥ 2 request without one,
+// mirroring the JSON codec's absent "graph" key. Like the JSON path the
+// lists are shape only: semantic validation (edge bounds against the task
+// count, acyclicity) stays with the caller (precedence.ValidateEdges),
+// so both codecs reject a bad graph with the same typed error.
+func DecodeScheduleRequest(data []byte) (*instance.Instance, [][]int, *RequestOptions, error) {
 	r := &reader{b: data}
 	r.header(KindScheduleRequest)
 	name := r.str()
@@ -496,9 +544,27 @@ func DecodeScheduleRequest(data []byte) (*instance.Instance, *RequestOptions, er
 		}
 		t, err := task.New(tName, times)
 		if err != nil {
-			return nil, nil, fmt.Errorf("instance: task %d: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("instance: task %d: %w", i, err)
 		}
 		tasks = append(tasks, t)
+	}
+	var graph [][]int
+	if r.ver >= 2 && r.u8() != 0 {
+		nLists := r.count(1)
+		if r.err == nil {
+			graph = make([][]int, nLists)
+		}
+		for i := 0; i < nLists && r.err == nil; i++ {
+			// Empty lists decode nil, matching what the precedence
+			// constructors produce and keeping DeepEqual round-trips exact.
+			if nEdges := r.count(1); nEdges > 0 {
+				list := make([]int, nEdges)
+				for j := range list {
+					list[j] = int(r.uvarint())
+				}
+				graph[i] = list
+			}
+		}
 	}
 	var opts *RequestOptions
 	if r.u8() != 0 {
@@ -519,13 +585,13 @@ func DecodeScheduleRequest(data []byte) (*instance.Instance, *RequestOptions, er
 		opts.Lineage = r.str()
 	}
 	if err := r.done(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	in, err := instance.New(name, int(m), tasks)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return in, opts, nil
+	return in, graph, opts, nil
 }
 
 // DecodeScheduleResponse decodes a binary success response. Empty
@@ -570,10 +636,12 @@ func DecodeScheduleResponse(data []byte) (*ScheduleResponse, error) {
 // RouteKey extracts the routing tier's consistent-hash key from a binary
 // /v1/schedule request without building the instance: the workload-only
 // fingerprint (64-bit FNV-1a over machine size, task count and every
-// task's truncated time table — the same value engine.WorkloadFingerprint
-// computes from the decoded instance, pinned by an equivalence test in
-// internal/router) plus the lineage key, which overrides fingerprint
-// routing when set. Zero allocations: the router peeks, it never decodes.
+// task's truncated time table, with a version ≥ 2 request's precedence
+// graph folded in — the same value engine.WorkloadFingerprintDAG computes
+// from the decoded request, pinned by an equivalence test in
+// internal/router, so a DAG never routes as its independent projection)
+// plus the lineage key, which overrides fingerprint routing when set.
+// Zero allocations: the router peeks, it never decodes.
 //
 // Truncation mirrors instance.New: profiles wider than m hash only their
 // first m entries, because that is what the backend will decode. Routing
@@ -610,6 +678,21 @@ func RouteKey(data []byte) (key uint64, lineage string, err error) {
 			r.off += 8
 		}
 	}
+	if r.ver >= 2 && r.u8() != 0 {
+		// Fold the graph section exactly as engine.WorkloadFingerprintDAG
+		// hashes a present graph: the "edges" marker, the list count, then
+		// each list's length and indices.
+		nLists := r.count(1)
+		h.str("edges")
+		h.uint64(uint64(nLists))
+		for i := 0; i < nLists && r.err == nil; i++ {
+			nEdges := r.count(1)
+			h.uint64(uint64(nEdges))
+			for j := 0; j < nEdges && r.err == nil; j++ {
+				h.uint64(r.uvarint())
+			}
+		}
+	}
 	if r.u8() != 0 {
 		_ = r.str() // solver
 		nPort := r.count(1)
@@ -644,6 +727,13 @@ func (h *fnvHash) hashByte(b byte) {
 func (h *fnvHash) uint64(v uint64) {
 	for i := 0; i < 8; i++ {
 		h.hashByte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *fnvHash) str(s string) {
+	h.uint64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.hashByte(s[i])
 	}
 }
 

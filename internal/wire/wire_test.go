@@ -33,10 +33,16 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Solver: "mrt", Eps: 1e-4, Compact: true, Parallelism: 8, TimeoutMS: 1500, Lineage: "chain-1"},
 		{Portfolio: []string{"mrt", "ltf-rigid"}, TimeoutMS: -3, Parallelism: -1},
 	} {
-		buf := AppendScheduleRequest(GetBuffer(), in, opts)
-		gotIn, gotOpts, err := DecodeScheduleRequest(buf)
+		buf := AppendScheduleRequest(GetBuffer(), in, nil, opts)
+		gotIn, gotGraph, gotOpts, err := DecodeScheduleRequest(buf)
 		if err != nil {
 			t.Fatalf("decode (opts %+v): %v", opts, err)
+		}
+		if gotGraph != nil {
+			t.Fatalf("graphless request decoded graph %v", gotGraph)
+		}
+		if buf[2] != 1 {
+			t.Fatalf("graphless request emitted version %d, want 1", buf[2])
 		}
 		if gotIn.Name != in.Name || gotIn.M != in.M || gotIn.N() != in.N() {
 			t.Fatalf("instance header mismatch: got %q/%d/%d", gotIn.Name, gotIn.M, gotIn.N())
@@ -129,12 +135,12 @@ func TestKindSniffing(t *testing.T) {
 // the decoders: each must fail typed, none may panic or succeed.
 func TestTruncationNeverPanics(t *testing.T) {
 	in := testInstance(t)
-	req := AppendScheduleRequest(nil, in, &RequestOptions{Solver: "mrt", Lineage: "l"})
+	req := AppendScheduleRequest(nil, in, [][]int{{1}, {2}, nil}, &RequestOptions{Solver: "mrt", Lineage: "l"})
 	resp := AppendScheduleResponse(nil, &ScheduleResponse{
 		Name: "n", Plan: PlanJSON{Placements: []PlacementJSON{{ProcSet: []int{1}}}},
 	})
 	for i := 0; i < len(req); i++ {
-		if _, _, err := DecodeScheduleRequest(req[:i]); err == nil {
+		if _, _, _, err := DecodeScheduleRequest(req[:i]); err == nil {
 			t.Fatalf("request prefix %d decoded", i)
 		}
 	}
@@ -147,8 +153,8 @@ func TestTruncationNeverPanics(t *testing.T) {
 
 func TestTrailingGarbageRejected(t *testing.T) {
 	in := testInstance(t)
-	req := append(AppendScheduleRequest(nil, in, nil), 0xFF)
-	if _, _, err := DecodeScheduleRequest(req); err == nil {
+	req := append(AppendScheduleRequest(nil, in, nil, nil), 0xFF)
+	if _, _, _, err := DecodeScheduleRequest(req); err == nil {
 		t.Fatal("trailing garbage decoded")
 	}
 }
@@ -156,11 +162,11 @@ func TestTrailingGarbageRejected(t *testing.T) {
 func TestHostileLengthPrefixIsBounded(t *testing.T) {
 	// A length prefix claiming 2^40 tasks must fail on the size check, not
 	// attempt the allocation.
-	b := []byte{magic0, magic1, Version, KindScheduleRequest}
+	b := []byte{magic0, magic1, 1, KindScheduleRequest}
 	b = append(b, 0)                                           // name ""
 	b = append(b, 3)                                           // m = 3
 	b = append(b, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 1) // huge count
-	if _, _, err := DecodeScheduleRequest(b); !errors.Is(err, ErrTooLarge) {
+	if _, _, _, err := DecodeScheduleRequest(b); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("want ErrTooLarge, got %v", err)
 	}
 }
@@ -170,7 +176,7 @@ func TestHostileLengthPrefixIsBounded(t *testing.T) {
 // constructors.
 func TestDecodeValidatesLikeJSON(t *testing.T) {
 	// Non-monotone profile: time increases with processors.
-	b := appendHeader(nil, KindScheduleRequest)
+	b := appendHeader(nil, 1, KindScheduleRequest)
 	b = appendString(b, "bad")
 	b = append(b, 2) // m
 	b = append(b, 1) // one task
@@ -179,7 +185,7 @@ func TestDecodeValidatesLikeJSON(t *testing.T) {
 	b = appendF64(b, 1)
 	b = appendF64(b, 5) // increases: invalid
 	b = append(b, 0)    // no options
-	_, _, err := DecodeScheduleRequest(b)
+	_, _, _, err := DecodeScheduleRequest(b)
 	if err == nil || !errors.Is(err, task.ErrTimeIncrease) {
 		t.Fatalf("non-monotone profile: got %v", err)
 	}
@@ -232,10 +238,10 @@ func BenchmarkDecodeRequest(b *testing.B) {
 		task.MustNew("a", []float64{9, 5, 4, 3.5}),
 		task.MustNew("b", []float64{7, 4, 3, 2.5}),
 	})
-	buf := AppendScheduleRequest(nil, in, &RequestOptions{Solver: "mrt"})
+	buf := AppendScheduleRequest(nil, in, nil, &RequestOptions{Solver: "mrt"})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := DecodeScheduleRequest(buf); err != nil {
+		if _, _, _, err := DecodeScheduleRequest(buf); err != nil {
 			b.Fatal(err)
 		}
 	}
