@@ -4,13 +4,18 @@
 // Usage:
 //
 //	msched [-solver mrt|portfolio|exact|twy-ffdh|…] [-parallelism k]
-//	       [-eps 1e-3] [-compact] [-cols 80] [-json] [file]
+//	       [-eps 1e-3] [-compact] [-cols 80] [-json] [-trace] [file]
 //	msched -solvers
 //
 // -solver selects any registered solver (-solvers lists them); -algo is the
 // deprecated spelling of the same flag. -parallelism ≥ 2 speculates that
 // many λ-guesses of the dual search concurrently — same output, lower
 // latency on idle cores.
+//
+// -trace prints the dual search's consumed probe trajectory (λ, segment,
+// accept/reject reason, synthesized) plus the search wall-clock to stderr —
+// pure observation, the schedule is bit-identical traced or not. The
+// schema is documented in docs/OBSERVABILITY.md.
 //
 // Reads the instance from file (or stdin). With -json the schedule is
 // written as JSON instead of a chart. The instance format is the one
@@ -31,6 +36,33 @@ import (
 	"malsched/internal/instance"
 )
 
+// printTrace writes the λ-search trajectory to stderr, one consumed probe
+// per line in sequential search order.
+func printTrace(tr *malsched.SolveTrace) {
+	if tr == nil {
+		fmt.Fprintln(os.Stderr, "trace: no dual search (solver has no λ-search)")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d probes, search %.3fms\n", len(tr.Probes), float64(tr.SearchNS)/1e6)
+	for i, p := range tr.Probes {
+		verdict := "accept"
+		if !p.Accepted {
+			verdict = "reject " + p.Reject.String()
+			if p.Certified {
+				verdict += " (certified OPT>λ)"
+			}
+		}
+		seg := ""
+		if p.Segment >= 0 {
+			seg = fmt.Sprintf(" seg=%d", p.Segment)
+		}
+		if p.Synthesized {
+			seg += " synthesized"
+		}
+		fmt.Fprintf(os.Stderr, "  probe %2d  λ=%.9g%s  %s\n", i, p.Lambda, seg, verdict)
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("msched: ")
@@ -42,6 +74,7 @@ func main() {
 	compact := flag.Bool("compact", false, "left-shift the final schedule")
 	cols := flag.Int("cols", 80, "gantt width in columns")
 	asJSON := flag.Bool("json", false, "emit the schedule as JSON")
+	trace := flag.Bool("trace", false, "print the λ-search probe trajectory to stderr")
 	flag.Parse()
 
 	if *listSolvers {
@@ -65,7 +98,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := &malsched.Options{Eps: *eps, Compact: *compact, Parallelism: *parallelism}
+	opts := &malsched.Options{Eps: *eps, Compact: *compact, Parallelism: *parallelism, Trace: *trace}
 	switch {
 	case *solverName != "":
 		opts.Solver = *solverName
@@ -75,6 +108,9 @@ func main() {
 	res, err := malsched.Schedule(in, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *trace {
+		printTrace(res.Trace)
 	}
 
 	if *asJSON {

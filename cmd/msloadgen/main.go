@@ -34,7 +34,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/bits"
 	"net/http"
 	"os"
 	"runtime"
@@ -44,6 +43,7 @@ import (
 	"time"
 
 	"malsched/internal/instance"
+	"malsched/internal/obs"
 	"malsched/internal/precedence"
 	"malsched/internal/router"
 	"malsched/internal/server"
@@ -156,27 +156,6 @@ func (t *httpTarget) do(contentType string, body []byte) (int, error) {
 	_, _ = sink.ReadFrom(resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, nil
-}
-
-// bucketOf maps a latency in µs to its histogram bucket.
-func bucketOf(us int64) int {
-	if us < 16 {
-		return int(us)
-	}
-	h := 63 - bits.LeadingZeros64(uint64(us))
-	sub := int((us >> (h - 2)) & 3)
-	return 16 + (h-4)*4 + sub
-}
-
-// bucketUpper is the inclusive upper bound (µs) of bucket b.
-func bucketUpper(b int) int64 {
-	if b < 16 {
-		return int64(b)
-	}
-	b -= 16
-	h := uint(b/4 + 4)
-	sub := int64(b % 4)
-	return int64(1)<<h + (sub+1)<<(h-2) - 1
 }
 
 type size struct{ n, m int }
@@ -442,25 +421,20 @@ func runCell(tgt target, spec cellSpec) cellResult {
 	}
 	if len(samples) > 0 {
 		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
-		var sum int64
-		hist := map[int]int64{}
+		// The shared obs histogram uses the exact bucket boundaries this
+		// tool introduced, so the bench-serve/v1 "histogram_us" encoding is
+		// byte-identical to the pre-extraction output (regression-tested
+		// against a committed fixture in internal/obs).
+		hist := obs.NewHistogram()
 		for _, s := range samples {
-			sum += s
-			hist[bucketOf(s)]++
+			hist.Observe(s)
 		}
 		res.P50us = float64(pct(samples, 50))
 		res.P95us = float64(pct(samples, 95))
 		res.P99us = float64(pct(samples, 99))
-		res.MeanUs = float64(sum) / float64(len(samples))
+		res.MeanUs = float64(hist.SumUS()) / float64(len(samples))
 		res.MaxUs = float64(samples[len(samples)-1])
-		buckets := make([]int, 0, len(hist))
-		for b := range hist {
-			buckets = append(buckets, b)
-		}
-		sort.Ints(buckets)
-		for _, b := range buckets {
-			res.Histogram = append(res.Histogram, [2]int64{bucketUpper(b), hist[b]})
-		}
+		res.Histogram = hist.Snapshot()
 	}
 
 	// Serial allocation measurement: one request in flight at a time, so

@@ -10,7 +10,14 @@
 //
 //	msroute -backends http://h1:8080,http://h2:8080 [-addr :8070]
 //	        [-vnodes 160] [-queue 128] [-workers 4] [-no-steal]
-//	        [-drain-grace 30s] [-pprof]
+//	        [-drain-grace 30s] [-pprof] [-log-requests] [-slow 0]
+//
+// Observability: GET /metricsz serves Prometheus text metrics (request
+// counters, queue/forward latency histograms, steal counters), and every
+// request gets an X-Malsched-Request ID — minted here or taken from the
+// client — that is forwarded to the serving shard and echoed on the
+// response, so one grep joins the router's and the shard's logs. See
+// docs/OBSERVABILITY.md.
 //
 // Backend ring positions are seeded by each backend's stable name —
 // by default the URL itself, or NAME=URL entries to survive address
@@ -27,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -84,19 +92,27 @@ func main() {
 	noSteal := flag.Bool("no-steal", false, "disable work-stealing (requests always wait for their home shard)")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long in-flight requests get after SIGTERM")
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on /debug/pprof/ (off by default)")
+	logRequests := flag.Bool("log-requests", false, "log every routed request (structured, stderr)")
+	slow := flag.Duration("slow", 0, "log requests at or above this duration at Warn with queue/forward timings (0 = off)")
 	flag.Parse()
 
 	bk, err := parseBackends(*backends)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := router.New(router.Config{
-		Backends:     bk,
-		VNodes:       *vnodes,
-		QueueDepth:   *queue,
-		Workers:      *workers,
-		DisableSteal: *noSteal,
-	})
+	cfg := router.Config{
+		Backends:      bk,
+		VNodes:        *vnodes,
+		QueueDepth:    *queue,
+		Workers:       *workers,
+		DisableSteal:  *noSteal,
+		LogRequests:   *logRequests,
+		SlowThreshold: *slow,
+	}
+	if *logRequests || *slow > 0 {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	rt, err := router.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,13 @@
 //
 //	msserve [-addr :8080] [-shards 4] [-workers 0] [-memo 0] [-queue 64]
 //	        [-timeout 0] [-max-timeout 60s] [-drain-grace 30s] [-pprof]
+//	        [-log-requests] [-slow 0]
+//
+// Observability: GET /metricsz serves Prometheus text metrics (request
+// counters, per-stage latency histograms), -log-requests emits one
+// structured log line per request with its X-Malsched-Request ID, and
+// -slow flags requests over the threshold with their stage breakdown. See
+// docs/OBSERVABILITY.md.
 //
 // On SIGTERM or SIGINT the server drains gracefully: /healthz flips to 503
 // so load balancers stop routing, new scheduling requests are refused with
@@ -24,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -62,16 +70,24 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", server.DefaultMaxTimeout, "cap on per-request timeout_ms")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long in-flight requests get after SIGTERM")
 	pprofOn := flag.Bool("pprof", false, "serve runtime profiles on /debug/pprof/ (off by default)")
+	logRequests := flag.Bool("log-requests", false, "log every scheduling request (structured, stderr)")
+	slow := flag.Duration("slow", 0, "log requests at or above this duration at Warn with stage timings (0 = off)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Shards:         *shards,
 		Workers:        *workers,
 		MemoCapacity:   *memo,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
-	})
+		LogRequests:    *logRequests,
+		SlowThreshold:  *slow,
+	}
+	if *logRequests || *slow > 0 {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	srv := server.New(cfg)
 	handler := srv.Handler()
 	if *pprofOn {
 		handler = withPprof(handler)

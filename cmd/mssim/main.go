@@ -11,7 +11,13 @@
 //	mssim [-out BENCH_sim.json] [-quick] [-seed 1] [-parallelism 1]
 //	      [-policies epoch-batch,greedy-rigid,replan-on-arrival,dag-release]
 //	      [-epoch 2] [-preempt repartition] [-solver mrt]
+//	      [-metrics-out metrics.txt]
 //	mssim -trace trace.json [flags]
+//
+// -metrics-out additionally writes Prometheus text metrics — per-policy
+// planning-solve wall-clock histograms — to a separate file. Wall-clock
+// never enters the artifact, so BENCH_sim.json stays bit-identical across
+// runs with or without the flag.
 //
 // The default mode runs a workload×policy×noise grid over generated
 // traces; -trace replays one trace JSON file (see cmd/msgen -trace)
@@ -35,6 +41,7 @@ import (
 
 	"malsched"
 	"malsched/internal/engine"
+	"malsched/internal/obs"
 	"malsched/internal/sim"
 	"malsched/internal/workload"
 )
@@ -98,6 +105,7 @@ func main() {
 	tracePath := flag.String("trace", "", "replay this trace/v1 JSON file instead of the generated grid")
 	eps := flag.Float64("eps", 0, "dual-search tolerance (0 = paper default)")
 	corrupt := flag.Bool("selftest-corrupt", false, "deliberately corrupt the first timeline before verification (must exit non-zero; CI self-test)")
+	metricsOut := flag.String("metrics-out", "", "also write Prometheus text metrics (per-policy solve-latency histograms) to this file; BENCH_sim.json is unaffected")
 	flag.Parse()
 
 	pols := strings.Split(*policies, ",")
@@ -120,6 +128,17 @@ func main() {
 	// re-solves from the memo. Sharing never changes results (memo hits
 	// return cloned, bit-identical solutions), only latency.
 	eng := engine.New(engine.Config{Workers: 1})
+	// The metrics registry rides beside the artifact: solve wall-clock
+	// histograms per policy, written as Prometheus text to -metrics-out.
+	// Wall-clock never feeds BENCH_sim.json, which stays bit-identical
+	// across runs (CI cmp-checks it).
+	var metrics *obs.Registry
+	solveHists := map[string]*obs.Histogram{}
+	if *metricsOut != "" {
+		metrics = obs.NewRegistry()
+		metrics.CounterFunc("mssim_rows_total", "Grid cells simulated.",
+			func() float64 { return float64(len(rep.Rows)) })
+	}
 	for _, sc := range scenarios {
 		jobs := sim.TimelineJobs(sc.trace)
 		polsFor := pols
@@ -149,6 +168,15 @@ func main() {
 				}
 				if policy == "replan-on-arrival" {
 					cfg.Preempt = *preempt
+				}
+				if metrics != nil {
+					h, ok := solveHists[policy]
+					if !ok {
+						h = metrics.Histogram("mssim_solve_latency_us",
+							"Planning-solve wall-clock by policy.", "policy", policy)
+						solveHists[policy] = h
+					}
+					cfg.SolveObserver = func(ns int64) { h.Observe(ns / 1e3) }
 				}
 				res, err := sim.Run(sc.trace, cfg)
 				if err != nil {
@@ -192,6 +220,19 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mssim: %d rows over %d workloads × %d policies × 2 noise levels\n",
 		len(rep.Rows), len(scenarios), len(pols))
+
+	if metrics != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metrics.WriteText(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
 // epochOf reports the epoch column only for the policy it configures.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"malsched/internal/instance"
 	"malsched/internal/lowerbound"
@@ -66,6 +67,12 @@ type Options struct {
 	// worse units of work), which is how the engine implements
 	// per-instance timeouts without leaking goroutines.
 	Interrupt <-chan struct{}
+	// Trace, when non-nil, records the consumed probe trajectory into the
+	// given SolveTrace (appending to Probes, overwriting SearchNS). Tracing
+	// is observation only: it cannot change the search path or the result
+	// at any Parallelism, warm or cold (the golden and differential suites
+	// run traced to enforce it).
+	Trace *SolveTrace
 	// WarmStart, when non-nil, switches the search to warm mode: probe
 	// outcomes decided by the compiled segment tables alone are
 	// synthesized without running the dual step, the speculative budget
@@ -170,6 +177,11 @@ type search struct {
 	hist    []WarmProbe
 	synthOK bool
 
+	// trace, when non-nil, collects the consumed probe trajectory
+	// (Options.Trace). Written only in merge, read by nobody inside the
+	// search — observation cannot steer it.
+	trace *SolveTrace
+
 	// lo is the largest rejected guess (search floor, starts at the
 	// trivial lower bound); hi the smallest accepted one.
 	lo, hi float64
@@ -222,6 +234,7 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 		prober:    prober,
 		interrupt: opts.Interrupt,
 		warm:      opts.WarmStart,
+		trace:     opts.Trace,
 	}
 	if s.warm != nil {
 		// Synthesis replays dualStep's certified pre-construction exits,
@@ -240,6 +253,10 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 	}
 	s.lo = s.res.LowerBound // invariant: OPT ≥ certified LB; lo tracks search floor
 
+	var t0 time.Time
+	if s.trace != nil {
+		t0 = time.Now()
+	}
 	var err error
 	switch {
 	case opts.Parallelism >= 2 && s.warm != nil:
@@ -248,6 +265,9 @@ func Approximate(in *instance.Instance, opts Options) (Result, error) {
 		err = s.runSpeculative(opts.Parallelism, sc)
 	default:
 		err = s.runSequential(sc)
+	}
+	if s.trace != nil {
+		s.trace.SearchNS = time.Since(t0).Nanoseconds()
 	}
 	if err != nil {
 		return Result{}, err
@@ -276,13 +296,28 @@ func (s *search) consider(sch *schedule.Schedule) {
 	}
 }
 
-// merge applies one consumed probe outcome to the search result. Both
+// merge applies one consumed probe outcome to the search result. All
 // drivers call it in the sequential probe order; speculative probes whose
-// guess the path never reaches are never merged.
-func (s *search) merge(lambda float64, r StepResult) {
+// guess the path never reaches are never merged. synth reports a warm
+// outcome resolved from the segment tables (trace provenance only).
+func (s *search) merge(lambda float64, r StepResult, synth bool) {
 	s.consumed++
 	if s.warm != nil {
 		s.hist = append(s.hist, WarmProbe{Lambda: lambda, Accepted: r.Schedule != nil})
+	}
+	if s.trace != nil {
+		seg := -1
+		if s.c != nil {
+			seg = s.c.Segment(lambda)
+		}
+		s.trace.Probes = append(s.trace.Probes, ProbeTrace{
+			Lambda:      lambda,
+			Segment:     seg,
+			Accepted:    r.Schedule != nil,
+			Reject:      r.Reject,
+			Certified:   r.Certified,
+			Synthesized: synth,
+		})
 	}
 	if r.Schedule != nil {
 		s.consider(r.Schedule)
@@ -325,7 +360,7 @@ func (s *search) runSequential(sc *Scratch) error {
 	step := func(l float64) StepResult {
 		if r, ok := s.synthesize(l, sc); ok {
 			s.res.Synthesized++
-			s.merge(l, r)
+			s.merge(l, r, true)
 			return r
 		}
 		s.res.Probes++
@@ -333,7 +368,7 @@ func (s *search) runSequential(sc *Scratch) error {
 		if r.Interrupted {
 			return r
 		}
-		s.merge(l, r)
+		s.merge(l, r, false)
 		return r
 	}
 

@@ -94,7 +94,7 @@ func (s *search) runSpeculative(k int, sc *Scratch) error {
 			if r.Interrupted {
 				return s.errInterrupted()
 			}
-			s.merge(lambdas[j], r)
+			s.merge(lambdas[j], r, false)
 			if r.Schedule != nil {
 				accepted = true
 				hi = lambdas[j]
@@ -157,7 +157,7 @@ func (s *search) runSpeculative(k int, sc *Scratch) error {
 			if r.Interrupted {
 				return s.errInterrupted()
 			}
-			s.merge(nd.lam, r)
+			s.merge(nd.lam, r, false)
 			if r.Schedule != nil {
 				s.hi = nd.lam
 				s.res.AcceptedLambda = nd.lam

@@ -217,7 +217,7 @@ func (s *search) runSpeculativeWarm(k int, sc *Scratch) error {
 			if out.synth {
 				s.res.Synthesized++
 			}
-			s.merge(g.lam, out.r)
+			s.merge(g.lam, out.r, out.synth)
 			if out.r.Schedule != nil {
 				accepted = true
 				hi = g.lam
@@ -295,7 +295,7 @@ func (s *search) runSpeculativeWarm(k int, sc *Scratch) error {
 			if out.synth {
 				s.res.Synthesized++
 			}
-			s.merge(nd.lam, out.r)
+			s.merge(nd.lam, out.r, out.synth)
 			if out.r.Schedule != nil {
 				s.hi = nd.lam
 				s.res.AcceptedLambda = nd.lam

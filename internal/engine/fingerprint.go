@@ -136,11 +136,11 @@ func fingerprint(in *instance.Instance, o Options) memoKey {
 	}
 	// The solver identity is hashed in resolved form, so the deprecated
 	// Baseline alias and an explicit Solver of the same name share memo
-	// entries. Parallelism and Legacy are deliberately excluded: the
-	// speculative search is bit-identical to the sequential one and the
-	// compiled hot path to the legacy one (enforced by the golden,
-	// determinism and equivalence tests), so their results are
-	// interchangeable.
+	// entries. Parallelism, Legacy and Trace are deliberately excluded:
+	// the speculative search is bit-identical to the sequential one, the
+	// compiled hot path to the legacy one, and tracing is pure observation
+	// (enforced by the golden, determinism, equivalence and trace tests),
+	// so their results are interchangeable.
 	if len(o.Portfolio) > 0 {
 		h.string("portfolio")
 		h.uint64(uint64(len(o.Portfolio)))

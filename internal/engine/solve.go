@@ -48,6 +48,13 @@ type Options struct {
 	// Baseline is a deprecated alias for Solver, kept for callers of the
 	// pre-registry API.
 	Baseline string
+	// Trace captures the dual search's consumed probe trajectory into
+	// Solution.Trace. Pure observation: results are bit-identical traced or
+	// not, so Trace — like Parallelism and Legacy — is excluded from the
+	// memo fingerprint; a memo hit returns no trace (there was no search).
+	// Only solvers with a dual search record probes ("mrt"); others return
+	// an empty trace.
+	Trace bool
 	// Edges, when non-nil, is the successor-list precedence DAG over the
 	// instance's tasks (Edges[i] lists the tasks that may start only after
 	// task i completes). It is part of the memo fingerprint — a DAG never
@@ -143,11 +150,20 @@ type Solution struct {
 	// from the compiled segment tables without a dual step (0 for cold
 	// solves; see Engine.ScheduleWarm).
 	Synthesized int
+	// Trace is the dual search's consumed probe trajectory, present only
+	// when Options.Trace was set and the solve actually ran a search (memo
+	// hits return nil — clone strips it, so memo entries never carry a
+	// stale trajectory).
+	Trace *core.SolveTrace
 }
 
 // clone returns a Solution whose plan shares no memory with the receiver's,
 // so memo entries stay immutable when callers mutate returned plans.
 func (s Solution) clone() Solution {
+	// Traces never enter or leave the memo: Options.Trace is excluded from
+	// the fingerprint, so an untraced request may hit an entry a traced one
+	// filled (and vice versa) — stripping here keeps the hit path unambiguous.
+	s.Trace = nil
 	if s.Plan == nil {
 		return s
 	}
@@ -188,6 +204,10 @@ func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan 
 		return Solution{}, fmt.Errorf("%w: %q (edge-aware: %q, %q)",
 			solver.ErrEdgesUnsupported, sv.Name(), solver.DAGSolverName, solver.DAGCrossoverSolverName)
 	}
+	var tr *core.SolveTrace
+	if o.Trace {
+		tr = &core.SolveTrace{}
+	}
 	sol, err := sv.Solve(in, solver.Options{
 		Eps:         o.Eps,
 		Compact:     o.Compact,
@@ -197,6 +217,7 @@ func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan 
 		Scratch:     sc,
 		Interrupt:   interrupt,
 		WarmStart:   warm,
+		Trace:       tr,
 		Edges:       o.Edges,
 	})
 	if err != nil {
@@ -211,5 +232,6 @@ func solve(in *instance.Instance, o Options, sc *core.Scratch, interrupt <-chan 
 		Probes:      sol.Probes,
 		Speculated:  sol.Speculated,
 		Synthesized: sol.Synthesized,
+		Trace:       tr,
 	}, nil
 }

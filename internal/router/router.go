@@ -36,13 +36,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"malsched/internal/engine"
 	"malsched/internal/instance"
+	"malsched/internal/obs"
 	"malsched/internal/wire"
 )
 
@@ -92,10 +95,26 @@ type Config struct {
 	// Client is used for URL backends; nil means a default client with no
 	// timeout (per-request contexts bound the forwarding instead).
 	Client *http.Client
+	// Logger, when non-nil, receives structured request logs (log/slog):
+	// one line per routed request when LogRequests is set, and a Warn line
+	// with the queue/forward breakdown for every request at or above
+	// SlowThreshold. Each line carries the request ID minted here or
+	// supplied by the client (X-Malsched-Request); the same ID is forwarded
+	// to the serving shard, so one grep joins the router's and the shard's
+	// view of a request. Nil disables request logging entirely.
+	Logger *slog.Logger
+	// SlowThreshold flags requests lasting at least this long as slow
+	// (logged at Warn); 0 disables the slow path.
+	SlowThreshold time.Duration
+	// LogRequests logs every routed request at Info, not just slow ones.
+	LogRequests bool
 }
 
 // Stats snapshots the routing tier for /statsz.
 type Stats struct {
+	// Schema versions the payload ("statsz/v1"); additive changes only
+	// within a version. The drift-guard tests pin the documented key set.
+	Schema string `json:"schema"`
 	// Routed counts requests admitted to a queue; Rejected those shed
 	// because their home queue was full.
 	Routed   uint64 `json:"routed"`
@@ -142,6 +161,12 @@ type job struct {
 	path        string
 	contentType string
 	body        []byte
+	// reqID is the request ID minted at dispatch (or supplied by the
+	// client); the forwarder propagates it to the shard.
+	reqID string
+	// enqueued timestamps queue entry; the worker's pickup delta is the
+	// queue-stage latency.
+	enqueued time.Time
 	// done receives exactly one result; buffered so a worker never blocks
 	// on a client that gave up.
 	done chan jobResult
@@ -153,7 +178,10 @@ type jobResult struct {
 	body        []byte
 	servedBy    int
 	stolen      bool
-	err         error
+	// queueNS and forwardNS are the job's stage timings, echoed back for
+	// the request log.
+	queueNS, forwardNS int64
+	err                error
 }
 
 type backendState struct {
@@ -181,6 +209,14 @@ type Router struct {
 	client   *http.Client
 	mux      *http.ServeMux
 	stop     chan struct{}
+
+	// metrics is the /metricsz registry. stageSets and reqCounters cache
+	// its instruments so the dispatch and forwarding hot paths resolve them
+	// with one allocation-free map read under obsMu.
+	metrics     *obs.Registry
+	obsMu       sync.RWMutex
+	stageSets   map[string]*stageSet
+	reqCounters map[reqKey]*obs.Counter
 
 	draining   atomic.Bool
 	routed     atomic.Uint64
@@ -212,11 +248,15 @@ func New(cfg Config) (*Router, error) {
 		return nil, err
 	}
 	r := &Router{
-		cfg:    cfg,
-		ring:   ring,
-		client: cfg.Client,
-		mux:    http.NewServeMux(),
-		stop:   make(chan struct{}),
+		cfg:     cfg,
+		ring:    ring,
+		client:  cfg.Client,
+		mux:     http.NewServeMux(),
+		stop:    make(chan struct{}),
+		metrics: obs.NewRegistry(),
+
+		stageSets:   make(map[string]*stageSet),
+		reqCounters: make(map[reqKey]*obs.Counter),
 	}
 	if r.client == nil {
 		r.client = &http.Client{}
@@ -231,6 +271,7 @@ func New(cfg Config) (*Router, error) {
 			local:   make(chan *job, cfg.QueueDepth),
 		}
 	}
+	r.registerMetrics()
 	for i := range r.backends {
 		for w := 0; w < cfg.Workers; w++ {
 			go r.worker(i)
@@ -244,6 +285,7 @@ func New(cfg Config) (*Router, error) {
 	})
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /statsz", r.handleStatsz)
+	r.mux.Handle("GET /metricsz", r.metrics.Handler())
 	return r, nil
 }
 
@@ -278,6 +320,7 @@ func (r *Router) Close() {
 // Stats snapshots the router's counters.
 func (r *Router) Stats() Stats {
 	st := Stats{
+		Schema:         StatszSchema,
 		Routed:         r.routed.Load(),
 		Rejected:       r.rejected.Load(),
 		LineagePinned:  r.pinnedCnt.Load(),
@@ -351,14 +394,32 @@ func (r *Router) routeKey(path, contentType string, body []byte) (uint64, bool, 
 }
 
 func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, path string) {
+	start := time.Now()
 	binary := contentTypeOf(req) == wire.ContentType
+	codec, endpoint := "json", path[len("/v1/"):]
+	if binary {
+		codec = "binary"
+	}
+	// The request ID is minted here at the edge (or taken from the client),
+	// echoed on the response and forwarded to the serving shard, which logs
+	// and echoes the same ID — one identifier joins both tiers' views.
+	reqID := req.Header.Get(obs.RequestIDHeader)
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set(obs.RequestIDHeader, reqID)
+	finish := func(status int, res jobResult) {
+		r.finishRequest(reqID, endpoint, codec, status, res, time.Since(start))
+	}
 	if r.draining.Load() {
+		finish(http.StatusServiceUnavailable, jobResult{servedBy: -1})
 		r.writeError(w, http.StatusServiceUnavailable, binary,
 			&wire.ErrorInfo{Code: wire.CodeDraining, Message: "router is draining; retry against another replica"})
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes))
 	if err != nil {
+		finish(http.StatusBadRequest, jobResult{servedBy: -1})
 		r.writeError(w, http.StatusBadRequest, binary,
 			&wire.ErrorInfo{Code: wire.CodeBadRequest, Message: fmt.Sprintf("reading request body: %v", err)})
 		return
@@ -366,6 +427,7 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, path string)
 	ct := contentTypeOf(req)
 	key, pinned, errInfo := r.routeKey(path, ct, body)
 	if errInfo != nil {
+		finish(http.StatusBadRequest, jobResult{servedBy: -1})
 		r.writeError(w, http.StatusBadRequest, binary, errInfo)
 		return
 	}
@@ -378,6 +440,8 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, path string)
 		path:        path,
 		contentType: ct,
 		body:        body,
+		reqID:       reqID,
+		enqueued:    time.Now(),
 		done:        make(chan jobResult, 1),
 	}
 	q := b.local
@@ -393,6 +457,7 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, path string)
 		}
 	default:
 		r.rejected.Add(1)
+		finish(http.StatusTooManyRequests, jobResult{servedBy: -1})
 		w.Header().Set("Retry-After", "1")
 		r.writeError(w, http.StatusTooManyRequests, binary, &wire.ErrorInfo{
 			Code:    wire.CodeQueueFull,
@@ -403,10 +468,12 @@ func (r *Router) dispatch(w http.ResponseWriter, req *http.Request, path string)
 	select {
 	case res := <-j.done:
 		if res.err != nil {
+			finish(res.status, res)
 			r.writeError(w, res.status, binary,
 				&wire.ErrorInfo{Code: wire.CodeInternal, Message: res.err.Error()})
 			return
 		}
+		finish(res.status, res)
 		w.Header().Set("X-Msroute-Backend", r.backends[res.servedBy].name)
 		w.Header().Set("X-Msroute-Stolen", strconv.FormatBool(res.stolen))
 		if res.contentType != "" {
@@ -490,22 +557,28 @@ func (r *Router) trySteal(i int) bool {
 func (r *Router) serve(i int, j *job) {
 	b := r.backends[i]
 	stolen := i != j.home
+	queueNS := time.Since(j.enqueued).Nanoseconds()
 	if err := j.ctx.Err(); err != nil {
 		// Client already gone — don't burn a backend solve on it.
-		j.done <- jobResult{status: http.StatusServiceUnavailable, servedBy: i, stolen: stolen, err: err}
+		j.done <- jobResult{status: http.StatusServiceUnavailable, servedBy: i, stolen: stolen, queueNS: queueNS, err: err}
 		return
 	}
 	b.served.Add(1)
 	if stolen {
 		b.stolenServed.Add(1)
 	}
+	t := time.Now()
 	status, ct, body, err := r.forward(b, j)
+	forwardNS := time.Since(t).Nanoseconds()
+	set := r.stagesFor(b.name)
+	set.queue.Observe(queueNS / 1e3)
+	set.forward.Observe(forwardNS / 1e3)
 	if err != nil {
 		b.errors.Add(1)
-		j.done <- jobResult{status: http.StatusBadGateway, servedBy: i, stolen: stolen, err: err}
+		j.done <- jobResult{status: http.StatusBadGateway, servedBy: i, stolen: stolen, queueNS: queueNS, forwardNS: forwardNS, err: err}
 		return
 	}
-	j.done <- jobResult{status: status, contentType: ct, body: body, servedBy: i, stolen: stolen}
+	j.done <- jobResult{status: status, contentType: ct, body: body, servedBy: i, stolen: stolen, queueNS: queueNS, forwardNS: forwardNS}
 }
 
 // forward performs the actual backend call: in-process handler when
@@ -517,6 +590,7 @@ func (r *Router) forward(b *backendState, j *job) (int, string, []byte, error) {
 			return 0, "", nil, err
 		}
 		req.Header.Set("Content-Type", j.contentType)
+		req.Header.Set(obs.RequestIDHeader, j.reqID)
 		rec := &responseRecorder{header: make(http.Header), status: http.StatusOK}
 		b.handler.ServeHTTP(rec, req)
 		return rec.status, rec.header.Get("Content-Type"), rec.body.Bytes(), nil
@@ -526,6 +600,7 @@ func (r *Router) forward(b *backendState, j *job) (int, string, []byte, error) {
 		return 0, "", nil, err
 	}
 	req.Header.Set("Content-Type", j.contentType)
+	req.Header.Set(obs.RequestIDHeader, j.reqID)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return 0, "", nil, err

@@ -1,0 +1,328 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"malsched/internal/instance"
+	"malsched/internal/obs"
+)
+
+// A /metricsz scrape after traffic must expose the documented metric
+// families in Prometheus text format, with the stage-latency histogram
+// carrying non-zero samples for every stage.
+func TestMetricszExposition(t *testing.T) {
+	s := New(Config{Shards: 2, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(1, 10, 8)
+	status, _ := post(t, ts, "/v1/schedule", ScheduleRequest{Instance: mustRaw(t, in)})
+	if status != http.StatusOK {
+		t.Fatalf("schedule: status %d", status)
+	}
+
+	code, body := get(t, ts, "/metricsz")
+	if code != http.StatusOK {
+		t.Fatalf("/metricsz: status %d", code)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"malsched_requests_total",
+		"malsched_stage_latency_us",
+		"malsched_queue_depth",
+		"malsched_queue_in_flight",
+		"malsched_admission_total",
+		"malsched_verify_failures_total",
+		"malsched_engine_events_total",
+	} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Errorf("missing family %s in exposition", family)
+		}
+	}
+	if !strings.Contains(text, `malsched_requests_total{endpoint="schedule",codec="json",status="200"} 1`) {
+		t.Errorf("request counter not incremented:\n%s", text)
+	}
+	for _, stage := range []string{"queue", "compile", "solve", "verify", "encode"} {
+		marker := `malsched_stage_latency_us_count{stage="` + stage + `"`
+		if !strings.Contains(text, marker) {
+			t.Errorf("no stage-latency series for stage %q", stage)
+		}
+	}
+	if !strings.Contains(text, `event="scheduled"`) {
+		t.Error("engine events missing scheduled series")
+	}
+}
+
+// The /metricsz endpoint must refuse non-read methods.
+func TestMetricszMethods(t *testing.T) {
+	s := New(Config{Shards: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/metricsz", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// The mux registers GET only, so POST is a 405 from the mux itself.
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metricsz: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// Drift guard: the statsz/v1 payload must carry exactly the documented
+// keys — additions require a deliberate schema decision, removals are
+// breakage.
+func TestStatszSchemaDrift(t *testing.T) {
+	s := New(Config{Shards: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(1, 8, 8)
+	if status, _ := post(t, ts, "/v1/schedule", ScheduleRequest{Instance: mustRaw(t, in)}); status != http.StatusOK {
+		t.Fatalf("schedule: status %d", status)
+	}
+
+	code, body := get(t, ts, "/statsz")
+	if code != http.StatusOK {
+		t.Fatalf("/statsz: status %d", code)
+	}
+	var payload map[string]json.RawMessage
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	var schema string
+	if err := json.Unmarshal(payload["schema"], &schema); err != nil || schema != StatszSchema {
+		t.Fatalf("schema = %q (%v), want %q", schema, err, StatszSchema)
+	}
+	assertKeys(t, "statsz", payload, []string{
+		"schema", "queue", "shards", "verify_failures", "binary_requests", "graph_requests",
+	})
+	var queue map[string]json.RawMessage
+	if err := json.Unmarshal(payload["queue"], &queue); err != nil {
+		t.Fatal(err)
+	}
+	assertKeys(t, "queue", queue, []string{"depth", "in_flight", "accepted", "rejected", "draining"})
+	var shards []map[string]json.RawMessage
+	if err := json.Unmarshal(payload["shards"], &shards); err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 {
+		t.Fatalf("want 1 shard, got %d", len(shards))
+	}
+	assertKeys(t, "shard", shards[0], []string{
+		"shard", "scheduled", "errors", "panics", "timeouts",
+		"memo_hits", "memo_misses", "memo_entries",
+		"compile_hits", "compile_misses", "compiled_entries",
+		"warm_solves", "synthesized", "warm_entries",
+	})
+}
+
+func assertKeys(t *testing.T, label string, m map[string]json.RawMessage, want []string) {
+	t.Helper()
+	got := make([]string, 0, len(m))
+	for k := range m {
+		got = append(got, k)
+	}
+	wantSet := make(map[string]bool, len(want))
+	for _, k := range want {
+		wantSet[k] = true
+		if _, ok := m[k]; !ok {
+			t.Errorf("%s: documented key %q missing from payload", label, k)
+		}
+	}
+	for _, k := range got {
+		if !wantSet[k] {
+			t.Errorf("%s: undocumented key %q in payload — update the schema docs and this guard together", label, k)
+		}
+	}
+}
+
+// A traced request must return the trace field and a bit-identical result
+// to the untraced request; the memo-hit repeat returns phases, no probes.
+func TestScheduleTrace(t *testing.T) {
+	s := New(Config{Shards: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(7, 12, 8)
+	raw := mustRaw(t, in)
+
+	var plain, traced ScheduleResponse
+	if status, body := post(t, ts, "/v1/schedule", ScheduleRequest{Instance: raw}); status != http.StatusOK {
+		t.Fatalf("untraced: status %d", status)
+	} else if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced request returned a trace")
+	}
+
+	// Fresh server so the traced solve is cold — same workload, no memo.
+	s2 := New(Config{Shards: 1, Workers: 1})
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	status, body := post(t, ts2, "/v1/schedule", ScheduleRequest{
+		Instance: raw, Options: &RequestOptions{Trace: true},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("traced: status %d", status)
+	}
+	if err := json.Unmarshal(body, &traced); err != nil {
+		t.Fatal(err)
+	}
+	if traced.Trace == nil {
+		t.Fatal("traced request returned no trace")
+	}
+	if len(traced.Trace.Probes) == 0 || traced.Trace.Probes[0].Lambda <= 0 {
+		t.Fatalf("trace has no usable probes: %+v", traced.Trace)
+	}
+	if len(traced.Trace.Probes) != traced.Probes {
+		t.Fatalf("trace probe count %d != response probes %d", len(traced.Trace.Probes), traced.Probes)
+	}
+	accepted := false
+	for _, p := range traced.Trace.Probes {
+		if p.Accepted {
+			accepted = true
+			if p.Reason != "" {
+				t.Fatalf("accepted probe carries reject reason %q", p.Reason)
+			}
+		}
+	}
+	if !accepted {
+		t.Fatal("trace has no accepted probe despite a served schedule")
+	}
+
+	// Bit-identity: everything but the trace matches the untraced response.
+	got := traced
+	got.Trace = nil
+	if !reflect.DeepEqual(plain, got) {
+		t.Fatalf("traced result differs from untraced:\n%+v\n%+v", plain, got)
+	}
+
+	// Memo hit: phases present, probes absent.
+	var hit ScheduleResponse
+	if status, body := post(t, ts2, "/v1/schedule", ScheduleRequest{
+		Instance: raw, Options: &RequestOptions{Trace: true},
+	}); status != http.StatusOK {
+		t.Fatalf("memo-hit: status %d", status)
+	} else if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.FromMemo {
+		t.Fatal("repeat request was not a memo hit")
+	}
+	if hit.Trace == nil {
+		t.Fatal("memo hit returned no trace at all (want phases, no probes)")
+	}
+	if len(hit.Trace.Probes) != 0 {
+		t.Fatalf("memo hit carries %d probes, want none", len(hit.Trace.Probes))
+	}
+}
+
+// Every scheduling response carries a request ID; a client-supplied
+// X-Malsched-Request is echoed verbatim, an absent one is minted.
+func TestRequestIDEcho(t *testing.T) {
+	s := New(Config{Shards: 1, Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(3, 8, 8)
+	buf, err := json.Marshal(ScheduleRequest{Instance: mustRaw(t, in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Minted when absent.
+	resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	minted := resp.Header.Get(obs.RequestIDHeader)
+	if minted == "" {
+		t.Fatal("no request ID on response")
+	}
+
+	// Echoed when supplied.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "edge-42")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(obs.RequestIDHeader); got != "edge-42" {
+		t.Fatalf("request ID %q, want the supplied edge-42", got)
+	}
+}
+
+// Request logs carry the request ID and flag slow requests with stage
+// timings; sub-threshold requests stay at Info (or silent without
+// LogRequests).
+func TestRequestLogging(t *testing.T) {
+	var mu sync.Mutex
+	var lines bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(lockedWriter{&mu, &lines}, nil))
+
+	s := New(Config{
+		Shards: 1, Workers: 1,
+		Logger:        logger,
+		LogRequests:   true,
+		SlowThreshold: time.Nanosecond, // everything is slow
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := instance.Mixed(5, 8, 8)
+	buf, err := json.Marshal(ScheduleRequest{Instance: mustRaw(t, in), Options: &RequestOptions{Trace: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/schedule", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.RequestIDHeader, "log-probe-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mu.Lock()
+	text := lines.String()
+	mu.Unlock()
+	for _, want := range []string{
+		"slow request", "request_id=log-probe-1", "slow=true",
+		"solve_ns=", "queue_ns=", "trace_probes=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("log line missing %q:\n%s", want, text)
+		}
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (lw lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}

@@ -92,7 +92,10 @@ type ShardStats struct {
 
 // StatsResponse is the body of GET /statsz.
 type StatsResponse struct {
-	Queue QueueStats `json:"queue"`
+	// Schema versions the payload ("statsz/v1"); additive changes only
+	// within a version. The drift-guard tests pin the documented key set.
+	Schema string     `json:"schema"`
+	Queue  QueueStats `json:"queue"`
 	// Shards holds one entry per engine shard, in shard order.
 	Shards []ShardStats `json:"shards"`
 	// VerifyFailures counts responses withheld because verify.Plan

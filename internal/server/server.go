@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -41,6 +42,7 @@ import (
 
 	"malsched/internal/engine"
 	"malsched/internal/instance"
+	"malsched/internal/obs"
 	"malsched/internal/precedence"
 	"malsched/internal/solver"
 	"malsched/internal/verify"
@@ -91,6 +93,20 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps request body size; ≤ 0 means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Logger, when non-nil, receives structured request logs (log/slog):
+	// one line per scheduling request when LogRequests is set, and a Warn
+	// line with stage breakdown for every request at or above
+	// SlowThreshold. Each line carries the request ID minted at the edge or
+	// propagated from the routing tier (X-Malsched-Request). Nil disables
+	// request logging entirely.
+	Logger *slog.Logger
+	// SlowThreshold flags requests lasting at least this long as slow
+	// (logged at Warn with stage timings and, when captured, the solve
+	// trace summary); 0 disables the slow path.
+	SlowThreshold time.Duration
+	// LogRequests logs every scheduling request at Info, not just slow
+	// ones.
+	LogRequests bool
 }
 
 // Server is the scheduling service. Build with New, mount Handler on an
@@ -106,6 +122,14 @@ type Server struct {
 	slots []chan struct{}
 	sem   chan struct{}
 	mux   *http.ServeMux
+
+	// metrics is the /metricsz registry. stageSets and reqCounters cache
+	// its instruments under comparable struct keys so the per-request hot
+	// path resolves them with one allocation-free map read under obsMu.
+	metrics     *obs.Registry
+	obsMu       sync.RWMutex
+	stageSets   map[stageKey]*stageSet
+	reqCounters map[reqKey]*obs.Counter
 
 	draining   atomic.Bool
 	accepted   atomic.Uint64
@@ -148,11 +172,15 @@ func New(cfg Config) *Server {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
 	s := &Server{
-		cfg:    cfg,
-		shards: make([]*engine.Engine, cfg.Shards),
-		slots:  make([]chan struct{}, cfg.Shards),
-		sem:    make(chan struct{}, cfg.QueueDepth),
-		mux:    http.NewServeMux(),
+		cfg:     cfg,
+		shards:  make([]*engine.Engine, cfg.Shards),
+		slots:   make([]chan struct{}, cfg.Shards),
+		sem:     make(chan struct{}, cfg.QueueDepth),
+		mux:     http.NewServeMux(),
+		metrics: obs.NewRegistry(),
+
+		stageSets:   make(map[stageKey]*stageSet),
+		reqCounters: make(map[reqKey]*obs.Counter),
 	}
 	for i := range s.shards {
 		s.shards[i] = engine.New(engine.Config{
@@ -161,10 +189,12 @@ func New(cfg Config) *Server {
 		})
 		s.slots[i] = make(chan struct{}, cfg.Workers)
 	}
-	s.mux.HandleFunc("POST /v1/schedule", s.handleSchedule)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.registerMetrics()
+	s.mux.HandleFunc("POST /v1/schedule", s.instrument("schedule", s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.Handle("GET /metricsz", s.metrics.Handler())
 	return s
 }
 
@@ -183,6 +213,7 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Stats snapshots the queue and every shard.
 func (s *Server) Stats() StatsResponse {
 	resp := StatsResponse{
+		Schema: StatszSchema,
 		Queue: QueueStats{
 			Depth:    s.cfg.QueueDepth,
 			InFlight: len(s.sem),
@@ -287,6 +318,11 @@ func (s *Server) resolveOptions(ro *RequestOptions) (engine.Options, time.Durati
 	}
 	o.Eps = ro.Eps
 	o.Compact = ro.Compact
+	// Trace is observation only — excluded from the memo fingerprint like
+	// Parallelism, so traced and untraced requests share memo entries (a
+	// hit returns phases without probes). The binary codec never sets it
+	// (frozen layout; see wire.RequestOptions.Trace).
+	o.Trace = ro.Trace
 	if ro.Parallelism < 0 || ro.Parallelism > s.cfg.MaxParallelism {
 		return o, 0, &ErrorInfo{Code: CodeBadOptions, Message: fmt.Sprintf("parallelism must be in [0, %d], got %d", s.cfg.MaxParallelism, ro.Parallelism)}
 	}
@@ -338,7 +374,7 @@ func lineageHash(lineage string) uint64 {
 // different options — share one set of λ-breakpoint tables per shard.
 // The shard's solve slots bound concurrency to Config.Workers across all
 // requests, compilation included.
-func (s *Server) solveVerified(in *instance.Instance, o engine.Options, timeout time.Duration, lineage string) (*ScheduleResponse, *ErrorInfo, int) {
+func (s *Server) solveVerified(in *instance.Instance, o engine.Options, timeout time.Duration, lineage string, rc *reqCtx) (*ScheduleResponse, *ErrorInfo, int) {
 	hash := engine.Fingerprint(in, o)
 	warm := lineage != "" && engine.WantsCompiled(o)
 	var shard int
@@ -349,28 +385,44 @@ func (s *Server) solveVerified(in *instance.Instance, o engine.Options, timeout 
 	} else {
 		shard = int(hash % uint64(len(s.shards)))
 	}
+	rc.solver, rc.shard = solverLabel(o), shard
+	var st stageNS
+	t := time.Now()
 	s.slots[shard] <- struct{}{}
+	st.queue = time.Since(t).Nanoseconds()
 	eng := s.shards[shard]
 	var ci *instance.Compiled
 	if engine.WantsCompiled(o) {
+		t = time.Now()
 		ci = eng.CompiledFor(in)
+		st.compile = time.Since(t).Nanoseconds()
 	}
 	var out engine.Outcome
+	t = time.Now()
 	if warm {
 		out = eng.ScheduleWarm(in, ci, o, timeout, eng.WarmFor(lh))
 	} else {
 		out = eng.ScheduleCompiled(in, ci, o, timeout, hash)
 	}
+	st.solve = time.Since(t).Nanoseconds()
 	<-s.slots[shard]
+	set := s.stagesFor(rc.solver, rc.codec, shard)
+	rc.set = set
 	if out.Err != nil {
+		set.observe(st)
+		rc.st = st
 		return nil, errInfoOf(out.Err), statusOf(out.Err)
 	}
 	if s.corrupt != nil {
 		s.corrupt(&out.Solution)
 	}
+	t = time.Now()
 	c := verify.Certified{Plan: out.Plan, Makespan: out.Makespan, LowerBound: out.LowerBound}
 	if err := verify.Plan(in, c, false); err != nil {
 		s.verifyFail.Add(1)
+		st.verify = time.Since(t).Nanoseconds()
+		set.observe(st)
+		rc.st = st
 		return nil, &ErrorInfo{
 			Code:    CodeVerifyFailed,
 			Message: fmt.Sprintf("refusing to serve an unverified schedule for %q: %v", in.Name, err),
@@ -382,13 +434,24 @@ func (s *Server) solveVerified(in *instance.Instance, o engine.Options, timeout 
 		// to the ordering constraints the client asked for.
 		if err := verify.Precedence(in, o.Edges, out.Plan); err != nil {
 			s.verifyFail.Add(1)
+			st.verify = time.Since(t).Nanoseconds()
+			set.observe(st)
+			rc.st = st
 			return nil, &ErrorInfo{
 				Code:    CodeVerifyFailed,
 				Message: fmt.Sprintf("refusing to serve a precedence-violating schedule for %q: %v", in.Name, err),
 			}, http.StatusInternalServerError
 		}
 	}
-	return ResponseOf(in, out, shard), nil, 0
+	st.verify = time.Since(t).Nanoseconds()
+	set.observe(st)
+	rc.st = st
+	resp := ResponseOf(in, out, shard)
+	if o.Trace {
+		resp.Trace = traceInfoOf(out, st)
+		rc.trace = resp.Trace
+	}
+	return resp, nil, 0
 }
 
 // errInfoOf maps engine/solver errors onto typed wire errors.
@@ -418,9 +481,10 @@ func statusOf(err error) int {
 	}
 }
 
-func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, rc *reqCtx) {
 	if isBinary(r) {
-		s.handleScheduleBinary(w, r)
+		rc.codec = "binary"
+		s.handleScheduleBinary(w, r, rc)
 		return
 	}
 	release, ok := s.admitOrReject(w)
@@ -458,12 +522,14 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		o.Edges = req.Graph
 	}
-	resp, errInfo, status := s.solveVerified(in, o, timeout, lineageOf(req.Options))
+	resp, errInfo, status := s.solveVerified(in, o, timeout, lineageOf(req.Options), rc)
 	if errInfo != nil {
 		writeError(w, status, errInfo)
 		return
 	}
+	t := time.Now()
 	writeJSON(w, http.StatusOK, resp)
+	rc.set.encode.Observe(time.Since(t).Microseconds())
 }
 
 // isBinary reports whether the request negotiated the binary codec via its
@@ -486,7 +552,7 @@ func isBinary(r *http.Request) bool {
 // graph, validated through the same precedence.ValidateEdges gate as the
 // JSON path (CodeBadGraph on failure); v1 requests decode unchanged and
 // carry no graph.
-func (s *Server) handleScheduleBinary(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleScheduleBinary(w http.ResponseWriter, r *http.Request, rc *reqCtx) {
 	s.binaryReqs.Add(1)
 	release, errInfo, status := s.admit()
 	if errInfo != nil {
@@ -528,17 +594,19 @@ func (s *Server) handleScheduleBinary(w http.ResponseWriter, r *http.Request) {
 		}
 		o.Edges = graph
 	}
-	resp, errInfo, status := s.solveVerified(in, o, timeout, lineageOf(ro))
+	resp, errInfo, status := s.solveVerified(in, o, timeout, lineageOf(ro), rc)
 	if errInfo != nil {
 		writeBinaryError(w, status, errInfo)
 		return
 	}
+	t := time.Now()
 	buf := wire.AppendScheduleResponse(wire.GetBuffer(), resp)
 	w.Header().Set("Content-Type", wire.ContentType)
 	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf)
 	wire.PutBuffer(buf)
+	rc.set.encode.Observe(time.Since(t).Microseconds())
 }
 
 // isFramingErr separates malformed binary framing (bad_request, like
@@ -571,7 +639,7 @@ func readBody(w http.ResponseWriter, r *http.Request, maxBytes int64) ([]byte, *
 	}
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, rc *reqCtx) {
 	release, ok := s.admitOrReject(w)
 	if !ok {
 		return
@@ -625,7 +693,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if i >= len(req.Instances) {
 					return
 				}
-				resp.Results[i] = s.batchItem(i, req.Instances[i], o, timeout, lineage)
+				resp.Results[i] = s.batchItem(i, req.Instances[i], o, timeout, lineage, rc.codec)
 			}
 		}()
 	}
@@ -633,12 +701,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) batchItem(i int, raw json.RawMessage, o engine.Options, timeout time.Duration, lineage string) BatchItem {
+func (s *Server) batchItem(i int, raw json.RawMessage, o engine.Options, timeout time.Duration, lineage, codec string) BatchItem {
 	in, err := DecodeInstance(raw)
 	if err != nil {
 		return BatchItem{Index: i, Error: &ErrorInfo{Code: CodeBadInstance, Message: err.Error()}}
 	}
-	res, errInfo, _ := s.solveVerified(in, o, timeout, lineage)
+	// Each item gets its own observability context: items solve concurrently,
+	// so they must not share the request-level reqCtx, and each observes its
+	// own stage timings under its own shard label.
+	irc := &reqCtx{endpoint: "batch", codec: codec, shard: -1}
+	res, errInfo, _ := s.solveVerified(in, o, timeout, lineage, irc)
 	if errInfo != nil {
 		return BatchItem{Index: i, Error: errInfo}
 	}

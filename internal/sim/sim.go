@@ -33,6 +33,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"malsched/internal/engine"
 	"malsched/internal/instance"
@@ -85,6 +86,12 @@ type Config struct {
 	// compiled caches persist across runs — repeated epochs of a recurring
 	// workload re-solve from cache). nil builds a private engine.
 	Engine *engine.Engine
+	// SolveObserver, when non-nil, receives the wall-clock nanoseconds of
+	// every planning solve. Pure observation — simulated time, schedules
+	// and metrics are unchanged — cmd/mssim wires it to per-policy
+	// solve-latency histograms (-metrics-out) while BENCH_sim.json stays
+	// bit-identical across runs.
+	SolveObserver func(ns int64)
 }
 
 // Policies returns the registered policy names, in reporting order.
@@ -572,7 +579,10 @@ func (s *state) residualCompiled(name string, mf int, jobs []int) (*instance.Ins
 // solve runs the planning kernel on a residual instance through the
 // (possibly shared) engine, accounting the rescheduling cost.
 func (s *state) solve(in *instance.Instance) (engine.Solution, error) {
-	return s.account(s.eng.ScheduleWith(in, s.opts, 0), in.Name)
+	t := time.Now()
+	out := s.eng.ScheduleWith(in, s.opts, 0)
+	s.observeSolve(t)
+	return s.account(out, in.Name)
 }
 
 // solveWarm is solve against the run's warm replanning lineage: the
@@ -581,7 +591,18 @@ func (s *state) solve(in *instance.Instance) (engine.Solution, error) {
 // solve's (the warm-vs-cold suites enforce it); only probe accounting
 // differs.
 func (s *state) solveWarm(in *instance.Instance, rc *instance.Compiled) (engine.Solution, error) {
-	return s.account(s.eng.ScheduleWarm(in, rc, s.opts, 0, s.ws), in.Name)
+	t := time.Now()
+	out := s.eng.ScheduleWarm(in, rc, s.opts, 0, s.ws)
+	s.observeSolve(t)
+	return s.account(out, in.Name)
+}
+
+// observeSolve reports one planning solve's wall-clock to the configured
+// observer; a nil observer costs one branch.
+func (s *state) observeSolve(start time.Time) {
+	if s.cfg.SolveObserver != nil {
+		s.cfg.SolveObserver(time.Since(start).Nanoseconds())
+	}
 }
 
 func (s *state) account(out engine.Outcome, name string) (engine.Solution, error) {

@@ -44,6 +44,7 @@ func (paperSolver) Solve(in *instance.Instance, o Options) (Solution, error) {
 		Scratch:     o.Scratch,
 		Interrupt:   o.Interrupt,
 		WarmStart:   o.WarmStart,
+		Trace:       o.Trace,
 	})
 	if err != nil {
 		return Solution{}, err

@@ -62,6 +62,13 @@ type Options struct {
 	// ignore it; the portfolio hands it to at most its "mrt" member.
 	WarmStart *core.WarmStart
 
+	// Trace, when non-nil, collects the dual search's consumed probe
+	// trajectory (core.Options.Trace). Pure observation: results are
+	// bit-identical traced or not. Solvers without a dual search ignore
+	// it; the portfolio leaves it untouched (members race concurrently, so
+	// no single trajectory is "the" solve).
+	Trace *core.SolveTrace
+
 	// Edges, when non-nil, is the successor-list DAG over the instance's
 	// tasks: Edges[i] lists the tasks that may start only after task i
 	// completes. Only edge-aware solvers (SupportsEdges) accept it; the

@@ -112,6 +112,14 @@ type RequestOptions struct {
 	// probes, never correctness. Ignored for solvers without a dual
 	// search. Max 128 bytes.
 	Lineage string `json:"lineage,omitempty"`
+	// Trace requests the solve trace: the dual search's consumed probe
+	// trajectory plus per-phase timings, returned as the response's "trace"
+	// field and never stored in the memo. Pure observation — the schedule,
+	// certificates and provenance are bit-identical traced or not. JSON
+	// codec only: the binary layout is frozen per version (field order is
+	// the format), so binary requests solve untraced until a future version
+	// bump carries the flag.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ScheduleRequest is the JSON body of POST /v1/schedule. The binary codec
@@ -183,6 +191,49 @@ type ScheduleResponse struct {
 	Shard    int  `json:"shard"`
 	// Plan is the verified schedule.
 	Plan PlanJSON `json:"plan"`
+	// Trace is the solve trace, present only when the request set
+	// options.trace (JSON codec only; the binary encoder never carries it —
+	// see RequestOptions.Trace).
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceInfo is the solve trace of one request: where the wall-clock time
+// went, stage by stage, plus the dual search's consumed probe trajectory.
+// Phase fields are nanoseconds measured by the serving shard; a memo hit
+// has SolveNS ≈ 0 and no probes. The schema is documented in
+// docs/OBSERVABILITY.md.
+type TraceInfo struct {
+	// QueueNS is the wait for the shard's solve slot, CompileNS the
+	// compiled-table resolution (0 on a compiled-cache hit or for solvers
+	// that never probe), SolveNS the engine solve, VerifyNS the response
+	// verification.
+	QueueNS   int64 `json:"queue_ns"`
+	CompileNS int64 `json:"compile_ns"`
+	SolveNS   int64 `json:"solve_ns"`
+	VerifyNS  int64 `json:"verify_ns"`
+	// SearchNS is the dual search's own wall-clock time (inside SolveNS);
+	// 0 for memo hits and solvers without a dual search.
+	SearchNS int64 `json:"search_ns,omitempty"`
+	// Probes is the consumed probe trajectory in sequential search order;
+	// empty for memo hits and solvers without a dual search.
+	Probes []TraceProbe `json:"probes,omitempty"`
+}
+
+// TraceProbe is one consumed probe of the dual search.
+type TraceProbe struct {
+	// Lambda is the deadline guess, Segment its λ-breakpoint segment index
+	// in the compiled tables (−1 on the legacy path).
+	Lambda  float64 `json:"lambda"`
+	Segment int     `json:"segment"`
+	// Accepted reports whether the dual step produced a schedule; Reason
+	// explains a rejection (empty when accepted) and Certified whether it
+	// proves OPT > λ.
+	Accepted  bool   `json:"accepted"`
+	Reason    string `json:"reason,omitempty"`
+	Certified bool   `json:"certified,omitempty"`
+	// Synthesized reports an outcome a lineage-warmed solve resolved from
+	// the compiled segment tables without running the dual step.
+	Synthesized bool `json:"synthesized,omitempty"`
 }
 
 // ErrorInfo is the typed error detail used by every failure path.

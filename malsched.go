@@ -59,6 +59,7 @@
 package malsched
 
 import (
+	"malsched/internal/core"
 	"malsched/internal/engine"
 	"malsched/internal/instance"
 	"malsched/internal/lowerbound"
@@ -140,6 +141,13 @@ type Options struct {
 	// Baseline is a deprecated alias for Solver, kept for pre-registry
 	// callers; Solver wins when both are set.
 	Baseline string
+	// Trace captures the dual search's consumed probe trajectory into
+	// Result.Trace — λ, breakpoint segment, accept/reject with reason,
+	// certification and warm-synthesis flags, in the exact consumption
+	// order. Pure observation: every output is bit-identical traced or
+	// not. Only solvers with a dual search record probes ("mrt"); others
+	// return an empty trace.
+	Trace bool
 	// Edges, when non-nil, is a successor-list precedence DAG over the
 	// instance's tasks: Edges[i] lists the tasks that may start only after
 	// task i completes. Only edge-aware solvers accept it ("dag",
@@ -149,6 +157,17 @@ type Options struct {
 	// ValidateEdges, and check results with VerifyPrecedence.
 	Edges [][]int
 }
+
+// SolveTrace and ProbeTrace are the solve-trace types of Options.Trace,
+// re-exported from the search core. See docs/OBSERVABILITY.md for the
+// trace schema.
+type (
+	// SolveTrace is one search's consumed probe trajectory plus its
+	// wall-clock duration.
+	SolveTrace = core.SolveTrace
+	// ProbeTrace is one consumed probe outcome.
+	ProbeTrace = core.ProbeTrace
+)
 
 // Result is a produced schedule plus its certificates.
 type Result struct {
@@ -169,6 +188,10 @@ type Result struct {
 	// included (0 for solvers without a dual search; portfolios sum their
 	// members'). The benchmark harness derives probe throughput from it.
 	Probes int
+	// Trace is the consumed probe trajectory, present only when
+	// Options.Trace was set (empty Probes for solvers without a dual
+	// search).
+	Trace *SolveTrace
 }
 
 // Ratio returns Makespan / LowerBound, the certified ratio.
@@ -203,6 +226,7 @@ func Schedule(in *Instance, opts *Options) (Result, error) {
 		Branch:     sol.Branch,
 		Solver:     sol.Solver,
 		Probes:     sol.Probes,
+		Trace:      sol.Trace,
 	}, nil
 }
 
@@ -216,6 +240,7 @@ func engineOptions(o Options) engine.Options {
 		Parallelism: o.Parallelism,
 		Legacy:      o.Legacy,
 		Baseline:    o.Baseline,
+		Trace:       o.Trace,
 		Edges:       o.Edges,
 	}
 }
